@@ -1,0 +1,159 @@
+(* Benchmark harness.
+
+   Usage:
+     bench/main.exe                  regenerate every paper figure/table
+                                     (paper scale) then run microbenchmarks
+     bench/main.exe fig2a fig5a      run selected experiments
+     bench/main.exe ablations        the four design-choice ablations
+     bench/main.exe micro            only the Bechamel microbenchmarks
+     bench/main.exe --scale quick    fast smoke run of everything
+     bench/main.exe --csv DIR        also write CSV outputs
+
+   Each experiment prints the same rows/series the corresponding paper
+   figure plots (see EXPERIMENTS.md for the paper-vs-measured record). *)
+
+open Simcore
+open Netsim
+
+let progress line = Printf.eprintf "    %s\n%!" line
+
+let run_experiment scale csv_dir id =
+  match Experiments.Registry.find id with
+  | None ->
+      Printf.eprintf "unknown experiment %S (known: %s)\n%!" id
+        (String.concat ", " Experiments.Registry.ids);
+      exit 2
+  | Some e ->
+      Printf.printf "### %s — %s\n    %s\n\n%!" e.Experiments.Registry.id
+        e.Experiments.Registry.paper_ref e.Experiments.Registry.description;
+      let t0 = Unix.gettimeofday () in
+      let rendered =
+        Experiments.Registry.run_and_render e scale ?csv_dir ~progress ()
+      in
+      print_string rendered;
+      Printf.printf "(experiment wall time: %.1fs)\n\n%!" (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the core data structures *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let seg_tree_update =
+    Test.make ~name:"segment-tree: single-leaf update (8192 chunks)"
+      (Staged.stage (fun () ->
+           let tree = Blobseer.Segment_tree.create ~chunks:8192 in
+           let tree, _ = Blobseer.Segment_tree.set_range tree ~start:0 [| Some 1 |] in
+           ignore (Blobseer.Segment_tree.set_range tree ~start:4096 [| Some 2 |])))
+  in
+  let seg_tree_bulk =
+    Test.make ~name:"segment-tree: 256-leaf bulk update"
+      (Staged.stage (fun () ->
+           let tree = Blobseer.Segment_tree.create ~chunks:8192 in
+           ignore
+             (Blobseer.Segment_tree.set_range tree ~start:1024
+                (Array.init 256 (fun i -> Some i)))))
+  in
+  let payload_slice =
+    Test.make ~name:"payload: slice + digest of a 64 MiB pattern"
+      (Staged.stage (fun () ->
+           let p = Payload.pattern ~seed:1L (Size.mib_n 64) in
+           ignore (Payload.length (Payload.sub p ~pos:12345 ~len:4096))))
+  in
+  let event_queue =
+    Test.make ~name:"event-queue: 1k add+pop"
+      (Staged.stage (fun () ->
+           let q = Event_queue.create () in
+           for i = 0 to 999 do
+             Event_queue.add q ~time:(float_of_int ((i * 7919) mod 997)) i
+           done;
+           while not (Event_queue.is_empty q) do
+             ignore (Event_queue.pop q)
+           done))
+  in
+  let engine_fibers =
+    Test.make ~name:"engine: 100 fibers x 10 sleeps"
+      (Staged.stage (fun () ->
+           let e = Engine.create () in
+           for i = 0 to 99 do
+             ignore
+               (Engine.Fiber.spawn e ~name:(string_of_int i) (fun () ->
+                    for _ = 1 to 10 do
+                      Engine.sleep e 1.0
+                    done))
+           done;
+           Engine.run e))
+  in
+  let qcow2_cow =
+    Test.make ~name:"qcow2: 64 cluster COW writes (in-sim)"
+      (Staged.stage (fun () ->
+           let e = Engine.create () in
+           let net = Net.create e { Net.default_config with latency = 0.0 } in
+           let host = Net.add_host net ~name:"h" in
+           let disk = Storage.Disk.create e ~rate:1e12 ~seek:0.0 () in
+           let _ =
+             Engine.Fiber.spawn e (fun () ->
+                 let q =
+                   Vdisk.Qcow2.create e ~host ~local_disk:disk ~cluster_size:(64 * Size.kib)
+                     ~capacity:(Size.mib_n 64) ~backing:Vdisk.Qcow2.No_backing ~name:"q" ()
+                 in
+                 for i = 0 to 63 do
+                   Vdisk.Qcow2.write q ~offset:(i * 64 * Size.kib)
+                     (Payload.pattern ~seed:(Int64.of_int i) (64 * Size.kib))
+                 done)
+           in
+           Engine.run e))
+  in
+  let tests =
+    Test.make_grouped ~name:"blobcr-core"
+      [ seg_tree_update; seg_tree_bulk; payload_slice; event_queue; engine_fibers; qcow2_cow ]
+  in
+  let benchmark () =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+    Benchmark.all cfg instances tests
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+    in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  Printf.printf "### Microbenchmarks (Bechamel, monotonic clock)\n\n%!";
+  let results = analyze (benchmark ()) in
+  Hashtbl.iter
+    (fun name ols ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some [ time ] -> Printf.printf "%-55s %12.1f ns/run\n%!" name time
+      | _ -> Printf.printf "%-55s (no estimate)\n%!" name)
+    results;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse scale csv ids = function
+    | "--scale" :: s :: rest -> (
+        match Experiments.Scale.find s with
+        | Some scale -> parse scale csv ids rest
+        | None ->
+            Printf.eprintf "unknown scale %S (paper|quick)\n" s;
+            exit 2)
+    | "--csv" :: dir :: rest -> parse scale (Some dir) ids rest
+    | id :: rest -> parse scale csv (id :: ids) rest
+    | [] -> (scale, csv, List.rev ids)
+  in
+  let scale, csv_dir, ids = parse Experiments.Scale.paper None [] args in
+  let experiment_ids = [ "fig2a"; "fig2b"; "fig4"; "fig5a"; "fig6"; "table1" ] in
+  let ablation_ids = [ "abl-prefetch"; "abl-stripe"; "abl-replication"; "abl-incremental" ] in
+  let expand = function "ablations" -> ablation_ids | id -> [ id ] in
+  let ids = List.concat_map expand ids in
+  match ids with
+  | [] ->
+      (* Full regeneration: fig2a/fig2b emit fig3a/fig3b too, fig5a emits
+         fig5b, so the six runs below cover all nine paper artifacts. *)
+      List.iter (run_experiment scale csv_dir) experiment_ids;
+      micro ()
+  | [ "micro" ] -> micro ()
+  | ids -> List.iter (run_experiment scale csv_dir) ids

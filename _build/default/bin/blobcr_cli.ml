@@ -1,0 +1,103 @@
+(* blobcr-cli: drive the reproduction from the command line.
+
+     blobcr_cli list                         available experiments
+     blobcr_cli run fig2a --scale quick      run one experiment
+     blobcr_cli run all --csv results/       run everything, write CSVs
+     blobcr_cli calibration                  show the simulated testbed *)
+
+open Cmdliner
+
+let scale_arg =
+  let parse s =
+    match Experiments.Scale.find s with
+    | Some scale -> Ok (s, scale)
+    | None -> Error (`Msg (Fmt.str "unknown scale %S (expected: paper, quick)" s))
+  in
+  let print ppf (name, _) = Fmt.string ppf name in
+  Arg.conv (parse, print)
+
+let scale_term =
+  Arg.(
+    value
+    & opt scale_arg ("paper", Experiments.Scale.paper)
+    & info [ "s"; "scale" ] ~docv:"SCALE"
+        ~doc:"Experiment scale: $(b,paper) (published testbed shape) or $(b,quick) (smoke run).")
+
+let csv_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each output table as CSV under $(docv).")
+
+let quiet_term =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-point progress lines.")
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Fmt.pr "%-8s %-28s %s@." e.Experiments.Registry.id e.Experiments.Registry.paper_ref
+          e.Experiments.Registry.description)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List reproducible experiments (one per paper figure/table).")
+    Term.(const run $ const ())
+
+let run_one (_, scale) csv_dir quiet id =
+  match Experiments.Registry.find id with
+  | None -> Fmt.epr "unknown experiment %S; try `blobcr_cli list'@." id
+  | Some e ->
+      let progress line = if not quiet then Fmt.epr "    %s@." line in
+      Fmt.pr "### %s — %s@.@." e.Experiments.Registry.id e.Experiments.Registry.paper_ref;
+      Fmt.pr "%s@."
+        (Experiments.Registry.run_and_render e scale ?csv_dir:csv_dir ~progress ())
+
+let run_cmd =
+  let ids_term =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"Experiment ids (see $(b,list)), or $(b,all) for every one.")
+  in
+  let run scale csv quiet ids =
+    let ids =
+      if List.mem "all" ids then Experiments.Registry.ids else ids
+    in
+    List.iter (run_one scale csv quiet) ids
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run experiments and print the paper-figure tables.")
+    Term.(const run $ scale_term $ csv_term $ quiet_term $ ids_term)
+
+let calibration_cmd =
+  let run () =
+    let c = Blobcr.Calibration.default in
+    let mb v = v /. float_of_int Simcore.Size.mib in
+    Fmt.pr "Simulated testbed (defaults follow Section 4.1 of the paper):@.";
+    Fmt.pr "  compute nodes        %d@." c.compute_nodes;
+    Fmt.pr "  local disk           %.1f MB/s, %.1f ms/op, %.0f ms seek@." (mb c.disk_rate)
+      (c.disk_per_op *. 1e3)
+      (8.0);
+    Fmt.pr "  network              %.1f MB/s, %.2f ms latency@." (mb c.net_bandwidth)
+      (c.net_latency *. 1e3);
+    Fmt.pr "  disk image           %a@." Simcore.Size.pp c.image_capacity;
+    Fmt.pr "  guest RAM            %a (+%a full-snapshot overhead)@." Simcore.Size.pp
+      c.guest_ram Simcore.Size.pp c.os_ram_overhead;
+    Fmt.pr "  BlobSeer             stripe %a, %d metadata providers, window %d@."
+      Simcore.Size.pp c.blobseer.Blobseer.Types.stripe_size c.metadata_providers
+      c.blobseer.Blobseer.Types.write_window;
+    Fmt.pr "  PVFS                 stripe %a, %.0f ms metadata op, window %d@."
+      Simcore.Size.pp c.pvfs.Pvfs.stripe_size
+      (c.pvfs.Pvfs.metadata_op_cost *. 1e3)
+      c.pvfs.Pvfs.write_window;
+    Fmt.pr "  savevm rate          %.0f MB/s; loadvm record %a@." (mb c.savevm_rate)
+      Simcore.Size.pp c.loadvm_record
+  in
+  Cmd.v
+    (Cmd.info "calibration" ~doc:"Print the simulated testbed constants.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "BlobCR (SC'11) reproduction: experiments and tools" in
+  let info = Cmd.info "blobcr_cli" ~doc ~version:"1.0.0" in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; calibration_cmd ]))

@@ -1,0 +1,1 @@
+examples/cm1_fault_tolerance.ml: Approach Blobcr Calibration Cluster Cm1 Fmt List Option Protocol Simcore Size Stats Workloads

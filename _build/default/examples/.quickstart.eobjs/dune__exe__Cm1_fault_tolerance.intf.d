@@ -1,0 +1,1 @@
+examples/cm1_fault_tolerance.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Approach Blobcr Calibration Cluster Fmt List Payload Protocol Simcore Size Synthetic Workloads

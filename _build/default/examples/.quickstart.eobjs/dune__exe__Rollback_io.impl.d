@@ -1,0 +1,1 @@
+examples/rollback_io.ml: Approach Blobcr Calibration Cluster Fmt Guest_fs Payload Simcore Vm Vmsim

@@ -1,0 +1,1 @@
+examples/snapshot_inspect.ml: Approach Blobcr Blobseer Calibration Cluster Fmt Gc List Netsim Simcore Size String Synthetic Vdisk Vmsim Workloads

@@ -1,0 +1,1 @@
+examples/snapshot_inspect.mli:

@@ -1,0 +1,1 @@
+lib/blobseer/client.ml: Array Data_provider Engine Fmt Hashtbl List Metadata_service Net Netsim Option Parallel Payload Provider_manager Segment_tree Simcore Size Types Version_manager

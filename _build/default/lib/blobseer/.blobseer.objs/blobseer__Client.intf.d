@@ -1,0 +1,1 @@
+lib/blobseer/client.mli: Data_provider Disk Engine Net Netsim Payload Simcore Storage Types Version_manager

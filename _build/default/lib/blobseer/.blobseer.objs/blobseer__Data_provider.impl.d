@@ -1,0 +1,1 @@
+lib/blobseer/data_provider.ml: Content_store Disk Engine Net Netsim Payload Rate_server Simcore Storage Types

@@ -1,0 +1,1 @@
+lib/blobseer/data_provider.mli: Content_store Disk Engine Net Netsim Payload Simcore Storage

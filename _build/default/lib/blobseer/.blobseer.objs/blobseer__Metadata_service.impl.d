@@ -1,0 +1,1 @@
+lib/blobseer/metadata_service.ml: Array Engine Fmt Fun List Net Netsim Rate_server Simcore Types

@@ -1,0 +1,1 @@
+lib/blobseer/metadata_service.mli: Engine Net Netsim Simcore

@@ -1,0 +1,1 @@
+lib/blobseer/provider_manager.ml: Array Data_provider Engine List Net Netsim Rate_server Simcore Types

@@ -1,0 +1,1 @@
+lib/blobseer/provider_manager.mli: Data_provider Engine Net Netsim Simcore

@@ -1,0 +1,1 @@
+lib/blobseer/segment_tree.mli:

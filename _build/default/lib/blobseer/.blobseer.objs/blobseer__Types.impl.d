@@ -1,0 +1,1 @@
+lib/blobseer/types.ml: Simcore Storage

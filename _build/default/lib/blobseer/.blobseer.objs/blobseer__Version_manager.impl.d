@@ -1,0 +1,1 @@
+lib/blobseer/version_manager.ml: Engine Hashtbl List Net Netsim Rate_server Segment_tree Simcore Size Types

@@ -1,0 +1,1 @@
+lib/blobseer/version_manager.mli: Engine Net Netsim Segment_tree Simcore Types

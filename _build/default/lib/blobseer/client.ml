@@ -1,0 +1,314 @@
+open Simcore
+open Netsim
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  params : Types.params;
+  vm : Version_manager.t;
+  pm : Provider_manager.t;
+  md : Metadata_service.t;
+}
+
+type blob = { service : t; info : Version_manager.blob_info }
+
+let deploy engine net ?(params = Types.default_params) ~version_manager_host
+    ~provider_manager_host ~metadata_hosts ~data_providers () =
+  if data_providers = [] then invalid_arg "Client.deploy: no data providers";
+  if params.replication > List.length data_providers then
+    invalid_arg "Client.deploy: replication exceeds provider count";
+  let vm =
+    Version_manager.create engine net ~host:version_manager_host
+      ~publish_cost:params.publish_cost ()
+  in
+  let pm =
+    Provider_manager.create engine net ~host:provider_manager_host
+      ~allocate_cost:params.allocate_cost ()
+  in
+  let md =
+    Metadata_service.create engine net ~hosts:metadata_hosts
+      ~node_bytes:params.metadata_node_bytes ~node_cost:params.metadata_node_cost ()
+  in
+  List.iteri
+    (fun i (host, disk) ->
+      Provider_manager.register pm
+        (Data_provider.create engine net ~host ~disk
+           ~request_overhead:params.request_overhead
+           ~name:(Fmt.str "provider.%d" i) ()))
+    data_providers;
+  { engine; net; params; vm; pm; md }
+
+let engine t = t.engine
+let net t = t.net
+let params t = t.params
+let provider_count t = Provider_manager.provider_count t.pm
+let data_provider t i = Provider_manager.provider t.pm i
+let data_providers t = Provider_manager.providers t.pm
+let version_manager t = t.vm
+
+let repository_bytes t =
+  Array.fold_left
+    (fun acc p -> acc + Data_provider.stored_bytes p)
+    0 (data_providers t)
+
+let create_blob t ~from ~capacity =
+  let info =
+    Version_manager.create_blob t.vm ~from ~capacity ~stripe_size:t.params.stripe_size
+  in
+  { service = t; info }
+
+let open_blob t ~from ~id =
+  Net.message t.net ~src:from ~dst:from;
+  { service = t; info = Version_manager.blob_info t.vm id }
+
+let blob_id b = b.info.Version_manager.blob_id
+let capacity b = b.info.Version_manager.capacity
+let stripe_size b = b.info.Version_manager.stripe_size
+let service b = b.service
+let latest_version b ~from = Version_manager.latest b.service.vm ~from (blob_id b)
+let versions b = Version_manager.versions b.service.vm ~blob:(blob_id b)
+
+(* Extent of chunk [i]: the last chunk of a blob may be shorter than the
+   stripe. Stored chunks are always exactly extent-sized. *)
+let chunk_extent b i =
+  let stripe = stripe_size b in
+  min (capacity b) ((i + 1) * stripe) - (i * stripe)
+
+let log2_ceil n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+let total_chunks b = Size.div_ceil (capacity b) (stripe_size b)
+
+let fetch_tree b ~from ~version =
+  let t = b.service in
+  let tree = Version_manager.get_tree t.vm ~from ~blob:(blob_id b) ~version in
+  tree
+
+(* Pick the replica to read a chunk from: prefer one whose provider runs on
+   the reading host (free network), otherwise the first live one. *)
+let choose_replica t ~from (desc : Types.chunk_desc) =
+  let live =
+    List.filter
+      (fun (r : Types.replica) -> Data_provider.is_alive (data_provider t r.provider))
+      desc.replicas
+  in
+  match
+    List.find_opt
+      (fun (r : Types.replica) ->
+        Data_provider.host (data_provider t r.provider) == from)
+      live
+  with
+  | Some r -> Some r
+  | None -> ( match live with r :: _ -> Some r | [] -> None)
+
+let read_chunk_payload b ~from (desc : Types.chunk_desc) =
+  let t = b.service in
+  match choose_replica t ~from desc with
+  | None -> raise (Types.Provider_down "all replicas lost")
+  | Some r -> Data_provider.read_chunk (data_provider t r.provider) ~to_:from r.chunk
+
+(* Content that chunk [i] of [tree] currently holds (zeros if unwritten). *)
+let current_chunk_content b ~from tree i =
+  match Segment_tree.get tree i with
+  | None -> Payload.zero (chunk_extent b i)
+  | Some desc -> read_chunk_payload b ~from desc
+
+let read b ~from ~version ~offset ~len =
+  if offset < 0 || len < 0 || offset + len > capacity b then
+    invalid_arg "Client.read: range out of bounds";
+  let t = b.service in
+  let tree = fetch_tree b ~from ~version in
+  if len = 0 then Payload.zero 0
+  else begin
+    let stripe = stripe_size b in
+    let first = offset / stripe and last = (offset + len - 1) / stripe in
+    let count = last - first + 1 in
+    (* Metadata path: the client walks ~count leaves plus the path down. *)
+    Metadata_service.fetch_nodes t.md ~to_:from (count + log2_ceil (total_chunks b));
+    let chunk_indices = List.init count (fun k -> first + k) in
+    let parts =
+      Parallel.map_windowed t.engine ~window:t.params.read_window
+        (fun i -> current_chunk_content b ~from tree i)
+        chunk_indices
+    in
+    let whole = Payload.concat parts in
+    Payload.sub whole ~pos:(offset - (first * stripe)) ~len
+  end
+
+(* [overlay base ~at patch] splices [patch] over [base] at offset [at]. *)
+let overlay base ~at patch =
+  let plen = Payload.length patch in
+  Payload.concat
+    [
+      Payload.sub base ~pos:0 ~len:at;
+      patch;
+      Payload.sub base ~pos:(at + plen) ~len:(Payload.length base - at - plen);
+    ]
+
+let write_multi b ~from ?base runs =
+  let t = b.service in
+  List.iter
+    (fun (offset, payload) ->
+      if offset < 0 || offset + Payload.length payload > capacity b then
+        invalid_arg "Client.write: range out of bounds")
+    runs;
+  let sorted = List.sort (fun (a, _) (c, _) -> compare a c) runs in
+  let rec check_overlap = function
+    | (o1, p1) :: ((o2, _) :: _ as rest) ->
+        if o1 + Payload.length p1 > o2 then invalid_arg "Client.write_multi: overlapping runs";
+        check_overlap rest
+    | _ -> ()
+  in
+  check_overlap sorted;
+  let base = match base with Some v -> v | None -> latest_version b ~from in
+  let base_tree = fetch_tree b ~from ~version:base in
+  let stripe = stripe_size b in
+  (* Collect, per touched chunk, the list of (chunk-relative offset, slice)
+     patches across all runs. *)
+  let patches : (int, (int * Payload.t) list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (offset, payload) ->
+      let len = Payload.length payload in
+      if len > 0 then begin
+        let first = offset / stripe and last = (offset + len - 1) / stripe in
+        for i = first to last do
+          let cstart = i * stripe in
+          let extent = chunk_extent b i in
+          let wstart = max cstart offset and wend = min (cstart + extent) (offset + len) in
+          let slice = Payload.sub payload ~pos:(wstart - offset) ~len:(wend - wstart) in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt patches i) in
+          Hashtbl.replace patches i ((wstart - cstart, slice) :: prev)
+        done
+      end)
+    sorted;
+  let chunk_ids = Hashtbl.fold (fun i _ acc -> i :: acc) patches [] |> List.sort compare in
+  if chunk_ids = [] then
+    Version_manager.publish t.vm ~from ~blob:(blob_id b) ~base base_tree
+  else begin
+    let count = List.length chunk_ids in
+    let placements =
+      Provider_manager.allocate t.pm ~from ~count ~replication:t.params.replication
+    in
+    let content_for i =
+      let extent = chunk_extent b i in
+      let segs = List.rev (Hashtbl.find patches i) in
+      match segs with
+      | [ (0, p) ] when Payload.length p = extent -> p
+      | segs ->
+          let old = current_chunk_content b ~from base_tree i in
+          List.fold_left (fun acc (at, patch) -> overlay acc ~at patch) old segs
+    in
+    let descs = Hashtbl.create count in
+    let write_chunk i placement () =
+      let content = content_for i in
+      let store provider_index =
+        let provider = data_provider t provider_index in
+        let chunk = Data_provider.write_chunk provider ~from content in
+        ({ provider = provider_index; chunk } : Types.replica)
+      in
+      (* Replicas of one chunk are written in parallel to distinct
+         providers. *)
+      let replicas =
+        Parallel.map_windowed t.engine ~window:(List.length placement) store placement
+      in
+      Hashtbl.replace descs i { Types.size = Payload.length content; replicas }
+    in
+    Parallel.windowed t.engine ~window:t.params.write_window
+      (List.map2 write_chunk chunk_ids placements);
+    (* Fold the descriptors into the tree, one set_range per contiguous
+       range of touched chunks. *)
+    let rec ranges = function
+      | [] -> []
+      | i :: rest ->
+          let rec extend j = function
+            | k :: more when k = j + 1 -> extend k more
+            | more -> (j, more)
+          in
+          let j, more = extend i rest in
+          (i, j) :: ranges more
+    in
+    let tree, created =
+      List.fold_left
+        (fun (tree, created) (lo, hi) ->
+          let leaves = Array.init (hi - lo + 1) (fun k -> Some (Hashtbl.find descs (lo + k))) in
+          let tree, c = Segment_tree.set_range tree ~start:lo leaves in
+          (tree, created + c))
+        (base_tree, 0) (ranges chunk_ids)
+    in
+    Metadata_service.commit_nodes t.md ~from created;
+    Version_manager.publish t.vm ~from ~blob:(blob_id b) ~base tree
+  end
+
+let write b ~from ?base ~offset payload = write_multi b ~from ?base [ (offset, payload) ]
+
+let clone b ~from ~version =
+  let t = b.service in
+  let info = Version_manager.clone t.vm ~from ~blob:(blob_id b) ~version in
+  { service = t; info }
+
+let tree b ~version =
+  match
+    List.find_opt (fun v -> v = version) (versions b)
+  with
+  | None -> raise Not_found
+  | Some _ ->
+      (* Direct metadata access, free of simulated cost. *)
+      let t = b.service in
+      let find () =
+        let result = ref None in
+        Version_manager.iter_live_trees t.vm (fun ~blob ~version:v tr ->
+            if blob = blob_id b && v = version then result := Some tr);
+        Option.get !result
+      in
+      find ()
+
+let version_bytes b ~version =
+  let tr = tree b ~version in
+  Segment_tree.fold_set (fun _ (desc : Types.chunk_desc) acc -> acc + desc.size) tr 0
+
+let read_chunk b ~from ~version ~chunk =
+  let t = b.service in
+  if chunk < 0 || chunk >= total_chunks b then invalid_arg "Client.read_chunk";
+  let tr = fetch_tree b ~from ~version in
+  Metadata_service.fetch_nodes t.md ~to_:from (1 + log2_ceil (total_chunks b));
+  current_chunk_content b ~from tr chunk
+
+let chunk_identity b ~version ~chunk =
+  let tr = tree b ~version in
+  match Segment_tree.get tr chunk with
+  | None -> None
+  | Some (desc : Types.chunk_desc) -> (
+      match desc.replicas with
+      | { provider; chunk = id } :: _ -> Some (provider, id)
+      | [] -> None)
+
+let chunk_host b ~version ~chunk =
+  match chunk_identity b ~version ~chunk with
+  | None -> None
+  | Some (provider, _) -> Some (Data_provider.host (data_provider b.service provider))
+
+let delta_bytes b ~base ~version =
+  let old_tree = tree b ~version:base in
+  let new_tree = tree b ~version in
+  List.fold_left
+    (fun acc (_, _, fresh) ->
+      match (fresh : Types.chunk_desc option) with
+      | Some desc -> acc + desc.size
+      | None -> acc)
+    0
+    (Segment_tree.diff_leaves old_tree new_tree)
+
+let distinct_bytes b =
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun version ->
+      let tr = tree b ~version in
+      Segment_tree.fold_set
+        (fun _ (desc : Types.chunk_desc) () ->
+          List.iter
+            (fun (r : Types.replica) -> Hashtbl.replace seen (r.provider, r.chunk) desc.size)
+            desc.replicas)
+        tr ())
+    (versions b);
+  Hashtbl.fold (fun _ size acc -> acc + size) seen 0

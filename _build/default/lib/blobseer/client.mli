@@ -1,0 +1,107 @@
+(** BlobSeer deployment and client-side BLOB API.
+
+    A deployment aggregates one version manager, one provider manager, a
+    pool of metadata providers and a data provider on (typically) every
+    compute node. Clients manipulate BLOBs — large flat byte spaces stored
+    striped across the data providers — with versioning semantics:
+
+    - {!write} never overwrites: it stores new chunks and publishes a new
+      snapshot version whose metadata shares everything untouched with its
+      base ({e shadowing});
+    - {!clone} forks a BLOB from any snapshot without copying data;
+    - {!read} addresses any published version, forever immutable.
+
+    All operations block the calling fiber for the simulated cost of the
+    network transfers, disk I/O and service queueing they cause. *)
+
+open Simcore
+open Netsim
+open Storage
+
+type t
+type blob
+
+val deploy :
+  Engine.t ->
+  Net.t ->
+  ?params:Types.params ->
+  version_manager_host:Net.host ->
+  provider_manager_host:Net.host ->
+  metadata_hosts:Net.host list ->
+  data_providers:(Net.host * Disk.t) list ->
+  unit ->
+  t
+(** Stand up a BlobSeer service. [data_providers] associates each provider
+    with the host it runs on and the local disk it stores chunks on. *)
+
+val engine : t -> Engine.t
+val net : t -> Net.t
+val params : t -> Types.params
+val provider_count : t -> int
+val data_provider : t -> int -> Data_provider.t
+val data_providers : t -> Data_provider.t array
+val version_manager : t -> Version_manager.t
+
+val repository_bytes : t -> int
+(** Physical bytes held across all data providers — the storage-space
+    metric of the paper's Figures 4 and 5(b). *)
+
+(** {1 BLOB operations} *)
+
+val create_blob : t -> from:Net.host -> capacity:int -> blob
+val open_blob : t -> from:Net.host -> id:int -> blob
+val blob_id : blob -> int
+val capacity : blob -> int
+val stripe_size : blob -> int
+val service : blob -> t
+
+val latest_version : blob -> from:Net.host -> int
+val versions : blob -> int list
+
+val write : blob -> from:Net.host -> ?base:int -> offset:int -> Payload.t -> int
+(** [write blob ~from ~offset payload] stores the payload (striped,
+    replicated, in parallel up to the client window) as a snapshot derived
+    from [base] (default: current latest) and returns the new version
+    number. Partial-stripe updates read–modify–write the affected chunks.
+    Raises [Invalid_argument] when the range exceeds the blob capacity. *)
+
+val read : blob -> from:Net.host -> version:int -> offset:int -> len:int -> Payload.t
+(** Never-written ranges read as zeros. Prefers a chunk replica hosted on
+    [from] (a local read costs no network). Raises
+    {!Types.Provider_down} when all replicas of a needed chunk are dead. *)
+
+val write_multi : blob -> from:Net.host -> ?base:int -> (int * Payload.t) list -> int
+(** [write_multi blob ~from runs] stores several discontiguous
+    [(offset, payload)] runs and publishes them as a {e single} new
+    version — the mirroring module's [COMMIT]: one incremental snapshot no
+    matter how scattered the dirty chunks are. Runs must not overlap. *)
+
+val read_chunk : blob -> from:Net.host -> version:int -> chunk:int -> Payload.t
+(** Fetch exactly one chunk (zeros if unwritten); chunk-granular metadata
+    cost. *)
+
+val chunk_identity : blob -> version:int -> chunk:int -> (int * int) option
+(** Physical identity [(provider, chunk_id)] of the primary replica, or
+    [None] for unwritten chunks. Cost-free metadata peek used to coalesce
+    fetches of chunks shared between snapshots (adaptive prefetching). *)
+
+val chunk_host : blob -> version:int -> chunk:int -> Net.host option
+(** Host of the primary replica's provider. Cost-free. *)
+
+val clone : blob -> from:Net.host -> version:int -> blob
+(** Zero-copy fork (the mirroring module's [CLONE] primitive). *)
+
+val version_bytes : blob -> version:int -> int
+(** Logical bytes referenced by a snapshot (sum of its chunk sizes). *)
+
+val delta_bytes : blob -> base:int -> version:int -> int
+(** Bytes of chunks that [version] does not share with [base] — the
+    incremental size of a snapshot. Cost-free metadata computation. *)
+
+val distinct_bytes : blob -> int
+(** Physical bytes consumed by all versions of this blob together,
+    counting shared chunks once — what incremental snapshotting saves. *)
+
+val tree : blob -> version:int -> Version_manager.tree
+(** The snapshot's metadata root (used by the garbage collector and by
+    white-box tests). Free of simulated cost. *)

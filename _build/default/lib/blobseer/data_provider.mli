@@ -1,0 +1,48 @@
+(** BlobSeer data provider: stores chunks on the local disk of a compute
+    node and serves them over the network. *)
+
+open Simcore
+open Netsim
+open Storage
+
+type t
+
+val create :
+  Engine.t ->
+  Net.t ->
+  host:Net.host ->
+  disk:Disk.t ->
+  ?request_overhead:float ->
+  name:string ->
+  unit ->
+  t
+
+val name : t -> string
+val host : t -> Net.host
+val disk : t -> Disk.t
+val store : t -> Content_store.t
+
+val is_alive : t -> bool
+
+val fail : t -> unit
+(** Fail-stop: the provider stops serving and its locally stored data is
+    considered lost (the paper's failure model). *)
+
+val recover : t -> unit
+(** Bring the provider back empty (a replacement node). *)
+
+val write_chunk : t -> from:Net.host -> Payload.t -> Content_store.chunk_id
+(** Ship the payload from [from] to the provider and persist it. Blocks for
+    network transfer, service overhead and disk write.
+    Raises {!Types.Provider_down} if the provider is dead. *)
+
+val read_chunk : t -> to_:Net.host -> Content_store.chunk_id -> Payload.t
+(** Fetch a chunk back to [to_]. Raises {!Types.Provider_down} if dead, and
+    [Not_found] if the chunk id is unknown. *)
+
+val delete_chunk : t -> Content_store.chunk_id -> unit
+(** Drop one reference; frees disk space when the chunk dies. No service
+    cost is charged (reclamation is a background activity). *)
+
+val chunk_count : t -> int
+val stored_bytes : t -> int

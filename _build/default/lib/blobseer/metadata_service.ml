@@ -1,0 +1,77 @@
+open Simcore
+open Netsim
+
+type provider = { mhost : Net.host; server : Rate_server.t }
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  providers : provider array;
+  node_bytes : int;
+  mutable cursor : int;
+  mutable stored : int;
+}
+
+let create engine net ~hosts ?(node_bytes = Types.default_params.metadata_node_bytes)
+    ?(node_cost = Types.default_params.metadata_node_cost) () =
+  if hosts = [] then invalid_arg "Metadata_service.create: no hosts";
+  let mk i mhost =
+    {
+      mhost;
+      server =
+        Rate_server.create engine ~rate:1e12 ~per_op:node_cost
+          ~name:(Fmt.str "metadata.%d" i) ();
+    }
+  in
+  {
+    engine;
+    net;
+    providers = Array.of_list (List.mapi mk hosts);
+    node_bytes;
+    cursor = 0;
+    stored = 0;
+  }
+
+let provider_count t = Array.length t.providers
+
+(* Spread [n] nodes over the providers starting at the rotating cursor, so
+   successive small commits do not all hit provider 0. Each provider's batch
+   is shipped and served in parallel; per-node cost is charged through the
+   provider's serial service queue. *)
+let spread t n =
+  let m = Array.length t.providers in
+  let base = n / m and extra = n mod m in
+  let start = t.cursor in
+  t.cursor <- (t.cursor + 1) mod m;
+  List.filter_map
+    (fun i ->
+      let count = base + if i < extra then 1 else 0 in
+      if count = 0 then None else Some (t.providers.((start + i) mod m), count))
+    (List.init m Fun.id)
+
+let run_batches t ~client ~towards_provider batches =
+  let task (provider, count) () =
+    let bytes = count * t.node_bytes in
+    if towards_provider then begin
+      Net.transfer t.net ~src:client ~dst:provider.mhost bytes;
+      Rate_server.process_many provider.server ~ops:count 0
+    end
+    else begin
+      Rate_server.process_many provider.server ~ops:count 0;
+      Net.transfer t.net ~src:provider.mhost ~dst:client bytes
+    end
+  in
+  Engine.all t.engine ~name:"metadata.batch" (List.map task batches)
+
+let commit_nodes t ~from n =
+  if n < 0 then invalid_arg "Metadata_service.commit_nodes";
+  if n > 0 then begin
+    run_batches t ~client:from ~towards_provider:true (spread t n);
+    t.stored <- t.stored + n
+  end
+
+let fetch_nodes t ~to_ n =
+  if n < 0 then invalid_arg "Metadata_service.fetch_nodes";
+  if n > 0 then run_batches t ~client:to_ ~towards_provider:false (spread t n)
+
+let nodes_stored t = t.stored

@@ -1,0 +1,36 @@
+(** Decentralized metadata provider pool.
+
+    BlobSeer distributes segment-tree nodes across many metadata providers
+    (the evaluation deploys 20), so metadata traffic scales out instead of
+    funnelling through one server. Tree nodes themselves live in process
+    memory in this reproduction; the service models the {e cost} of shipping
+    and serving node batches, which is what differentiates BlobSeer from a
+    centralized-metadata file system under checkpoint storms. *)
+
+open Simcore
+open Netsim
+
+type t
+
+val create :
+  Engine.t ->
+  Net.t ->
+  hosts:Net.host list ->
+  ?node_bytes:int ->
+  ?node_cost:float ->
+  unit ->
+  t
+(** One metadata provider per host. Requires a non-empty host list. *)
+
+val provider_count : t -> int
+
+val commit_nodes : t -> from:Net.host -> int -> unit
+(** [commit_nodes t ~from n] ships [n] freshly created tree nodes from the
+    client at [from], spread evenly over the providers and processed in
+    parallel. Blocks until all batches are acknowledged. *)
+
+val fetch_nodes : t -> to_:Net.host -> int -> unit
+(** Symmetric read path: retrieve [n] nodes to the client. *)
+
+val nodes_stored : t -> int
+(** Total nodes committed so far (capacity accounting). *)

@@ -1,0 +1,70 @@
+open Simcore
+open Netsim
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  host : Net.host;
+  server : Rate_server.t;
+  mutable provider_list : Data_provider.t list; (* newest first *)
+  mutable table : Data_provider.t array;
+  mutable cursor : int;
+}
+
+let create engine net ~host ?(allocate_cost = Types.default_params.allocate_cost) () =
+  {
+    engine;
+    net;
+    host;
+    server = Rate_server.create engine ~rate:1e12 ~per_op:allocate_cost ~name:"pmanager" ();
+    provider_list = [];
+    table = [||];
+    cursor = 0;
+  }
+
+let register t provider =
+  t.provider_list <- provider :: t.provider_list;
+  t.table <- Array.of_list (List.rev t.provider_list)
+
+let provider_count t = Array.length t.table
+let providers t = t.table
+let provider t i = t.table.(i)
+
+let index_of t provider =
+  let rec find i =
+    if i >= Array.length t.table then raise Not_found
+    else if t.table.(i) == provider then i
+    else find (i + 1)
+  in
+  find 0
+
+let allocate t ~from ~count ~replication =
+  if count < 0 || replication < 1 then invalid_arg "Provider_manager.allocate";
+  Net.message t.net ~src:from ~dst:t.host;
+  Rate_server.process_many t.server ~ops:count 0;
+  let n = Array.length t.table in
+  let live = Array.to_list t.table |> List.filter Data_provider.is_alive |> List.length in
+  if live < replication then raise (Types.Provider_down "not enough live providers");
+  let next_live () =
+    let rec go tries =
+      if tries > n then raise (Types.Provider_down "no live provider")
+      else begin
+        let i = t.cursor in
+        t.cursor <- (t.cursor + 1) mod n;
+        if Data_provider.is_alive t.table.(i) then i else go (tries + 1)
+      end
+    in
+    go 0
+  in
+  let placement_for_chunk () =
+    let rec pick acc k =
+      if k = 0 then List.rev acc
+      else
+        let i = next_live () in
+        if List.mem i acc then pick acc k else pick (i :: acc) (k - 1)
+    in
+    pick [] replication
+  in
+  let placements = List.init count (fun _ -> placement_for_chunk ()) in
+  Net.message t.net ~src:t.host ~dst:from;
+  placements

@@ -1,0 +1,29 @@
+(** Provider manager: allocates data providers for new chunk writes.
+
+    One instance per BlobSeer deployment; clients contact it once per write
+    to obtain a placement for every chunk of the write. Placement is
+    round-robin over live providers (which evens out the write load across
+    local disks — design principle 3.1.1), with replicas of the same chunk
+    on distinct providers. *)
+
+open Simcore
+open Netsim
+
+type t
+
+val create : Engine.t -> Net.t -> host:Net.host -> ?allocate_cost:float -> unit -> t
+val register : t -> Data_provider.t -> unit
+val provider_count : t -> int
+val providers : t -> Data_provider.t array
+
+val provider : t -> int -> Data_provider.t
+(** Lookup by index (as stored in {!Types.replica}). *)
+
+val index_of : t -> Data_provider.t -> int
+
+val allocate : t -> from:Net.host -> count:int -> replication:int -> int list list
+(** [allocate t ~from ~count ~replication] returns, for each of [count]
+    chunks, the indices of [replication] distinct live providers to write
+    to. Blocks for the control round-trip and per-chunk allocation cost.
+    Raises {!Types.Provider_down} when fewer than [replication] providers
+    are alive. *)

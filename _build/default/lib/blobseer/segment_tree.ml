@@ -1,0 +1,153 @@
+type 'a node =
+  | Empty of { espan : int }
+  | Leaf of { id : int; value : 'a }
+  | Branch of { id : int; span : int; left : 'a node; right : 'a node }
+
+type 'a t = { chunks : int; root : 'a node }
+
+let next_id = ref 0
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+let span = function
+  | Empty { espan } -> espan
+  | Leaf _ -> 1
+  | Branch { span; _ } -> span
+
+(* Canonical empty nodes, shared across all trees, so untouched space costs
+   no metadata. *)
+let empty_table : (int, Obj.t) Hashtbl.t = Hashtbl.create 64
+
+let empty_node espan : 'a node =
+  match Hashtbl.find_opt empty_table espan with
+  | Some node -> (Obj.obj node : 'a node)
+  | None ->
+      let node = Empty { espan } in
+      Hashtbl.add empty_table espan (Obj.repr node);
+      node
+
+let rec pow2_ge n = if n <= 1 then 1 else 2 * pow2_ge ((n + 1) / 2)
+
+let create ~chunks =
+  if chunks < 1 then invalid_arg "Segment_tree.create: chunks must be >= 1";
+  { chunks; root = empty_node (pow2_ge chunks) }
+
+let chunks t = t.chunks
+
+let get t i =
+  if i < 0 || i >= t.chunks then invalid_arg "Segment_tree.get: index out of range";
+  let rec go node i =
+    match node with
+    | Empty _ -> None
+    | Leaf { value; _ } -> Some value
+    | Branch { left; right; _ } ->
+        let half = span left in
+        if i < half then go left i else go right (i - half)
+  in
+  go t.root i
+
+let get_range t ~start ~len =
+  if start < 0 || len < 0 || start + len > t.chunks then
+    invalid_arg "Segment_tree.get_range";
+  Array.init len (fun k -> get t (start + k))
+
+let set_range t ~start leaves =
+  let len = Array.length leaves in
+  if start < 0 || start + len > t.chunks then invalid_arg "Segment_tree.set_range";
+  if len = 0 then (t, 0)
+  else begin
+    let created = ref 0 in
+    let alloc_leaf value =
+      incr created;
+      Leaf { id = fresh_id (); value }
+    in
+    let alloc_branch span left right =
+      incr created;
+      Branch { id = fresh_id (); span; left; right }
+    in
+    (* [update node lo] rewrites the subtree covering [lo, lo + span node). *)
+    let rec update node lo =
+      let sp = span node in
+      if start + len <= lo || lo + sp <= start then node
+      else if sp = 1 then (
+        match leaves.(lo - start) with
+        | Some value -> alloc_leaf value
+        | None -> empty_node 1)
+      else
+        let left, right =
+          match node with
+          | Branch { left; right; _ } -> (left, right)
+          | Empty _ -> (empty_node (sp / 2), empty_node (sp / 2))
+          | Leaf _ -> assert false
+        in
+        let left' = update left lo in
+        let right' = update right (lo + (sp / 2)) in
+        if left' == left && right' == right then node
+        else (
+          match (left', right') with
+          | Empty _, Empty _ -> empty_node sp
+          | _ -> alloc_branch sp left' right')
+    in
+    let root = update t.root 0 in
+    ({ t with root }, !created)
+  end
+
+let fold_set f t init =
+  let rec go node lo acc =
+    match node with
+    | Empty _ -> acc
+    | Leaf { value; _ } -> if lo < t.chunks then f lo value acc else acc
+    | Branch { left; right; _ } ->
+        let half = span left in
+        go right (lo + half) (go left lo acc)
+  in
+  go t.root 0 init
+
+let node_ids t =
+  let ids = Hashtbl.create 64 in
+  let rec go node =
+    match node with
+    | Empty _ -> ()
+    | Leaf { id; _ } -> Hashtbl.replace ids id ()
+    | Branch { id; left; right; _ } ->
+        if not (Hashtbl.mem ids id) then begin
+          Hashtbl.replace ids id ();
+          go left;
+          go right
+        end
+  in
+  go t.root;
+  ids
+
+let live_nodes t = Hashtbl.length (node_ids t)
+
+let shared_nodes a b =
+  let ids_a = node_ids a in
+  let ids_b = node_ids b in
+  Hashtbl.fold (fun id () acc -> if Hashtbl.mem ids_a id then acc + 1 else acc) ids_b 0
+
+let diff_leaves a b =
+  if a.chunks <> b.chunks then invalid_arg "Segment_tree.diff_leaves: shape mismatch";
+  let leaf_opt node = match node with Leaf { value; _ } -> Some value | _ -> None in
+  let rec go na nb lo acc =
+    if na == nb then acc
+    else
+      match (na, nb) with
+      | (Empty _ | Leaf _), (Empty _ | Leaf _) ->
+          assert (span na = 1 && span nb = 1);
+          let va = leaf_opt na and vb = leaf_opt nb in
+          if va = vb || lo >= a.chunks then acc else (lo, va, vb) :: acc
+      | _ ->
+          let sp = max (span na) (span nb) in
+          let split node =
+            match node with
+            | Branch { left; right; _ } -> (left, right)
+            | Empty _ -> (empty_node (sp / 2), empty_node (sp / 2))
+            | Leaf _ -> assert false
+          in
+          let la, ra = split na and lb, rb = split nb in
+          go ra rb (lo + (sp / 2)) (go la lb lo acc)
+  in
+  List.rev (go a.root b.root 0 [])

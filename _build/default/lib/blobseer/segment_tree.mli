@@ -1,0 +1,50 @@
+(** Persistent segment trees over a blob's chunk space.
+
+    This is BlobSeer's versioning metadata structure: the offset space of a
+    BLOB is divided into fixed-size chunks, and each snapshot version is the
+    root of a balanced binary tree whose leaves describe the chunk stored
+    for that range (or nothing, for never-written ranges). Updating a range
+    rebuilds only the paths from the affected leaves to the root, so
+    successive versions share all untouched subtrees — this is what the
+    paper calls {e shadowing}, and what makes incremental disk-image
+    snapshots cheap in both space and metadata traffic.
+
+    The structure is polymorphic in the leaf descriptor so it can be tested
+    in isolation; BlobSeer instantiates it with chunk locations. *)
+
+type 'a t
+
+val create : chunks:int -> 'a t
+(** A tree over [chunks] leaves, all initially empty. Requires
+    [chunks >= 1]. *)
+
+val chunks : 'a t -> int
+(** Number of addressable leaves. *)
+
+val get : 'a t -> int -> 'a option
+(** [get t i] is the descriptor at leaf [i], if ever set in this version's
+    history. Requires [0 <= i < chunks t]. *)
+
+val get_range : 'a t -> start:int -> len:int -> 'a option array
+
+val set_range : 'a t -> start:int -> 'a option array -> 'a t * int
+(** [set_range t ~start leaves] is a new version with
+    [leaves.(k)] at position [start + k] (a [None] entry punches the leaf
+    back to empty), together with the number of fresh tree nodes the update
+    allocated — the amount of metadata a commit must push to the metadata
+    providers. The original tree is unchanged. *)
+
+val fold_set : (int -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+(** Fold over all non-empty leaves in increasing index order. *)
+
+val live_nodes : 'a t -> int
+(** Number of distinct nodes reachable from this root (for sharing
+    diagnostics and metadata accounting). *)
+
+val shared_nodes : 'a t -> 'a t -> int
+(** Number of physically shared nodes between two versions — evidence of
+    shadowing in tests. *)
+
+val diff_leaves : 'a t -> 'a t -> (int * 'a option * 'a option) list
+(** [(i, in_old, in_new)] for every leaf whose descriptor differs, cheap on
+    shared subtrees (O(changed · log n)). *)

@@ -1,0 +1,39 @@
+(** Shared BlobSeer datatypes. *)
+
+(** One stored copy of a chunk: which data provider holds it, under which
+    content-store id. *)
+type replica = { provider : int; chunk : Storage.Content_store.chunk_id }
+
+(** Descriptor stored in segment-tree leaves: where the chunk for this
+    stripe lives and how many bytes of it are meaningful. *)
+type chunk_desc = { size : int; replicas : replica list }
+
+(** Tunable service parameters. Costs are in seconds, sizes in bytes. *)
+type params = {
+  stripe_size : int;  (** chunk granularity; the paper uses 256 KiB *)
+  replication : int;  (** copies per chunk, on distinct providers *)
+  write_window : int;  (** outstanding chunk writes per client *)
+  read_window : int;  (** outstanding chunk reads per client *)
+  request_overhead : float;  (** per-chunk service cost at a data provider *)
+  metadata_node_bytes : int;  (** wire size of one tree node *)
+  metadata_node_cost : float;  (** per-node service cost at a metadata provider *)
+  publish_cost : float;  (** serialized cost of one version publication *)
+  allocate_cost : float;  (** per-chunk cost at the provider manager *)
+}
+
+let default_params =
+  {
+    stripe_size = 256 * Simcore.Size.kib;
+    replication = 1;
+    write_window = 8;
+    read_window = 8;
+    request_overhead = 3e-4;
+    metadata_node_bytes = 64;
+    metadata_node_cost = 5e-5;
+    publish_cost = 1e-3;
+    allocate_cost = 2e-5;
+  }
+
+exception Provider_down of string
+(** Raised when an operation needs a data provider whose machine failed and
+    no live replica remains. *)

@@ -1,0 +1,107 @@
+open Simcore
+open Netsim
+
+type tree = Types.chunk_desc Segment_tree.t
+type blob_info = { blob_id : int; capacity : int; stripe_size : int }
+
+type blob_state = {
+  info : blob_info;
+  versions : (int, tree) Hashtbl.t;
+  mutable latest : int;
+}
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  host : Net.host;
+  server : Rate_server.t;
+  blobs : (int, blob_state) Hashtbl.t;
+  mutable next_blob : int;
+}
+
+let create engine net ~host ?(publish_cost = Types.default_params.publish_cost) () =
+  {
+    engine;
+    net;
+    host;
+    server = Rate_server.create engine ~rate:1e12 ~per_op:publish_cost ~name:"vmanager" ();
+    blobs = Hashtbl.create 64;
+    next_blob = 0;
+  }
+
+let chunk_count ~capacity ~stripe_size = Size.div_ceil capacity stripe_size
+
+let rpc t ~from f =
+  Net.message t.net ~src:from ~dst:t.host;
+  let result = f () in
+  Net.message t.net ~src:t.host ~dst:from;
+  result
+
+let register_blob t ~capacity ~stripe_size v0 =
+  if capacity <= 0 || stripe_size <= 0 then invalid_arg "Version_manager: bad blob shape";
+  let info = { blob_id = t.next_blob; capacity; stripe_size } in
+  t.next_blob <- t.next_blob + 1;
+  let versions = Hashtbl.create 16 in
+  Hashtbl.replace versions 0 v0;
+  Hashtbl.replace t.blobs info.blob_id { info; versions; latest = 0 };
+  info
+
+let create_blob t ~from ~capacity ~stripe_size =
+  rpc t ~from (fun () ->
+      let chunks = chunk_count ~capacity ~stripe_size in
+      register_blob t ~capacity ~stripe_size (Segment_tree.create ~chunks))
+
+let state t blob = Hashtbl.find t.blobs blob
+let blob_info t blob = (state t blob).info
+let blob_ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.blobs [] |> List.sort compare
+let latest t ~from blob = rpc t ~from (fun () -> (state t blob).latest)
+
+let get_tree t ~from ~blob ~version =
+  rpc t ~from (fun () -> Hashtbl.find (state t blob).versions version)
+
+(* Merge a stale-based update onto the current latest tree: every leaf the
+   writer changed relative to its base wins; everything else keeps the
+   latest content. *)
+let merge_onto ~latest_tree ~base_tree ~new_tree =
+  let changes = Segment_tree.diff_leaves base_tree new_tree in
+  List.fold_left
+    (fun acc (i, _old, fresh) ->
+      let tree, _created = Segment_tree.set_range acc ~start:i [| fresh |] in
+      tree)
+    latest_tree changes
+
+let publish t ~from ~blob ~base tree =
+  rpc t ~from (fun () ->
+      Rate_server.process t.server 0;
+      let st = state t blob in
+      let tree =
+        if base = st.latest then tree
+        else
+          let base_tree = Hashtbl.find st.versions base in
+          let latest_tree = Hashtbl.find st.versions st.latest in
+          merge_onto ~latest_tree ~base_tree ~new_tree:tree
+      in
+      let version = st.latest + 1 in
+      Hashtbl.replace st.versions version tree;
+      st.latest <- version;
+      version)
+
+let clone t ~from ~blob ~version =
+  rpc t ~from (fun () ->
+      Rate_server.process t.server 0;
+      let st = state t blob in
+      let snapshot = Hashtbl.find st.versions version in
+      register_blob t ~capacity:st.info.capacity ~stripe_size:st.info.stripe_size snapshot)
+
+let drop_version t ~blob ~version =
+  let st = state t blob in
+  Hashtbl.remove st.versions version
+
+let versions t ~blob =
+  let st = state t blob in
+  Hashtbl.fold (fun v _ acc -> v :: acc) st.versions [] |> List.sort compare
+
+let iter_live_trees t f =
+  Hashtbl.iter
+    (fun blob st -> Hashtbl.iter (fun version tree -> f ~blob ~version tree) st.versions)
+    t.blobs

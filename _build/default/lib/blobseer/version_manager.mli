@@ -1,0 +1,54 @@
+(** Version manager: the serialization point of BlobSeer.
+
+    Assigns version numbers to published snapshots and keeps, per BLOB, the
+    mapping version → segment-tree root. Publication is serialized (one at
+    a time) but cheap, which is how BlobSeer sustains many concurrent
+    writers: the heavy data and metadata traffic is decentralized and only
+    this small step funnels through one node.
+
+    Publication reconciles concurrent writers: a publish based on a stale
+    version is merged leaf-by-leaf onto the current latest tree, so
+    non-overlapping concurrent writes both survive. *)
+
+open Simcore
+open Netsim
+
+type t
+type tree = Types.chunk_desc Segment_tree.t
+
+type blob_info = { blob_id : int; capacity : int; stripe_size : int }
+
+val create : Engine.t -> Net.t -> host:Net.host -> ?publish_cost:float -> unit -> t
+
+val create_blob : t -> from:Net.host -> capacity:int -> stripe_size:int -> blob_info
+(** Registers a new BLOB whose version 0 is entirely unwritten. *)
+
+val blob_info : t -> int -> blob_info
+val blob_ids : t -> int list
+
+val latest : t -> from:Net.host -> int -> int
+(** Latest published version number of a blob (0 = empty initial version
+    unless the blob was cloned). *)
+
+val get_tree : t -> from:Net.host -> blob:int -> version:int -> tree
+(** Raises [Not_found] for unpublished versions. *)
+
+val publish : t -> from:Net.host -> blob:int -> base:int -> tree -> int
+(** [publish t ~from ~blob ~base tree] publishes a snapshot derived from
+    version [base] and returns its version number. If other versions were
+    published since [base], the update is merged onto the latest tree. *)
+
+val clone : t -> from:Net.host -> blob:int -> version:int -> blob_info
+(** New BLOB whose version 0 is the given snapshot of the source blob —
+    shares all chunks, diverges independently (design principle 3.1.3). *)
+
+val drop_version : t -> blob:int -> version:int -> unit
+(** Forget a version root (used by the garbage collector). Dropping the
+    latest version or version 0 of a blob is allowed; reads of dropped
+    versions raise [Not_found]. *)
+
+val versions : t -> blob:int -> int list
+(** Published (non-dropped) version numbers, ascending. *)
+
+val iter_live_trees : t -> (blob:int -> version:int -> tree -> unit) -> unit
+(** All live (blob, version) roots — the GC roots. *)

@@ -1,0 +1,1 @@
+lib/core/approach.ml: Blobseer Bytes Calibration Ckpt_proxy Client Cluster Engine Fmt Int64 List Marshal Mirror Option Payload Process Pvfs Qcow2 Simcore String Vdisk Vm Vmsim

@@ -1,0 +1,1 @@
+lib/core/approach.mli: Blobseer Ckpt_proxy Client Cluster Mirror Payload Qcow2 Simcore Vdisk Vm Vmsim

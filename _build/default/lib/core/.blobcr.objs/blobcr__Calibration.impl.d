@@ -1,0 +1,1 @@
+lib/core/calibration.ml: Blobseer Pvfs Simcore Size Vmsim

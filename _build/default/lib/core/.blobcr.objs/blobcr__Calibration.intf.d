@@ -1,0 +1,1 @@
+lib/core/calibration.mli: Blobseer Pvfs Vmsim

@@ -1,0 +1,1 @@
+lib/core/ckpt_proxy.ml: Calibration Cluster Engine Fmt Netsim Simcore Trace Vmsim

@@ -1,0 +1,1 @@
+lib/core/ckpt_proxy.mli: Cluster Vmsim

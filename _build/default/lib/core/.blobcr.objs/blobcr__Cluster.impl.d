@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Blobseer Calibration Client Disk Engine Fmt List Net Netsim Option Payload Prefetch Pvfs Simcore Storage Vdisk

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Blobseer Calibration Client Disk Engine Net Netsim Prefetch Pvfs Simcore Storage Vdisk

@@ -1,0 +1,1 @@
+lib/core/gc.ml: Array Blobseer Client Content_store Data_provider Hashtbl List Option Segment_tree Simcore Storage Types Version_manager

@@ -1,0 +1,1 @@
+lib/core/gc.mli: Blobseer Client Hashtbl

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Approach Array Cluster Engine List Option Simcore

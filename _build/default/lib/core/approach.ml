@@ -1,0 +1,190 @@
+open Simcore
+open Blobseer
+open Vdisk
+open Vmsim
+
+type kind = Blobcr | Qcow2_disk | Qcow2_full
+
+let kind_name = function
+  | Blobcr -> "blobcr"
+  | Qcow2_disk -> "qcow2-disk"
+  | Qcow2_full -> "qcow2-full"
+
+type stack = Mirror_stack of Mirror.t | Qcow2_stack of Qcow2.t
+
+type instance = {
+  id : string;
+  kind : kind;
+  node : Cluster.node;
+  vm : Vm.t;
+  stack : stack;
+  proxy : Ckpt_proxy.t;
+  mutable epoch : int;
+}
+
+type snapshot =
+  | Blobcr_snapshot of { image : Client.blob; version : int }
+  | Qcow2_snapshot of { remote : Qcow2.remote_image }
+  | Full_snapshot of { remote : Qcow2.remote_image; snapshot_name : string }
+
+(* ------------------------------------------------------------------ *)
+(* Full VM state serialization *)
+
+let vm_state_magic = "BLOBCRVM"
+
+let encode_vm_state vm =
+  let procs = List.map (fun p -> (Process.name p, Process.mem p)) (Vm.processes vm) in
+  let body = Marshal.to_bytes procs [] in
+  let header = Bytes.create 16 in
+  Bytes.blit_string vm_state_magic 0 header 0 8;
+  Bytes.set_int64_le header 8 (Int64.of_int (Bytes.length body));
+  let prefix = Payload.concat [ Payload.of_bytes header; Payload.of_bytes body ] in
+  let target = Vm.ram_state_bytes vm in
+  if Payload.length prefix >= target then prefix
+  else
+    Payload.concat [ prefix; Payload.pattern ~seed:0xFEEDL (target - Payload.length prefix) ]
+
+let decode_vm_state payload =
+  let header = Payload.to_string (Payload.sub payload ~pos:0 ~len:16) in
+  if String.sub header 0 8 <> vm_state_magic then failwith "decode_vm_state: bad magic";
+  let len = Int64.to_int (Bytes.get_int64_le (Bytes.of_string header) 8) in
+  let body = Payload.to_string (Payload.sub payload ~pos:16 ~len) in
+  (Marshal.from_string body 0 : (string * int) list)
+
+(* ------------------------------------------------------------------ *)
+(* Deployment *)
+
+let make_vm (cluster : Cluster.t) ~node ~device ~id =
+  Vm.create cluster.engine ~host:node.Cluster.host ~device ~ram:cluster.cal.guest_ram
+    ~os_ram_overhead:cluster.cal.os_ram_overhead ~boot:cluster.cal.boot ~name:id ()
+
+let make_stack (cluster : Cluster.t) kind ~node ~id ~base =
+  match kind with
+  | Blobcr ->
+      let blob, version =
+        match base with
+        | Some (Blobcr_snapshot { image; version }) -> (image, version)
+        | None -> (cluster.base_blob, cluster.base_version)
+        | Some _ -> invalid_arg "Approach: snapshot kind mismatch"
+      in
+      let prefetch =
+        if cluster.cal.Calibration.prefetch_enabled then Some cluster.prefetch else None
+      in
+      Mirror_stack
+        (Mirror.create cluster.engine ~host:node.Cluster.host ~local_disk:node.Cluster.disk
+           ~base:blob ~base_version:version ?prefetch ~name:(id ^ ".mirror") ())
+  | Qcow2_disk | Qcow2_full ->
+      let backing =
+        match base with
+        | Some (Qcow2_snapshot { remote }) -> Qcow2.Qcow2_remote remote
+        | Some (Full_snapshot { remote; snapshot_name }) ->
+            Qcow2.Qcow2_remote (Qcow2.remote_table_of_snapshot remote ~snapshot_name)
+        | None -> Qcow2.Raw_pvfs cluster.base_raw
+        | Some (Blobcr_snapshot _) -> invalid_arg "Approach: snapshot kind mismatch"
+      in
+      Qcow2_stack
+        (Qcow2.create cluster.engine ~host:node.Cluster.host ~local_disk:node.Cluster.disk
+           ~capacity:cluster.cal.image_capacity ~backing ~name:(id ^ ".qcow2") ())
+
+let device_of_stack = function
+  | Mirror_stack m -> Mirror.device m
+  | Qcow2_stack q -> Qcow2.device q
+
+let deploy cluster kind ~node ~id =
+  let stack = make_stack cluster kind ~node ~id ~base:None in
+  let vm = make_vm cluster ~node ~device:(device_of_stack stack) ~id in
+  Vm.boot vm ~format_fs:true;
+  { id; kind; node; vm; stack; proxy = Ckpt_proxy.create cluster ~node; epoch = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint *)
+
+let snapshot_path inst = Fmt.str "/snapshots/%s/%d" inst.id inst.epoch
+let full_snapshot_path inst = Fmt.str "/snapshots/%s/full" inst.id
+
+let request_checkpoint (cluster : Cluster.t) inst =
+  let take () =
+    match (inst.kind, inst.stack) with
+    | Blobcr, Mirror_stack mirror ->
+        (* CLONE (first time) + COMMIT through the mirroring module. *)
+        let version = Mirror.commit mirror in
+        Blobcr_snapshot { image = Option.get (Mirror.checkpoint_image mirror); version }
+    | Qcow2_disk, Qcow2_stack image ->
+        (* Copy the whole local image file to PVFS as a new file. *)
+        let remote =
+          Qcow2.export image cluster.pvfs ~from:inst.node.Cluster.host ~path:(snapshot_path inst)
+        in
+        Qcow2_snapshot { remote }
+    | Qcow2_full, Qcow2_stack image ->
+        (* savevm: full state into the image, then copy the image; only the
+           latest copy is kept (internal snapshots accumulate inside). *)
+        let snapshot_name = Fmt.str "ckpt%d" inst.epoch in
+        let state = encode_vm_state inst.vm in
+        (* QEMU serializes the VM state through a throttled channel. *)
+        Engine.sleep cluster.engine
+          (float_of_int (Payload.length state) /. cluster.cal.Calibration.savevm_rate);
+        Qcow2.savevm image ~snapshot_name ~vm_state:state;
+        let remote =
+          Qcow2.export image cluster.pvfs ~from:inst.node.Cluster.host
+            ~path:(full_snapshot_path inst)
+        in
+        Full_snapshot { remote; snapshot_name }
+    | _ -> invalid_arg "Approach.request_checkpoint: stack mismatch"
+  in
+  let snapshot = Ckpt_proxy.request_checkpoint inst.proxy ~vm:inst.vm ~snapshot:take in
+  inst.epoch <- inst.epoch + 1;
+  snapshot
+
+(* ------------------------------------------------------------------ *)
+(* Kill / restart *)
+
+let kill inst =
+  Vm.kill inst.vm;
+  match inst.stack with
+  | Mirror_stack m -> Mirror.drop_local_state m
+  | Qcow2_stack q -> Qcow2.drop_local q
+
+let restart (cluster : Cluster.t) ~node ~id snapshot =
+  match snapshot with
+  | Blobcr_snapshot _ | Qcow2_snapshot _ ->
+      let kind =
+        match snapshot with Blobcr_snapshot _ -> Blobcr | _ -> Qcow2_disk
+      in
+      let stack = make_stack cluster kind ~node ~id ~base:(Some snapshot) in
+      let vm = make_vm cluster ~node ~device:(device_of_stack stack) ~id in
+      (* Reboot the guest OS from the disk snapshot, then mount the
+         checkpointed file system. *)
+      Vm.boot vm ~format_fs:false;
+      { id; kind; node; vm; stack; proxy = Ckpt_proxy.create cluster ~node; epoch = 0 }
+  | Full_snapshot { remote; snapshot_name } ->
+      let stack = make_stack cluster Qcow2_full ~node ~id ~base:(Some snapshot) in
+      let vm = make_vm cluster ~node ~device:(device_of_stack stack) ~id in
+      (* Fetch the complete VM state from PVFS and resume — no reboot. The
+         hypervisor streams the state in small records, paying the request
+         path on each (this is what makes full-snapshot restarts slow). *)
+      let state =
+        Qcow2.remote_vm_state_streamed remote ~from:node.Cluster.host ~snapshot_name
+          ~record:cluster.cal.Calibration.loadvm_record
+      in
+      Vm.restore_running vm;
+      List.iter
+        (fun (name, mem) -> ignore (Vm.register_process vm ~name ~mem))
+        (decode_vm_state state);
+      { id; kind = Qcow2_full; node; vm; stack; proxy = Ckpt_proxy.create cluster ~node;
+        epoch = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Size accounting *)
+
+let snapshot_bytes = function
+  | Blobcr_snapshot { image; version } ->
+      (* Incremental: chunks this snapshot does not share with the previous
+         one (version 0 being the clone of the base image). *)
+      Client.delta_bytes image ~base:(version - 1) ~version
+  | Qcow2_snapshot { remote } | Full_snapshot { remote; _ } -> Qcow2.remote_file_size remote
+
+let storage_total (cluster : Cluster.t) =
+  let base_blob_bytes = Client.version_bytes cluster.base_blob ~version:cluster.base_version in
+  let base_raw_bytes = Pvfs.size cluster.base_raw in
+  Client.repository_bytes cluster.service + Pvfs.total_bytes cluster.pvfs
+  - base_blob_bytes - base_raw_bytes

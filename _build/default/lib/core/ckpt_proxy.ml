@@ -1,0 +1,42 @@
+open Simcore
+
+exception Not_local
+
+type t = {
+  cluster : Cluster.t;
+  pnode : Cluster.node;
+  mutable served : int;
+  mutable failed : int;
+}
+
+let create cluster ~node = { cluster; pnode = node; served = 0; failed = 0 }
+let node t = t.pnode
+
+let request_checkpoint t ~vm ~snapshot =
+  (* Authentication: only VM instances hosted on this compute node may
+     request checkpoints. *)
+  if not (Vmsim.Vm.host vm == t.pnode.Cluster.host) then raise Not_local;
+  (* Local REST round-trip. *)
+  Engine.sleep t.cluster.Cluster.engine t.cluster.Cluster.cal.Calibration.proxy_request_cost;
+  Vmsim.Vm.suspend vm;
+  let result =
+    try Ok (snapshot ()) with
+    | Engine.Cancelled as exn -> raise exn
+    | exn -> Error exn
+  in
+  (* The proxy resumes the VM regardless of the outcome and notifies the
+     guest of the result. *)
+  Vmsim.Vm.resume vm;
+  match result with
+  | Ok value ->
+      t.served <- t.served + 1;
+      Trace.emit t.cluster.Cluster.engine
+        ~component:(Fmt.str "proxy@%s" (Netsim.Net.host_name t.pnode.Cluster.host))
+        "checkpoint request served for %s" (Vmsim.Vm.name vm);
+      value
+  | Error exn ->
+      t.failed <- t.failed + 1;
+      raise exn
+
+let requests_served t = t.served
+let failures t = t.failed

@@ -1,0 +1,24 @@
+(** Checkpointing proxy.
+
+    One proxy runs on every compute node. A guest contacts it over a local
+    REST-ful request to ask for a snapshot of its virtual disk; the proxy
+    authenticates that the caller is hosted on this very node (it is not
+    globally accessible — Section 3.2), then suspends the VM, takes the
+    snapshot through a caller-supplied action (CLONE+COMMIT for BlobCR,
+    image export for qcow2), resumes the VM, and replies with the result.
+    The VM is resumed even when the snapshot action fails. *)
+
+type t
+
+exception Not_local
+(** Raised when a VM asks a proxy on a different node. *)
+
+val create : Cluster.t -> node:Cluster.node -> t
+val node : t -> Cluster.node
+
+val request_checkpoint : t -> vm:Vmsim.Vm.t -> snapshot:(unit -> 'a) -> 'a
+(** Full proxy cycle: authenticate, suspend, run [snapshot], resume.
+    Charges the local request round-trip. Must be called from a fiber. *)
+
+val requests_served : t -> int
+val failures : t -> int

@@ -1,0 +1,102 @@
+open Simcore
+open Netsim
+open Storage
+open Blobseer
+open Vdisk
+
+type node = { index : int; host : Net.host; disk : Disk.t }
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  cal : Calibration.t;
+  nodes : node array;
+  service : Client.t;
+  pvfs : Pvfs.t;
+  prefetch : Prefetch.t;
+  base_blob : Client.blob;
+  base_version : int;
+  base_raw : Pvfs.file;
+}
+
+(* The base image content: a deterministic pattern standing in for the
+   guest OS bytes (Debian root file system in the paper). *)
+let base_image_seed = 0xD3B1A7L
+
+let build ?(seed = 42) (cal : Calibration.t) =
+  let engine = Engine.create ~seed () in
+  let net =
+    Net.create engine
+      {
+        Net.bandwidth = cal.net_bandwidth;
+        latency = cal.net_latency;
+        segment_size = cal.net_segment;
+        fabric_bandwidth = None;
+      }
+  in
+  let mk_disk name =
+    Disk.create engine ~rate:cal.disk_rate ~per_op:cal.disk_per_op
+      ~capacity:cal.disk_capacity ~name ()
+  in
+  let nodes =
+    Array.init cal.compute_nodes (fun index ->
+        {
+          index;
+          host = Net.add_host net ~name:(Fmt.str "node%03d" index);
+          disk = mk_disk (Fmt.str "node%03d.disk" index);
+        })
+  in
+  (* Dedicated service nodes, as in the paper's deployment. *)
+  let vm_host = Net.add_host net ~name:"version-manager" in
+  let pm_host = Net.add_host net ~name:"provider-manager" in
+  let md_hosts =
+    List.init cal.metadata_providers (fun i ->
+        Net.add_host net ~name:(Fmt.str "metadata%02d" i))
+  in
+  let pvfs_md_host = Net.add_host net ~name:"pvfs-metadata" in
+  let service =
+    Client.deploy engine net ~params:cal.blobseer ~version_manager_host:vm_host
+      ~provider_manager_host:pm_host ~metadata_hosts:md_hosts
+      ~data_providers:(Array.to_list (Array.map (fun n -> (n.host, n.disk)) nodes))
+      ()
+  in
+  let pvfs =
+    Pvfs.deploy engine net ~params:cal.pvfs ~metadata_host:pvfs_md_host
+      ~io_servers:(Array.to_list (Array.map (fun n -> (n.host, n.disk)) nodes))
+      ()
+  in
+  let prefetch = Prefetch.create engine net () in
+  (* Upload the base image from a client host: once into the repository,
+     once into PVFS. *)
+  let client_host = Net.add_host net ~name:"cloud-client" in
+  let image = Payload.pattern ~seed:base_image_seed cal.image_capacity in
+  let uploaded = ref None in
+  let _ =
+    Engine.Fiber.spawn engine ~name:"image-upload" (fun () ->
+        let base_blob = Client.create_blob service ~from:client_host ~capacity:cal.image_capacity in
+        let base_version = Client.write base_blob ~from:client_host ~offset:0 image in
+        let base_raw = Pvfs.create pvfs ~from:client_host ~path:"/images/base.raw" in
+        Pvfs.write base_raw ~from:client_host ~offset:0 image;
+        uploaded := Some (base_blob, base_version, base_raw))
+  in
+  Engine.run engine;
+  let base_blob, base_version, base_raw = Option.get !uploaded in
+  { engine; net; cal; nodes; service; pvfs; prefetch; base_blob; base_version; base_raw }
+
+let node t i = t.nodes.(i)
+let node_count t = Array.length t.nodes
+
+let run t f =
+  let result = ref None in
+  let _ = Engine.Fiber.spawn t.engine ~name:"experiment" (fun () -> result := Some (f ())) in
+  (* Drive the engine until the driver finishes — not until the event queue
+     drains, because background guest activity (OS loggers) generates
+     events for as long as VMs are alive. *)
+  while !result = None && Engine.step t.engine do
+    ()
+  done;
+  match !result with
+  | Some r -> r
+  | None -> failwith "Cluster.run: driver did not complete (deadlock?)"
+
+let now t = Engine.now t.engine

@@ -1,0 +1,45 @@
+(** Experiment rig: an IaaS cloud in the shape of the paper's testbed.
+
+    Builds the simulated platform — compute nodes with local disks and a
+    shared network, the BlobSeer checkpoint repository aggregated from the
+    compute nodes' disks (Section 3.1.1), the PVFS deployment the baselines
+    use, dedicated service nodes (version manager, provider manager,
+    metadata providers, PVFS metadata server), the cooperative prefetcher,
+    and the base disk image uploaded both as a BLOB and as a raw PVFS
+    file. *)
+
+open Simcore
+open Netsim
+open Storage
+open Blobseer
+open Vdisk
+
+type node = { index : int; host : Net.host; disk : Disk.t }
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  cal : Calibration.t;
+  nodes : node array;  (** compute nodes *)
+  service : Client.t;  (** BlobSeer over the compute nodes *)
+  pvfs : Pvfs.t;  (** PVFS over the compute nodes *)
+  prefetch : Prefetch.t;
+  base_blob : Client.blob;
+  base_version : int;
+  base_raw : Pvfs.file;
+}
+
+val build : ?seed:int -> Calibration.t -> t
+(** Stand up the platform and upload the base image (simulated time
+    advances through the upload; experiments measure durations from their
+    own start stamps). *)
+
+val node : t -> int -> node
+val node_count : t -> int
+
+val run : t -> (unit -> 'a) -> 'a
+(** [run t f] executes [f] inside a fresh fiber and drives the engine until
+    the event queue drains; returns [f]'s result. The entry point every
+    experiment and example uses. *)
+
+val now : t -> float

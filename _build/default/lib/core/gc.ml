@@ -1,0 +1,59 @@
+open Storage
+open Blobseer
+
+type report = {
+  versions_dropped : int;
+  chunks_deleted : int;
+  bytes_reclaimed : int;
+}
+
+let live_chunk_refs service =
+  let refs = Hashtbl.create 1024 in
+  Version_manager.iter_live_trees (Client.version_manager service)
+    (fun ~blob:_ ~version:_ tree ->
+      Segment_tree.fold_set
+        (fun _ (desc : Types.chunk_desc) () ->
+          List.iter
+            (fun (r : Types.replica) ->
+              let key = (r.provider, r.chunk) in
+              Hashtbl.replace refs key (1 + Option.value ~default:0 (Hashtbl.find_opt refs key)))
+            desc.replicas)
+        tree ());
+  refs
+
+let collect service ~keep_last =
+  if keep_last < 1 then invalid_arg "Gc.collect: keep_last must be >= 1";
+  let vm = Client.version_manager service in
+  (* Retention: drop everything but the newest versions of each blob. *)
+  let dropped = ref 0 in
+  List.iter
+    (fun blob ->
+      let versions = Version_manager.versions vm ~blob in
+      let keep_from = List.length versions - keep_last in
+      List.iteri
+        (fun i version ->
+          if i < keep_from then begin
+            Version_manager.drop_version vm ~blob ~version;
+            incr dropped
+          end)
+        versions)
+    (Version_manager.blob_ids vm);
+  (* Mark... *)
+  let live = live_chunk_refs service in
+  (* ...and sweep every data provider. *)
+  let deleted = ref 0 and reclaimed = ref 0 in
+  Array.iteri
+    (fun provider_index provider ->
+      List.iter
+        (fun chunk ->
+          if not (Hashtbl.mem live (provider_index, chunk)) then begin
+            let bytes =
+              Simcore.Payload.length (Content_store.get (Data_provider.store provider) chunk)
+            in
+            Data_provider.delete_chunk provider chunk;
+            incr deleted;
+            reclaimed := !reclaimed + bytes
+          end)
+        (Content_store.ids (Data_provider.store provider)))
+    (Client.data_providers service);
+  { versions_dropped = !dropped; chunks_deleted = !deleted; bytes_reclaimed = !reclaimed }

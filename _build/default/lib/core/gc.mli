@@ -1,0 +1,25 @@
+(** Transparent snapshot garbage collection.
+
+    The extension the paper announces as future work: "reclaim the space
+    used by disk-snapshots that are obsoleted by newer checkpoints".
+    Retention drops all but the newest [keep_last] versions of every BLOB;
+    a mark-and-sweep over the remaining snapshot trees then deletes every
+    chunk no live snapshot references. Structural sharing makes this safe:
+    a chunk survives as long as {e any} retained version of {e any} BLOB
+    (including clones) still points to it. *)
+
+open Blobseer
+
+type report = {
+  versions_dropped : int;
+  chunks_deleted : int;
+  bytes_reclaimed : int;
+}
+
+val collect : Client.t -> keep_last:int -> report
+(** Requires [keep_last >= 1]. Runs as a background activity: no simulated
+    time is charged. *)
+
+val live_chunk_refs : Client.t -> (int * int, int) Hashtbl.t
+(** For diagnostics and tests: map from physical chunk identity
+    [(provider, chunk_id)] to the number of retained snapshot references. *)

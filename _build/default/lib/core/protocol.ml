@@ -1,0 +1,22 @@
+open Simcore
+
+let global_checkpoint (cluster : Cluster.t) ~instances ~dump =
+  let snapshots = Array.make (List.length instances) None in
+  let checkpoint_one i inst () =
+    dump inst;
+    snapshots.(i) <- Some (Approach.request_checkpoint cluster inst)
+  in
+  Engine.all cluster.engine ~name:"global-checkpoint" (List.mapi checkpoint_one instances);
+  Array.to_list (Array.map Option.get snapshots)
+
+let global_restart (cluster : Cluster.t) ~plan ~restore =
+  let instances = Array.make (List.length plan) None in
+  let restart_one i (node, id, snapshot) () =
+    let inst = Approach.restart cluster ~node ~id snapshot in
+    restore inst;
+    instances.(i) <- Some inst
+  in
+  Engine.all cluster.engine ~name:"global-restart" (List.mapi restart_one plan);
+  Array.to_list (Array.map Option.get instances)
+
+let kill_all instances = List.iter Approach.kill instances

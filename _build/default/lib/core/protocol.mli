@@ -1,0 +1,33 @@
+(** Global checkpoint-restart orchestration.
+
+    A {e global checkpoint} runs the two-stage procedure of Section 3.1.2
+    on every instance in parallel: first the guest dumps its state into the
+    local file system (application-level files or blcr process dumps — the
+    caller-supplied [dump] action, which must end with a file-system sync),
+    then each instance asks its local proxy for a disk snapshot. The global
+    checkpoint completes when every snapshot is persistent; the resulting
+    set of per-instance snapshots forms a globally consistent state because
+    channels were drained before dumping.
+
+    A {e global restart} re-deploys every instance from its snapshot, in
+    parallel, on a caller-chosen set of nodes (disjoint from the original
+    ones in the paper's experiments, to rule out caching effects). *)
+
+val global_checkpoint :
+  Cluster.t ->
+  instances:Approach.instance list ->
+  dump:(Approach.instance -> unit) ->
+  Approach.snapshot list
+(** Returns snapshots in instance order. Blocks until all are persistent. *)
+
+val global_restart :
+  Cluster.t ->
+  plan:(Cluster.node * string * Approach.snapshot) list ->
+  restore:(Approach.instance -> unit) ->
+  Approach.instance list
+(** [plan] gives, per instance: target node, instance id, snapshot.
+    [restore] re-reads application state from the mounted file system
+    (empty for qcow2-full resumes, which carry state in RAM). *)
+
+val kill_all : Approach.instance list -> unit
+(** Simulated global failure: fail-stop every instance. *)

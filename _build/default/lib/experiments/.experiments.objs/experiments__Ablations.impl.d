@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Approach Blobcr Blobseer Calibration Cluster Combos Fmt List Option Scale Simcore Size Stats Synthetic Synthetic_sweep Vdisk Workloads

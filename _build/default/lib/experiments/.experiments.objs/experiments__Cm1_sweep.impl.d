@@ -1,0 +1,1 @@
+lib/experiments/cm1_sweep.ml: Approach Blobcr Cluster Cm1 Combos List Protocol Scale Simcore Synthetic_sweep Workloads

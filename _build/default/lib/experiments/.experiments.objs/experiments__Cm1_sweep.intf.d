@@ -1,0 +1,1 @@
+lib/experiments/cm1_sweep.mli: Combos Scale

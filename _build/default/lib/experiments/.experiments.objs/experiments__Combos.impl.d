@@ -1,0 +1,1 @@
+lib/experiments/combos.ml: Approach Blobcr List Synthetic Workloads

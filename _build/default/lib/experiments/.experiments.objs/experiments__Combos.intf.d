@@ -1,0 +1,1 @@
+lib/experiments/combos.mli: Approach Blobcr Synthetic Workloads

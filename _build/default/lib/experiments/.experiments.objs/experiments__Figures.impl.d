@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Cm1_sweep Combos Fmt Fun Hashtbl List Scale Simcore Size Stats String Synthetic_sweep Workloads

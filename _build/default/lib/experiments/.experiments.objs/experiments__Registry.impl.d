@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Buffer Figures Fmt List Scale Simcore Stats

@@ -1,0 +1,1 @@
+lib/experiments/scale.ml: Blobcr Calibration Simcore Size Workloads

@@ -1,0 +1,1 @@
+lib/experiments/scale.mli: Blobcr Calibration Workloads

@@ -1,0 +1,1 @@
+lib/experiments/synthetic_sweep.ml: Approach Array Blobcr Cluster Combos Engine Fmt Hashtbl List Option Protocol Scale Simcore Stats Synthetic Workloads

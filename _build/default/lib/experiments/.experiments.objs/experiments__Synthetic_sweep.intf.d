@@ -1,0 +1,1 @@
+lib/experiments/synthetic_sweep.mli: Approach Blobcr Cluster Combos Scale

@@ -1,0 +1,21 @@
+(** CM1 experiment machinery (Figure 6 and Table 1).
+
+    Deploys quad-core VM instances each hosting [procs_per_vm] MPI ranks,
+    runs the stencil for a warm-up period standing in for the paper's 10
+    minutes of execution, then takes a global checkpoint and records its
+    completion time and per-VM snapshot size. qcow2-full is omitted, as in
+    the paper ("unacceptably large sizes"). *)
+
+type point = {
+  combo : Combos.t;
+  vms : int;
+  processes : int;
+  checkpoint_time : float;
+  snapshot_bytes : float;  (** mean per disk snapshot *)
+}
+
+val run_point : Scale.t -> combo:Combos.t -> vms:int -> point
+
+val sweep :
+  Scale.t -> ?combos:Combos.t list -> ?vm_counts:int list ->
+  ?progress:(point -> unit) -> unit -> point list

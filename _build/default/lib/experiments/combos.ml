@@ -1,0 +1,30 @@
+open Blobcr
+open Workloads
+
+type dump_method = App | Blcr | Full_vm
+
+type t = { label : string; kind : Approach.kind; dump : dump_method }
+
+let all =
+  [
+    { label = "BlobCR-app"; kind = Approach.Blobcr; dump = App };
+    { label = "qcow2-disk-app"; kind = Approach.Qcow2_disk; dump = App };
+    { label = "BlobCR-blcr"; kind = Approach.Blobcr; dump = Blcr };
+    { label = "qcow2-disk-blcr"; kind = Approach.Qcow2_disk; dump = Blcr };
+    { label = "qcow2-full"; kind = Approach.Qcow2_full; dump = Full_vm };
+  ]
+
+let disk_only = List.filter (fun c -> c.dump <> Full_vm) all
+let find label = List.find_opt (fun c -> c.label = label) all
+
+let dump combo bench =
+  match combo.dump with
+  | App -> Synthetic.dump_app bench
+  | Blcr -> Synthetic.dump_blcr bench
+  | Full_vm -> ()
+
+let restore combo inst =
+  match combo.dump with
+  | App -> Synthetic.restore_app inst
+  | Blcr -> Synthetic.restore_blcr inst
+  | Full_vm -> Synthetic.resume_in_memory inst

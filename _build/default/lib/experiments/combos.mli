@@ -1,0 +1,31 @@
+(** The five evaluated configurations (Section 4.2): an image stack
+    combined with a state-dump method. *)
+
+open Blobcr
+open Workloads
+
+type dump_method = App | Blcr | Full_vm
+
+type t = {
+  label : string;  (** the paper's curve label, e.g. ["BlobCR-app"] *)
+  kind : Approach.kind;
+  dump : dump_method;
+}
+
+val all : t list
+(** BlobCR-app, qcow2-disk-app, BlobCR-blcr, qcow2-disk-blcr, qcow2-full —
+    in the paper's legend order. *)
+
+val disk_only : t list
+(** The four disk-snapshot configurations (Figure 6 / Table 1 omit
+    qcow2-full). *)
+
+val find : string -> t option
+
+val dump : t -> Synthetic.t -> unit
+(** Stage 1 of the two-stage checkpoint for the synthetic benchmark:
+    application dump, blcr dump, or nothing (full-VM snapshots carry the
+    state implicitly). *)
+
+val restore : t -> Approach.instance -> Synthetic.t
+(** Matching state restoration after restart. *)

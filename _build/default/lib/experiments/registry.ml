@@ -1,0 +1,146 @@
+open Simcore
+
+type output = { name : string; table : Stats.table }
+
+type t = {
+  id : string;
+  paper_ref : string;
+  description : string;
+  run : Scale.t -> progress:(string -> unit) -> output list;
+}
+
+let fig2_3_outputs tag buffer_of scale ~progress =
+  let ckpt, restart =
+    Figures.fig2_3 scale ~buffer:(buffer_of scale) ~tag ~progress ()
+  in
+  [ { name = "fig2" ^ tag; table = ckpt }; { name = "fig3" ^ tag; table = restart } ]
+
+let small (s : Scale.t) = s.Scale.buffer_small
+let large (s : Scale.t) = s.Scale.buffer_large
+
+let all =
+  [
+    {
+      id = "fig2a";
+      paper_ref = "Figure 2(a) + Figure 3(a)";
+      description =
+        "Checkpoint and restart completion time vs number of instances, 50 MB buffer, \
+         all five approaches";
+      run = (fun scale ~progress -> fig2_3_outputs "a" small scale ~progress);
+    };
+    {
+      id = "fig2b";
+      paper_ref = "Figure 2(b) + Figure 3(b)";
+      description =
+        "Checkpoint and restart completion time vs number of instances, 200 MB buffer";
+      run = (fun scale ~progress -> fig2_3_outputs "b" large scale ~progress);
+    };
+    {
+      id = "fig3a";
+      paper_ref = "Figure 3(a)";
+      description = "Restart completion time vs number of hosts, 50 MB buffer";
+      run =
+        (fun scale ~progress ->
+          List.filter (fun o -> o.name = "fig3a") (fig2_3_outputs "a" small scale ~progress));
+    };
+    {
+      id = "fig3b";
+      paper_ref = "Figure 3(b)";
+      description = "Restart completion time vs number of hosts, 200 MB buffer";
+      run =
+        (fun scale ~progress ->
+          List.filter (fun o -> o.name = "fig3b") (fig2_3_outputs "b" large scale ~progress));
+    };
+    {
+      id = "fig4";
+      paper_ref = "Figure 4";
+      description = "Snapshot size per VM instance, 50 MB and 200 MB buffers";
+      run =
+        (fun scale ~progress -> [ { name = "fig4"; table = Figures.fig4 scale ~progress () } ]);
+    };
+    {
+      id = "fig5a";
+      paper_ref = "Figure 5(a) + Figure 5(b)";
+      description =
+        "Four successive checkpoints of one instance (200 MB buffer): completion time \
+         and cumulative storage";
+      run =
+        (fun scale ~progress ->
+          let times, storage = Figures.fig5 scale ~progress () in
+          [ { name = "fig5a"; table = times }; { name = "fig5b"; table = storage } ]);
+    };
+    {
+      id = "fig5b";
+      paper_ref = "Figure 5(b)";
+      description = "Cumulative storage across successive checkpoints";
+      run =
+        (fun scale ~progress ->
+          let _, storage = Figures.fig5 scale ~progress () in
+          [ { name = "fig5b"; table = storage } ]);
+    };
+    {
+      id = "fig6";
+      paper_ref = "Figure 6";
+      description = "CM1 checkpoint completion time for an increasing number of processes";
+      run =
+        (fun scale ~progress -> [ { name = "fig6"; table = Figures.fig6 scale ~progress () } ]);
+    };
+    {
+      id = "table1";
+      paper_ref = "Table 1";
+      description = "CM1 per disk snapshot size";
+      run =
+        (fun scale ~progress ->
+          [ { name = "table1"; table = Figures.table1 scale ~progress () } ]);
+    };
+    {
+      id = "abl-prefetch";
+      paper_ref = "Ablation (Section 3.1.4)";
+      description = "Restart time with adaptive prefetching enabled vs disabled";
+      run =
+        (fun scale ~progress ->
+          [ { name = "abl-prefetch"; table = Ablations.prefetch scale ~progress () } ]);
+    };
+    {
+      id = "abl-stripe";
+      paper_ref = "Ablation (Section 4.2.1)";
+      description = "Checkpoint/restart time across BlobSeer stripe sizes";
+      run =
+        (fun scale ~progress ->
+          [ { name = "abl-stripe"; table = Ablations.stripe_size scale ~progress () } ]);
+    };
+    {
+      id = "abl-replication";
+      paper_ref = "Ablation (Section 3.1.1)";
+      description = "Checkpoint cost of chunk replication factors 1-3";
+      run =
+        (fun scale ~progress ->
+          [ { name = "abl-replication"; table = Ablations.replication scale ~progress () } ]);
+    };
+    {
+      id = "abl-incremental";
+      paper_ref = "Ablation (Section 3.1.3)";
+      description = "Incremental COMMIT vs whole-image re-commit across successive checkpoints";
+      run =
+        (fun scale ~progress ->
+          [ { name = "abl-incremental"; table = Ablations.incremental scale ~progress () } ]);
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+let ids = List.map (fun e -> e.id) all
+
+let run_and_render e scale ?csv_dir ~progress () =
+  let outputs = e.run scale ~progress in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun { name; table } ->
+      Buffer.add_string buf (Stats.render table);
+      Buffer.add_char buf '\n';
+      match csv_dir with
+      | Some dir ->
+          let path = Stats.write_csv ~dir ~name table in
+          Buffer.add_string buf (Fmt.str "(csv written to %s)\n\n" path)
+      | None -> ())
+    outputs;
+  Buffer.contents buf

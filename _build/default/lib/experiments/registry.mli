@@ -1,0 +1,28 @@
+(** Registry of reproducible experiments, one entry per paper figure or
+    table. The CLI and the bench harness both drive experiments through
+    this interface. *)
+
+open Simcore
+
+type output = { name : string; table : Stats.table }
+
+type t = {
+  id : string;  (** e.g. ["fig2a"] *)
+  paper_ref : string;  (** e.g. ["Figure 2(a)"] *)
+  description : string;
+  run : Scale.t -> progress:(string -> unit) -> output list;
+}
+
+val all : t list
+(** fig2a, fig2b, fig3a, fig3b, fig4, fig5a, fig5b, fig6, table1, plus the
+    ablation studies abl-prefetch, abl-stripe, abl-replication and
+    abl-incremental. Entries that share a sweep (fig2a/fig3a, fig5a/fig5b)
+    emit both outputs in one run. *)
+
+val find : string -> t option
+val ids : string list
+
+val run_and_render :
+  t -> Scale.t -> ?csv_dir:string -> progress:(string -> unit) -> unit -> string
+(** Run the experiment, optionally write each output as CSV under
+    [csv_dir], and return the rendered text tables. *)

@@ -1,0 +1,57 @@
+open Simcore
+open Blobcr
+
+type t = {
+  cal : Calibration.t;
+  instance_counts : int list;
+  buffer_small : int;
+  buffer_large : int;
+  successive_checkpoints : int;
+  cm1_vm_counts : int list;
+  cm1_config : Workloads.Cm1.config;
+  cm1_warmup_iterations : int;
+}
+
+let paper =
+  {
+    cal = Calibration.default;
+    instance_counts = [ 1; 30; 60; 90; 120 ];
+    buffer_small = Size.mib_n 50;
+    buffer_large = Size.mib_n 200;
+    successive_checkpoints = 4;
+    cm1_vm_counts = [ 5; 25; 50; 75; 100 ];
+    cm1_config =
+      {
+        Workloads.Cm1.default_config with
+        (* 20 heavyweight iterations stand in for the paper's 10 minutes of
+           execution before the checkpoint: same dirtied state, far fewer
+           simulation events. *)
+        compute_per_iteration = 30.0;
+        summary_every = 5;
+      };
+    cm1_warmup_iterations = 20;
+  }
+
+let quick =
+  {
+    cal = Calibration.quick_test;
+    instance_counts = [ 1; 2; 4 ];
+    buffer_small = Size.mib_n 2;
+    buffer_large = Size.mib_n 8;
+    successive_checkpoints = 3;
+    cm1_vm_counts = [ 2 ];
+    cm1_config =
+      {
+        Workloads.Cm1.default_config with
+        procs_per_vm = 2;
+        subdomain_state_bytes = 512 * Size.kib;
+        compute_per_iteration = 5.0;
+        summary_every = 2;
+      };
+    cm1_warmup_iterations = 4;
+  }
+
+let find = function
+  | "paper" -> Some paper
+  | "quick" -> Some quick
+  | _ -> None

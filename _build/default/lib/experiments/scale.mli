@@ -1,0 +1,25 @@
+(** Experiment scale presets.
+
+    [paper] reproduces the evaluation at the published scale (120 compute
+    nodes, 50/200 MB buffers, up to 400 CM1 processes). [quick] shrinks
+    everything so the whole suite runs in seconds — used by tests and for
+    smoke-testing the harness. *)
+
+open Blobcr
+
+type t = {
+  cal : Calibration.t;
+  instance_counts : int list;  (** x-axis of Figures 2 and 3 *)
+  buffer_small : int;
+  buffer_large : int;
+  successive_checkpoints : int;  (** rounds in Figure 5 *)
+  cm1_vm_counts : int list;  (** VMs (×4 processes) for Figure 6 *)
+  cm1_config : Workloads.Cm1.config;
+  cm1_warmup_iterations : int;
+}
+
+val paper : t
+val quick : t
+
+val find : string -> t option
+(** ["paper" | "quick"]. *)

@@ -1,0 +1,1 @@
+lib/mpisim/comm.ml: Array Engine Fmt Hashtbl Net Netsim Simcore Vmsim

@@ -1,0 +1,1 @@
+lib/mpisim/comm.mli: Engine Net Netsim Simcore Vmsim

@@ -1,0 +1,49 @@
+(** Message-passing communicator (the mpich2 stand-in).
+
+    A communicator binds a fixed number of ranks to VM instances; ranks
+    exchange messages over the simulated network between their hosts (the
+    fixed-process-count, message-passing application model of Section 2.2).
+
+    The checkpoint-relevant entry point is {!drain_channels}: the
+    coordinated checkpointing protocol's first step, which stops new sends
+    and waits until every in-flight message has been received, so that no
+    in-transit state needs saving. *)
+
+open Simcore
+open Netsim
+
+type t
+type endpoint
+
+val create : Engine.t -> Net.t -> size:int -> t
+val size : t -> int
+
+val attach : t -> rank:int -> vm:Vmsim.Vm.t -> endpoint
+(** Bind a rank to the VM it runs in. Each rank must be attached exactly
+    once before communicating. *)
+
+val rank : endpoint -> int
+val vm : endpoint -> Vmsim.Vm.t
+
+val send : endpoint -> dst:int -> bytes:int -> unit
+(** Blocking send: transfers [bytes] to the destination rank's host and
+    enqueues the message. Raises [Failure] if draining is in progress
+    (the protocol forbids sends past the marker). *)
+
+val recv : endpoint -> src:int -> int
+(** Blocking receive of the next message from [src]; returns its size. *)
+
+val barrier : endpoint -> unit
+(** Dissemination barrier: O(log n) latency rounds. *)
+
+val allreduce : endpoint -> bytes:int -> unit
+(** Butterfly exchange of [bytes] per round, O(log n) rounds. *)
+
+val in_flight : t -> int
+(** Messages sent but not yet received. *)
+
+val drain_channels : endpoint -> unit
+(** Coordinated-checkpoint step 1: every rank calls this; a marker is
+    propagated (no further sends allowed), all pending messages are
+    received by their targets, and the call returns once the communicator
+    is globally quiescent. Sends are allowed again afterwards. *)

@@ -1,0 +1,1 @@
+lib/netsim/net.ml: Engine Fun List Option Rate_server Simcore Size

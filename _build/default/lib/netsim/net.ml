@@ -1,0 +1,110 @@
+open Simcore
+
+type host = {
+  hid : int;
+  hname : string;
+  uplink : Rate_server.t;
+  downlink : Rate_server.t;
+  mutable sent : int;
+  mutable received : int;
+}
+
+type config = {
+  bandwidth : float;
+  latency : float;
+  segment_size : int;
+  fabric_bandwidth : float option;
+}
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  fabric : Rate_server.t option;
+  mutable host_list : host list; (* newest first *)
+  mutable next_id : int;
+}
+
+let default_config =
+  {
+    bandwidth = 117.5 *. float_of_int Size.mib;
+    latency = 1e-4;
+    segment_size = 256 * Size.kib;
+    fabric_bandwidth = None;
+  }
+
+let create engine cfg =
+  if cfg.bandwidth <= 0.0 then invalid_arg "Net.create: bandwidth";
+  if cfg.segment_size <= 0 then invalid_arg "Net.create: segment_size";
+  let fabric =
+    Option.map
+      (fun rate -> Rate_server.create engine ~rate ~name:"fabric" ())
+      cfg.fabric_bandwidth
+  in
+  { engine; cfg; fabric; host_list = []; next_id = 0 }
+
+let engine t = t.engine
+let config t = t.cfg
+
+let add_host t ~name =
+  let host =
+    {
+      hid = t.next_id;
+      hname = name;
+      uplink = Rate_server.create t.engine ~rate:t.cfg.bandwidth ~name:(name ^ ".up") ();
+      downlink = Rate_server.create t.engine ~rate:t.cfg.bandwidth ~name:(name ^ ".down") ();
+      sent = 0;
+      received = 0;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.host_list <- host :: t.host_list;
+  host
+
+let host_name h = h.hname
+let host_id h = h.hid
+let hosts t = List.rev t.host_list
+let bytes_sent h = h.sent
+let bytes_received h = h.received
+
+type segment = Seg of int | Eof
+
+(* Segments are pushed through the source uplink, then handed to a forwarder
+   fiber that pushes them through the fabric (if any) and the destination
+   downlink — a two-stage pipeline, so a transfer between two idle hosts
+   runs at NIC rate, not half of it. *)
+let transfer t ~src ~dst bytes =
+  if bytes < 0 then invalid_arg "Net.transfer: negative size";
+  if src != dst && bytes > 0 then begin
+    Engine.sleep t.engine t.cfg.latency;
+    let mb = Engine.Mailbox.create t.engine in
+    let finished = Engine.Ivar.create t.engine in
+    let _ =
+      Engine.Fiber.spawn t.engine ~name:"net.forwarder" (fun () ->
+          let rec drain () =
+            match Engine.Mailbox.recv mb with
+            | Eof -> ()
+            | Seg seg ->
+                Option.iter (fun fabric -> Rate_server.process fabric seg) t.fabric;
+                Rate_server.process dst.downlink seg;
+                dst.received <- dst.received + seg;
+                drain ()
+          in
+          drain ();
+          Engine.Ivar.fill finished ())
+    in
+    Fun.protect
+      ~finally:(fun () -> Engine.Mailbox.send mb Eof)
+      (fun () ->
+        let remaining = ref bytes in
+        while !remaining > 0 do
+          let seg = min t.cfg.segment_size !remaining in
+          Rate_server.process src.uplink seg;
+          src.sent <- src.sent + seg;
+          Engine.Mailbox.send mb (Seg seg);
+          remaining := !remaining - seg
+        done);
+    Engine.Ivar.read finished
+  end
+
+let message t ~src ~dst =
+  if src != dst then Engine.sleep t.engine t.cfg.latency

@@ -1,0 +1,49 @@
+(** Cluster network model.
+
+    Hosts are connected through a switched fabric. Each host has a full-
+    duplex NIC modelled as two FIFO byte-rate servers (uplink and downlink);
+    an optional fabric rate server models core oversubscription. A transfer
+    is segmented and pipelined through uplink → (fabric) → downlink, so a
+    host receiving from many senders saturates at its downlink rate and
+    many parallel transfers between disjoint host pairs proceed at full
+    rate — the contention behaviour that dominates checkpoint storms.
+
+    All blocking calls must run inside an engine fiber. *)
+
+open Simcore
+
+type t
+
+type host
+(** A network endpoint. *)
+
+type config = {
+  bandwidth : float;  (** NIC rate, bytes/second, both directions. *)
+  latency : float;  (** one-way propagation delay, seconds *)
+  segment_size : int;  (** pipelining granularity, bytes *)
+  fabric_bandwidth : float option;
+      (** aggregate core capacity; [None] = non-blocking fabric *)
+}
+
+val default_config : config
+(** The paper's Grid'5000 graphene values: 117.5 MB/s, 0.1 ms latency,
+    256 KiB segments, non-blocking fabric. *)
+
+val create : Engine.t -> config -> t
+val engine : t -> Engine.t
+val config : t -> config
+
+val add_host : t -> name:string -> host
+val host_name : host -> string
+val host_id : host -> int
+val hosts : t -> host list
+
+val transfer : t -> src:host -> dst:host -> int -> unit
+(** [transfer t ~src ~dst bytes] blocks until the payload has fully arrived
+    at [dst]. Local transfers ([src == dst]) cost nothing. *)
+
+val message : t -> src:host -> dst:host -> unit
+(** Small control message: propagation latency only. *)
+
+val bytes_sent : host -> int
+val bytes_received : host -> int

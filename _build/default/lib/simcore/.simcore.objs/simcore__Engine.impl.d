@@ -1,0 +1,1 @@
+lib/simcore/engine.ml: Effect Event_queue Fmt Fun List Printexc Printf Queue Rng

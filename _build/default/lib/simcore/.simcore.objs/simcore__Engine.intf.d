@@ -1,0 +1,1 @@
+lib/simcore/engine.mli: Rng

@@ -1,0 +1,1 @@
+lib/simcore/event_queue.ml: Array

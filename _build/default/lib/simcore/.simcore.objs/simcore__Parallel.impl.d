@@ -1,0 +1,1 @@
+lib/simcore/parallel.ml: Array Engine List Option

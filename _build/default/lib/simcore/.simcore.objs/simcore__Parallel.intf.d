@@ -1,0 +1,1 @@
+lib/simcore/parallel.mli: Engine

@@ -1,0 +1,1 @@
+lib/simcore/payload.ml: Array Bytes Char Fmt Hashtbl Int64 List Printf Rng

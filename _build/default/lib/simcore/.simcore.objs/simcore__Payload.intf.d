@@ -1,0 +1,1 @@
+lib/simcore/payload.mli: Format

@@ -1,0 +1,1 @@
+lib/simcore/rate_server.mli: Engine

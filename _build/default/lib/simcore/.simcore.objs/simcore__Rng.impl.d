@@ -1,0 +1,1 @@
+lib/simcore/rng.ml: Array Char Int64

@@ -1,0 +1,1 @@
+lib/simcore/size.ml: Fmt

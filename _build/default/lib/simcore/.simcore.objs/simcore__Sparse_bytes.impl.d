@@ -1,0 +1,1 @@
+lib/simcore/sparse_bytes.ml: Hashtbl List Payload

@@ -1,0 +1,1 @@
+lib/simcore/stats.ml: Buffer Filename Float Fmt Fun List String Sys

@@ -1,0 +1,1 @@
+lib/simcore/trace.ml: Engine Fmt Format Fun List

@@ -1,0 +1,1 @@
+lib/simcore/trace.mli: Engine Format

@@ -1,0 +1,326 @@
+exception Cancelled
+exception Fiber_failure of string * exn
+
+let () =
+  Printexc.register_printer (function
+    | Fiber_failure (name, exn) ->
+        Some (Printf.sprintf "Fiber_failure(%s: %s)" name (Printexc.to_string exn))
+    | _ -> None)
+
+type outcome = Completed | Cancelled_outcome | Failed of exn
+
+(* A resumer delivers a value to a suspended fiber. It returns [false] when
+   the suspension was already consumed (normally or by cancellation), which
+   lets resources such as semaphores skip dead waiters without losing
+   tokens. *)
+type 'a resumer = 'a -> bool
+
+type t = {
+  mutable now : float;
+  queue : (unit -> unit) Event_queue.t;
+  rng : Rng.t;
+  mutable current : fiber option;
+  mutable error : (string * exn) option;
+  mutable live : int;
+  mutable blocked : int;
+  mutable next_id : int;
+}
+
+and fiber = {
+  id : int;
+  fname : string;
+  engine : t;
+  mutable finished : bool;
+  mutable cancel_requested : bool;
+  mutable pending : pending option;
+  done_ivar : outcome ivar;
+}
+
+and pending = { consumed : bool ref; cancel_now : unit -> unit }
+and 'a ivar_state = Iempty of 'a resumer list | Ifull of 'a
+and 'a ivar = { iengine : t; mutable istate : 'a ivar_state }
+
+type _ Effect.t +=
+  | Suspend : ('a resumer -> unit) -> 'a Effect.t
+
+let create ?(seed = 42) () =
+  {
+    now = 0.0;
+    queue = Event_queue.create ();
+    rng = Rng.create seed;
+    current = None;
+    error = None;
+    live = 0;
+    blocked = 0;
+    next_id = 0;
+  }
+
+let now t = t.now
+let rng t = t.rng
+let live_fibers t = t.live
+let blocked_fibers t = t.blocked
+let schedule t ~time f = Event_queue.add t.queue ~time f
+let at t time f = schedule t ~time f
+
+let set_error t name exn =
+  if t.error = None then t.error <- Some (name, exn)
+
+let ivar_create engine = { iengine = engine; istate = Iempty [] }
+
+let ivar_fill iv v =
+  match iv.istate with
+  | Ifull _ -> invalid_arg "Ivar.fill: already filled"
+  | Iempty waiters ->
+      iv.istate <- Ifull v;
+      List.iter (fun resume -> ignore (resume v)) (List.rev waiters)
+
+let finish t fiber outcome =
+  fiber.finished <- true;
+  fiber.pending <- None;
+  t.live <- t.live - 1;
+  ivar_fill fiber.done_ivar outcome
+
+let with_current t fiber f =
+  let saved = t.current in
+  t.current <- Some fiber;
+  Fun.protect ~finally:(fun () -> t.current <- saved) f
+
+(* Runs [f] as the body of [fiber] under the effect handler that implements
+   blocking. Every blocking primitive performs [Suspend register]; the
+   handler parks the continuation, hands [register] a one-shot resumer, and
+   returns to the scheduler. Resumers deliver the value by scheduling an
+   event that continues the parked continuation. *)
+let start_fiber t fiber f =
+  let open Effect.Deep in
+  match_with
+    (fun () ->
+      if fiber.cancel_requested then raise Cancelled;
+      f ())
+    ()
+    {
+      retc = (fun () -> finish t fiber Completed);
+      exnc =
+        (fun exn ->
+          match exn with
+          | Cancelled -> finish t fiber Cancelled_outcome
+          | exn ->
+              finish t fiber (Failed exn);
+              set_error t fiber.fname exn);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  if fiber.cancel_requested then discontinue k Cancelled
+                  else begin
+                    let consumed = ref false in
+                    t.blocked <- t.blocked + 1;
+                    let unblock () =
+                      consumed := true;
+                      fiber.pending <- None;
+                      t.blocked <- t.blocked - 1
+                    in
+                    let cancel_now () =
+                      unblock ();
+                      schedule t ~time:t.now (fun () ->
+                          with_current t fiber (fun () -> discontinue k Cancelled))
+                    in
+                    fiber.pending <- Some { consumed; cancel_now };
+                    let resume v =
+                      if !consumed then false
+                      else begin
+                        unblock ();
+                        schedule t ~time:t.now (fun () ->
+                            with_current t fiber (fun () -> continue k v));
+                        true
+                      end
+                    in
+                    register resume
+                  end)
+          | _ -> None);
+    }
+
+let spawn_fiber t ?(name = "fiber") f =
+  let fiber =
+    {
+      id = t.next_id;
+      fname = name;
+      engine = t;
+      finished = false;
+      cancel_requested = false;
+      pending = None;
+      done_ivar = ivar_create t;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.live <- t.live + 1;
+  schedule t ~time:t.now (fun () -> with_current t fiber (fun () -> start_fiber t fiber f));
+  fiber
+
+let cancel_fiber fiber =
+  if not fiber.finished then begin
+    fiber.cancel_requested <- true;
+    match fiber.pending with
+    | Some p when not !(p.consumed) -> p.cancel_now ()
+    | _ -> ()
+  end
+
+let suspend (register : 'a resumer -> unit) : 'a = Effect.perform (Suspend register)
+
+let sleep t d =
+  if d < 0.0 then invalid_arg "Engine.sleep: negative duration";
+  suspend (fun resume ->
+      schedule t ~time:(t.now +. d) (fun () -> ignore (resume ())))
+
+let yield t = sleep t 0.0
+
+let check_error t =
+  match t.error with
+  | Some (name, exn) ->
+      t.error <- None;
+      raise (Fiber_failure (name, exn))
+  | None -> ()
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, ev) ->
+      t.now <- time;
+      ev ();
+      check_error t;
+      true
+
+let run t =
+  while step t do
+    ()
+  done
+
+let run_until t limit =
+  let rec go () =
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= limit ->
+        ignore (step t);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  if t.now < limit then t.now <- limit
+
+module Group = struct
+  type t = { mutable members : fiber list }
+
+  let create () = { members = [] }
+  let add g fiber = g.members <- fiber :: g.members
+
+  let cancel _engine g =
+    List.iter cancel_fiber g.members
+
+  let live g = List.length (List.filter (fun f -> not f.finished) g.members)
+end
+
+module Ivar = struct
+  type 'a t = 'a ivar
+
+  let create = ivar_create
+  let fill = ivar_fill
+
+  let read iv =
+    suspend (fun resume ->
+        match iv.istate with
+        | Ifull v -> ignore (resume v)
+        | Iempty waiters -> iv.istate <- Iempty (resume :: waiters))
+
+  let peek iv = match iv.istate with Ifull v -> Some v | Iempty _ -> None
+  let is_filled iv = match iv.istate with Ifull _ -> true | Iempty _ -> false
+end
+
+module Fiber = struct
+  type t = fiber
+  type nonrec outcome = outcome = Completed | Cancelled_outcome | Failed of exn
+
+  let spawn engine ?name ?group f =
+    let fiber = spawn_fiber engine ?name f in
+    (match group with Some g -> Group.add g fiber | None -> ());
+    fiber
+
+  let name f = f.fname
+  let id f = f.id
+  let cancel = cancel_fiber
+  let is_finished f = f.finished
+  let await f = Ivar.read f.done_ivar
+
+  let join f =
+    match await f with
+    | Completed | Cancelled_outcome -> ()
+    | Failed exn -> raise (Fiber_failure (f.fname, exn))
+end
+
+let all t ?(name = "all") fs =
+  let fibers = List.mapi (fun i f -> Fiber.spawn t ~name:(Fmt.str "%s.%d" name i) f) fs in
+  List.iter Fiber.join fibers
+
+module Mailbox = struct
+  type nonrec 'a t = {
+    engine : t;
+    messages : 'a Queue.t;
+    mutable waiters : 'a resumer list; (* newest first *)
+  }
+
+  let create engine = { engine; messages = Queue.create (); waiters = [] }
+
+  let send mb v =
+    (* Deliver to the oldest live waiter, else enqueue. *)
+    let rec deliver = function
+      | [] ->
+          Queue.add v mb.messages;
+          []
+      | oldest :: rest ->
+          if oldest v then rest else deliver rest
+    in
+    mb.waiters <- List.rev (deliver (List.rev mb.waiters))
+
+  let recv mb =
+    suspend (fun resume ->
+        if Queue.is_empty mb.messages then mb.waiters <- resume :: mb.waiters
+        else ignore (resume (Queue.pop mb.messages)))
+
+  let length mb = Queue.length mb.messages
+end
+
+module Semaphore = struct
+  type nonrec t = {
+    engine : t;
+    mutable count : int;
+    waiters : unit resumer Queue.t;
+  }
+
+  let create engine count =
+    if count < 0 then invalid_arg "Semaphore.create";
+    { engine; count; waiters = Queue.create () }
+
+  let acquire s =
+    suspend (fun resume ->
+        if s.count > 0 then begin
+          s.count <- s.count - 1;
+          ignore (resume ())
+        end
+        else Queue.add resume s.waiters)
+
+  let release s =
+    let rec wake () =
+      if Queue.is_empty s.waiters then s.count <- s.count + 1
+      else if Queue.pop s.waiters () then ()
+      else wake ()
+    in
+    wake ()
+
+  let with_held s f =
+    acquire s;
+    Fun.protect ~finally:(fun () -> release s) f
+
+  let available s = s.count
+
+  let waiting s =
+    Queue.fold (fun acc _ -> acc + 1) 0 s.waiters
+end

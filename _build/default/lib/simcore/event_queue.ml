@@ -1,0 +1,69 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* heap.(0) is unused padding until first add; [size] tracks live items *)
+  mutable size : int;
+  mutable seq : int;
+}
+
+let create () = { heap = [||]; size = 0; seq = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && earlier t.heap.(left) t.heap.(!smallest) then smallest := left;
+  if right < t.size && earlier t.heap.(right) t.heap.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t entry =
+  let capacity = Array.length t.heap in
+  if t.size = capacity then begin
+    let new_capacity = max 16 (2 * capacity) in
+    let heap = Array.make new_capacity entry in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end
+
+let add t ~time value =
+  let entry = { time; seq = t.seq; value } in
+  t.seq <- t.seq + 1;
+  grow t entry;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some (top.time, top.value)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time

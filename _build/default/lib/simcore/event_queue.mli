@@ -1,0 +1,20 @@
+(** Priority queue of timestamped events.
+
+    Events are ordered by [(time, seq)] where [seq] is a monotonically
+    increasing insertion counter, so simultaneous events run in insertion
+    order and the simulation is fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val add : 'a t -> time:float -> 'a -> unit
+(** Insert an event at the given simulated time. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val peek_time : 'a t -> float option
+(** Time of the earliest event without removing it. *)

@@ -1,0 +1,20 @@
+let windowed engine ~window tasks =
+  if window <= 0 then invalid_arg "Parallel.windowed: window must be positive";
+  let gate = Engine.Semaphore.create engine window in
+  let first_error = ref None in
+  let guarded task () =
+    Engine.Semaphore.with_held gate (fun () ->
+        (* A task exception must surface in the caller, not kill the
+           engine, so fork–join behaves like sequential code. *)
+        try task ()
+        with Engine.Cancelled as exn -> raise exn
+        | exn -> if !first_error = None then first_error := Some exn)
+  in
+  Engine.all engine ~name:"windowed" (List.map guarded tasks);
+  match !first_error with Some exn -> raise exn | None -> ()
+
+let map_windowed engine ~window f xs =
+  let results = Array.make (List.length xs) None in
+  let tasks = List.mapi (fun i x () -> results.(i) <- Some (f x)) xs in
+  windowed engine ~window tasks;
+  Array.to_list (Array.map Option.get results)

@@ -1,0 +1,10 @@
+(** Windowed fork–join helpers for fibers. *)
+
+val windowed : Engine.t -> window:int -> (unit -> unit) list -> unit
+(** [windowed e ~window tasks] runs every task in its own fiber with at most
+    [window] in flight simultaneously, and blocks until all have finished.
+    This models client-side request pipelining (e.g. a bounded number of
+    outstanding chunk writes). Must be called from inside a fiber. *)
+
+val map_windowed : Engine.t -> window:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Like {!windowed} but collects results, in input order. *)

@@ -1,0 +1,212 @@
+type seg =
+  | Zero of int
+  | Pattern of { seed : int64; off : int; len : int }
+  | Bytes of { data : bytes; off : int; len : int }
+
+(* Segments in order, with [offs.(i)] the start offset of [segs.(i)], so
+   random access and slicing are O(log segments). *)
+type t = { len : int; segs : seg array; offs : int array }
+
+let seg_len = function
+  | Zero n -> n
+  | Pattern { len; _ } -> len
+  | Bytes { len; _ } -> len
+
+let length t = t.len
+let empty = { len = 0; segs = [||]; offs = [||] }
+
+let of_seg seg =
+  let n = seg_len seg in
+  if n = 0 then empty else { len = n; segs = [| seg |]; offs = [| 0 |] }
+
+let zero len = of_seg (Zero len)
+let pattern ~seed len = of_seg (Pattern { seed; off = 0; len })
+let of_bytes data = of_seg (Bytes { data; off = 0; len = Bytes.length data })
+let of_string s = of_bytes (Bytes.of_string s)
+
+let seg_byte_at seg i =
+  match seg with
+  | Zero _ -> '\000'
+  | Pattern { seed; off; _ } -> Rng.byte_at ~seed (off + i)
+  | Bytes { data; off; _ } -> Bytes.get data (off + i)
+
+(* Index of the segment containing offset [pos]. *)
+let seg_index t pos =
+  let lo = ref 0 and hi = ref (Array.length t.segs - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if t.offs.(mid) <= pos then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let byte_at t i =
+  if i < 0 || i >= t.len then invalid_arg "Payload.byte_at";
+  let k = seg_index t i in
+  seg_byte_at t.segs.(k) (i - t.offs.(k))
+
+let seg_sub seg pos len =
+  match seg with
+  | Zero _ -> Zero len
+  | Pattern { seed; off; _ } -> Pattern { seed; off = off + pos; len }
+  | Bytes { data; off; _ } -> Bytes { data; off = off + pos; len }
+
+let seg_merge a b =
+  match (a, b) with
+  | Zero m, Zero n -> Some (Zero (m + n))
+  | Pattern p, Pattern q when p.seed = q.seed && q.off = p.off + p.len ->
+      Some (Pattern { p with len = p.len + q.len })
+  | Bytes p, Bytes q when p.data == q.data && q.off = p.off + p.len ->
+      Some (Bytes { p with len = p.len + q.len })
+  | _ -> None
+
+(* Build a payload from segments, dropping empties and merging adjacent
+   contiguous segments. *)
+let of_seg_seq count iter =
+  let buf = ref [] and n = ref 0 in
+  iter (fun seg ->
+      if seg_len seg > 0 then
+        match !buf with
+        | prev :: rest -> (
+            match seg_merge prev seg with
+            | Some merged -> buf := merged :: rest
+            | None ->
+                buf := seg :: !buf;
+                incr n)
+        | [] ->
+            buf := [ seg ];
+            incr n);
+  ignore count;
+  let segs = Array.make !n (Zero 0) in
+  List.iteri (fun i seg -> segs.(!n - 1 - i) <- seg) !buf;
+  let offs = Array.make !n 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun i seg ->
+      offs.(i) <- !total;
+      total := !total + seg_len seg)
+    segs;
+  { len = !total; segs; offs }
+
+let concat ts =
+  of_seg_seq 0 (fun push -> List.iter (fun t -> Array.iter push t.segs) ts)
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Payload.sub";
+  if len = 0 then empty
+  else if pos = 0 && len = t.len then t
+  else begin
+    let first = seg_index t pos in
+    let last = seg_index t (pos + len - 1) in
+    of_seg_seq 0 (fun push ->
+        for k = first to last do
+          let seg = t.segs.(k) in
+          let sstart = t.offs.(k) in
+          let cut_from = max 0 (pos - sstart) in
+          let cut_to = min (seg_len seg) (pos + len - sstart) in
+          push (seg_sub seg cut_from (cut_to - cut_from))
+        done)
+  end
+
+(* Rolling content hash: h(s ++ c) = h(s) * b + code(c) mod 2^64; segment
+   hashes combine as h(s1 ++ s2) = h(s1) * b^|s2| + h(s2). *)
+let base = 0x100000001B3L
+
+let pow_base n =
+  let rec go acc b n =
+    if n = 0 then acc
+    else
+      let acc = if n land 1 = 1 then Int64.mul acc b else acc in
+      go acc (Int64.mul b b) (n lsr 1)
+  in
+  go 1L base n
+
+(* Geometric sum 1 + b + ... + b^(n-1) mod 2^64, by fast doubling. *)
+let geom_sum n =
+  let rec go n =
+    if n = 0 then (0L, 1L)
+    else if n land 1 = 1 then
+      let s, p = go (n - 1) in
+      (Int64.add (Int64.mul s base) 1L, Int64.mul p base)
+    else
+      let s, p = go (n / 2) in
+      (Int64.mul s (Int64.add 1L p), Int64.mul p p)
+  in
+  fst (go n)
+
+let code c = Int64.of_int (Char.code c + 1)
+
+let seg_digest seg =
+  match seg with
+  | Zero n -> Int64.mul (geom_sum n) (code '\000')
+  | _ ->
+      let n = seg_len seg in
+      let h = ref 0L in
+      for i = 0 to n - 1 do
+        h := Int64.add (Int64.mul !h base) (code (seg_byte_at seg i))
+      done;
+      !h
+
+let digest_cache : (string, int64) Hashtbl.t = Hashtbl.create 256
+
+let seg_digest_cached seg =
+  match seg with
+  | Pattern { seed; off; len } ->
+      let key = Printf.sprintf "%Lx:%d:%d" seed off len in
+      (match Hashtbl.find_opt digest_cache key with
+      | Some d -> d
+      | None ->
+          let d = seg_digest seg in
+          if Hashtbl.length digest_cache < 100_000 then Hashtbl.add digest_cache key d;
+          d)
+  | _ -> seg_digest seg
+
+let digest t =
+  Array.fold_left
+    (fun h seg ->
+      Int64.add (Int64.mul h (pow_base (seg_len seg))) (seg_digest_cached seg))
+    0L t.segs
+
+let seg_equal_struct a b =
+  match (a, b) with
+  | Zero m, Zero n -> m = n
+  | Pattern p, Pattern q -> p.seed = q.seed && p.off = q.off && p.len = q.len
+  | Bytes p, Bytes q -> p.data == q.data && p.off = q.off && p.len = q.len
+  | _ -> false
+
+let byte_compare_guard = 4 * 1024 * 1024
+let to_string_guard = 64 * 1024 * 1024
+
+let rec equal a b =
+  a.len = b.len
+  && (Array.length a.segs = Array.length b.segs
+      && Array.for_all2 seg_equal_struct a.segs b.segs
+     ||
+     if a.len <= byte_compare_guard then to_string a = to_string b
+     else digest a = digest b)
+
+and to_string t =
+  if t.len > to_string_guard then invalid_arg "Payload.to_string: payload too large";
+  let buf = Bytes.create t.len in
+  let pos = ref 0 in
+  Array.iter
+    (fun seg ->
+      (match seg with
+      | Zero n -> Bytes.fill buf !pos n '\000'
+      | Bytes { data; off; len } -> Bytes.blit data off buf !pos len
+      | Pattern _ as seg ->
+          for i = 0 to seg_len seg - 1 do
+            Bytes.set buf (!pos + i) (seg_byte_at seg i)
+          done);
+      pos := !pos + seg_len seg)
+    t.segs;
+  Bytes.unsafe_to_string buf
+
+let pp_seg ppf = function
+  | Zero n -> Fmt.pf ppf "zero(%d)" n
+  | Pattern { seed; off; len } -> Fmt.pf ppf "pattern(seed=%Lx,off=%d,len=%d)" seed off len
+  | Bytes { len; _ } -> Fmt.pf ppf "bytes(len=%d)" len
+
+let pp ppf t =
+  Fmt.pf ppf "@[<h>payload(%d)[%a]@]" t.len
+    Fmt.(array ~sep:comma pp_seg)
+    t.segs

@@ -1,0 +1,52 @@
+(** Synthetic data payloads.
+
+    All data moving through the simulated storage stack is a [Payload.t].
+    Small functional tests use [Bytes] payloads and verify contents
+    byte-for-byte; large benchmark runs use [Pattern] payloads (a seed plus
+    an offset into a deterministic infinite stream) so that hundreds of
+    gigabytes of simulated traffic fit in memory while exercising exactly
+    the same chunking / copy-on-write / metadata code paths.
+
+    A payload is an immutable byte sequence of a known length. *)
+
+type t
+
+val length : t -> int
+
+val zero : int -> t
+(** [zero len] is [len] zero bytes. *)
+
+val pattern : seed:int64 -> int -> t
+(** [pattern ~seed len] is the first [len] bytes of the deterministic
+    stream identified by [seed] (see {!Rng.byte_at}). *)
+
+val of_bytes : bytes -> t
+(** Takes ownership of the buffer; do not mutate it afterwards. *)
+
+val of_string : string -> t
+
+val byte_at : t -> int -> char
+(** [byte_at p i] is the [i]-th byte. Requires [0 <= i < length p]. *)
+
+val sub : t -> pos:int -> len:int -> t
+(** [sub p ~pos ~len] is the slice [\[pos, pos+len)]. O(parts) and shares
+    underlying data. *)
+
+val concat : t list -> t
+(** Concatenation; flattens nested concatenations. *)
+
+val equal : t -> t -> bool
+(** Structural fast path (identical descriptors), falling back to
+    byte-by-byte comparison. *)
+
+val to_string : t -> string
+(** Materializes the payload. Raises [Invalid_argument] above 64 MiB as a
+    guard against accidentally materializing benchmark-scale payloads. *)
+
+val digest : t -> int64
+(** Content digest: equal payloads have equal digests (collisions aside —
+    the digest is a 64-bit rolling hash). [Zero] runs digest in O(log n);
+    [Pattern] slices digest in O(length) once and are memoized. *)
+
+val pp : Format.formatter -> t -> unit
+(** Structural summary, e.g. ["pattern(seed=3,len=1024)"]. *)

@@ -1,0 +1,42 @@
+(** Deterministic splittable pseudo-random number generator (splitmix64).
+
+    Every stochastic decision in the simulator draws from an explicit [Rng.t]
+    so that simulations are reproducible: the same seed yields the same event
+    trace, byte-for-byte. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Distinct seeds give independent
+    streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from an exponential distribution with the
+    given mean. Used for failure inter-arrival times. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val byte_at : seed:int64 -> int -> char
+(** [byte_at ~seed i] is the [i]-th byte of the infinite deterministic
+    pattern stream identified by [seed]. Pure function of [(seed, i)];
+    used by {!Payload.Pattern} to represent large random buffers without
+    materializing them. *)

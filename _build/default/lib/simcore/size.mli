@@ -1,0 +1,39 @@
+(** Byte-size constants and formatting helpers.
+
+    All data quantities in the simulator are expressed in bytes as plain
+    [int] values (63-bit on every supported platform, so sizes up to
+    exabytes are representable). *)
+
+val kib : int
+(** 1 KiB = 1024 bytes. *)
+
+val mib : int
+(** 1 MiB = 1024 KiB. *)
+
+val gib : int
+(** 1 GiB = 1024 MiB. *)
+
+val kib_n : int -> int
+(** [kib_n n] is [n] KiB. *)
+
+val mib_n : int -> int
+(** [mib_n n] is [n] MiB. *)
+
+val gib_n : int -> int
+(** [gib_n n] is [n] GiB. *)
+
+val to_mib : int -> float
+(** [to_mib bytes] is the size in MiB as a float. *)
+
+val pp : Format.formatter -> int -> unit
+(** Human-readable size, e.g. ["52.0 MB"]. *)
+
+val to_string : int -> string
+(** [to_string bytes] is [Fmt.str "%a" pp bytes]. *)
+
+val div_ceil : int -> int -> int
+(** [div_ceil a b] is [a / b] rounded towards positive infinity.
+    Requires [b > 0] and [a >= 0]. *)
+
+val round_up : int -> int -> int
+(** [round_up a b] is the smallest multiple of [b] that is [>= a]. *)

@@ -1,0 +1,51 @@
+type t = {
+  block_size : int;
+  blocks : (int, Payload.t) Hashtbl.t; (* block index -> exactly block_size bytes *)
+}
+
+let create ?(block_size = 64 * 1024) () =
+  if block_size <= 0 then invalid_arg "Sparse_bytes.create";
+  { block_size; blocks = Hashtbl.create 256 }
+
+let block_content t index =
+  match Hashtbl.find_opt t.blocks index with
+  | Some p -> p
+  | None -> Payload.zero t.block_size
+
+let write t ~offset payload =
+  if offset < 0 then invalid_arg "Sparse_bytes.write";
+  let len = Payload.length payload in
+  if len > 0 then begin
+    let bs = t.block_size in
+    let first = offset / bs and last = (offset + len - 1) / bs in
+    for index = first to last do
+      let bstart = index * bs in
+      let wstart = max bstart offset and wend = min (bstart + bs) (offset + len) in
+      let content =
+        if wstart = bstart && wend = bstart + bs then
+          Payload.sub payload ~pos:(bstart - offset) ~len:bs
+        else
+          let old = block_content t index in
+          Payload.concat
+            [
+              Payload.sub old ~pos:0 ~len:(wstart - bstart);
+              Payload.sub payload ~pos:(wstart - offset) ~len:(wend - wstart);
+              Payload.sub old ~pos:(wend - bstart) ~len:(bstart + bs - wend);
+            ]
+      in
+      Hashtbl.replace t.blocks index content
+    done
+  end
+
+let read t ~offset ~len =
+  if offset < 0 || len < 0 then invalid_arg "Sparse_bytes.read";
+  if len = 0 then Payload.zero 0
+  else begin
+    let bs = t.block_size in
+    let first = offset / bs and last = (offset + len - 1) / bs in
+    let parts = List.init (last - first + 1) (fun k -> block_content t (first + k)) in
+    Payload.sub (Payload.concat parts) ~pos:(offset - (first * bs)) ~len
+  end
+
+let written_bytes t = Hashtbl.length t.blocks * t.block_size
+let clear t = Hashtbl.reset t.blocks

@@ -1,0 +1,19 @@
+(** Mutable sparse byte space.
+
+    A growable address space where unwritten ranges read as zeros, backed by
+    fixed-size blocks of {!Payload.t}. Used as the in-memory content plane
+    of disk images and caches (timing is charged by their owners; this
+    structure is free of simulated cost). *)
+
+type t
+
+val create : ?block_size:int -> unit -> t
+(** Default block size 64 KiB. *)
+
+val write : t -> offset:int -> Payload.t -> unit
+val read : t -> offset:int -> len:int -> Payload.t
+
+val written_bytes : t -> int
+(** Number of bytes covered by materialized blocks (block-granular). *)
+
+val clear : t -> unit

@@ -1,0 +1,36 @@
+(** Result series collection and rendering for experiments.
+
+    An experiment produces one or more named series of [(x, y)] points
+    (e.g. checkpoint time versus number of instances, one series per
+    approach). [Stats] renders them as aligned text tables — the same rows
+    the paper's figures plot — and as CSV. *)
+
+type series
+
+val series : string -> series
+(** [series label] is a fresh, empty series. *)
+
+val label : series -> string
+val add : series -> x:float -> y:float -> unit
+val points : series -> (float * float) list
+(** In insertion order. *)
+
+val y_at : series -> x:float -> float option
+(** The [y] recorded for exactly this [x], if any. *)
+
+type table
+
+val table : title:string -> x_label:string -> y_label:string -> series list -> table
+val render : table -> string
+(** Aligned text table: one row per distinct [x], one column per series. *)
+
+val to_csv : table -> string
+
+val write_csv : dir:string -> name:string -> table -> string
+(** Write [to_csv] under [dir] (created if missing); returns the path. *)
+
+(** Basic descriptive statistics used by tests and the bench harness. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+val min_max : float list -> float * float

@@ -1,0 +1,1 @@
+lib/storage/content_store.mli: Payload Simcore

@@ -1,0 +1,1 @@
+lib/storage/disk.ml: Fmt Rate_server Simcore Size

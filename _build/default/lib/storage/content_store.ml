@@ -1,0 +1,42 @@
+open Simcore
+
+type chunk_id = int
+type entry = { payload : Payload.t; mutable refs : int }
+
+type t = {
+  table : (chunk_id, entry) Hashtbl.t;
+  mutable next_id : chunk_id;
+  mutable total_bytes : int;
+}
+
+let create () = { table = Hashtbl.create 1024; next_id = 0; total_bytes = 0 }
+
+let put t payload =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.table id { payload; refs = 1 };
+  t.total_bytes <- t.total_bytes + Payload.length payload;
+  id
+
+let get t id =
+  let entry = Hashtbl.find t.table id in
+  entry.payload
+
+let incr_ref t id =
+  let entry = Hashtbl.find t.table id in
+  entry.refs <- entry.refs + 1
+
+let decr_ref t id =
+  let entry = Hashtbl.find t.table id in
+  entry.refs <- entry.refs - 1;
+  if entry.refs <= 0 then begin
+    Hashtbl.remove t.table id;
+    t.total_bytes <- t.total_bytes - Payload.length entry.payload
+  end
+
+let refs t id = match Hashtbl.find_opt t.table id with Some e -> e.refs | None -> 0
+
+let ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.table [] |> List.sort compare
+let mem t id = Hashtbl.mem t.table id
+let chunk_count t = Hashtbl.length t.table
+let total_bytes t = t.total_bytes

@@ -1,0 +1,35 @@
+(** In-memory chunk content store with reference counting.
+
+    Holds the payload of every stored chunk. Chunks are immutable;
+    structural sharing across snapshots is expressed by multiple references
+    to the same chunk id. The store tracks logical bytes held, which is what
+    the storage-utilization experiments report. *)
+
+open Simcore
+
+type t
+type chunk_id = int
+
+val create : unit -> t
+
+val put : t -> Payload.t -> chunk_id
+(** Store a payload with reference count 1. *)
+
+val get : t -> chunk_id -> Payload.t
+(** Raises [Not_found] for dead or unknown ids. *)
+
+val incr_ref : t -> chunk_id -> unit
+
+val decr_ref : t -> chunk_id -> unit
+(** Drops the chunk when the count reaches zero. *)
+
+val refs : t -> chunk_id -> int
+(** 0 for dead/unknown chunks. *)
+
+val mem : t -> chunk_id -> bool
+
+(** Live chunk ids, ascending (GC sweep enumeration). *)
+val ids : t -> chunk_id list
+val chunk_count : t -> int
+val total_bytes : t -> int
+(** Sum of payload lengths of live chunks. *)

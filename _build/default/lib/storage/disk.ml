@@ -1,0 +1,54 @@
+open Simcore
+
+type t = {
+  dname : string;
+  server : Rate_server.t;
+  capacity : int;
+  mutable used : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+let default_rate = 55.0 *. float_of_int Size.mib
+let default_per_op = 5e-4
+let default_seek = 8e-3
+
+let create engine ?(rate = default_rate) ?(per_op = default_per_op) ?(seek = default_seek)
+    ?(capacity = Size.gib_n 278) ?(name = "disk") () =
+  {
+    dname = name;
+    server = Rate_server.create engine ~rate ~per_op ~seek ~name ();
+    capacity;
+    used = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+  }
+
+let read t ?stream bytes =
+  Rate_server.process t.server ?stream bytes;
+  t.bytes_read <- t.bytes_read + bytes
+
+let write t ?stream bytes =
+  if t.used + bytes > t.capacity then
+    failwith (Fmt.str "Disk.write: %s full (%a used of %a)" t.dname Size.pp t.used
+                Size.pp t.capacity);
+  Rate_server.process t.server ?stream bytes;
+  t.used <- t.used + bytes;
+  t.bytes_written <- t.bytes_written + bytes
+
+let free t bytes =
+  if bytes < 0 || bytes > t.used then invalid_arg "Disk.free";
+  t.used <- t.used - bytes
+
+let reserve t bytes =
+  if bytes < 0 then invalid_arg "Disk.reserve";
+  if t.used + bytes > t.capacity then
+    failwith (Fmt.str "Disk.reserve: %s full" t.dname);
+  t.used <- t.used + bytes
+
+let name t = t.dname
+let capacity t = t.capacity
+let used t = t.used
+let bytes_read t = t.bytes_read
+let bytes_written t = t.bytes_written
+let busy_time t = Rate_server.busy_time t.server

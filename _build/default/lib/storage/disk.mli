@@ -1,0 +1,44 @@
+(** Local disk model.
+
+    A single spindle serving reads and writes FIFO at a sequential rate with
+    a per-operation positioning overhead. Matches the paper's testbed
+    ("local disk storage of 278 GB, access speed ~55 MB/s"). *)
+
+open Simcore
+
+type t
+
+val create :
+  Engine.t ->
+  ?rate:float ->
+  ?per_op:float ->
+  ?seek:float ->
+  ?capacity:int ->
+  ?name:string ->
+  unit ->
+  t
+(** Defaults: 55 MiB/s, 0.5 ms per operation, 8 ms seek on stream switch,
+    278 GiB capacity. *)
+
+val read : t -> ?stream:int -> int -> unit
+(** Block for the service time of reading [bytes]. [stream] identifies the
+    logical access stream: consecutive requests from the same stream are
+    sequential; switching streams pays a seek. *)
+
+val write : t -> ?stream:int -> int -> unit
+(** Block for the service time of writing [bytes]. Accounts the bytes
+    against capacity. Raises [Failure] when the disk is full. *)
+
+val free : t -> int -> unit
+(** Return previously written bytes to the free pool (deletion). *)
+
+val reserve : t -> int -> unit
+(** Account bytes against capacity without charging service time (e.g.
+    sparse-extension bookkeeping). Raises [Failure] when full. *)
+
+val name : t -> string
+val capacity : t -> int
+val used : t -> int
+val bytes_read : t -> int
+val bytes_written : t -> int
+val busy_time : t -> float

@@ -1,0 +1,1 @@
+lib/vdisk/block_dev.ml: Fmt Payload Simcore Sparse_bytes

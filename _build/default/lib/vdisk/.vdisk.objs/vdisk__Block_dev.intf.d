@@ -1,0 +1,1 @@
+lib/vdisk/block_dev.mli: Simcore

@@ -1,0 +1,1 @@
+lib/vdisk/mirror.ml: Blobseer Block_dev Client Disk Engine Hashtbl List Net Netsim Option Payload Prefetch Simcore Sparse_bytes Storage Trace

@@ -1,0 +1,1 @@
+lib/vdisk/mirror.mli: Blobseer Block_dev Client Disk Engine Net Netsim Payload Prefetch Simcore Storage

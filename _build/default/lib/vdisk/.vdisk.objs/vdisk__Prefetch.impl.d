@@ -1,0 +1,1 @@
+lib/vdisk/prefetch.ml: Engine Hashtbl Net Netsim Payload Simcore

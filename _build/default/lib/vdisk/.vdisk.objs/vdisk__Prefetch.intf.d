@@ -1,0 +1,1 @@
+lib/vdisk/prefetch.mli: Engine Net Netsim Payload Simcore

@@ -1,0 +1,1 @@
+lib/vdisk/qcow2.ml: Block_dev Disk Engine Fmt Hashtbl List Net Netsim Option Payload Pvfs Simcore Size Storage

@@ -1,0 +1,1 @@
+lib/vdisk/qcow2.mli: Block_dev Disk Engine Net Netsim Payload Pvfs Simcore Storage

@@ -1,0 +1,33 @@
+open Simcore
+
+type t = {
+  capacity : int;
+  read : offset:int -> len:int -> Payload.t;
+  write : offset:int -> Payload.t -> unit;
+  flush : unit -> unit;
+}
+
+let check t offset len =
+  if offset < 0 || len < 0 || offset + len > t.capacity then
+    invalid_arg
+      (Fmt.str "Block_dev: range [%d, %d) exceeds capacity %d" offset (offset + len)
+         t.capacity)
+
+let read t ~offset ~len =
+  check t offset len;
+  t.read ~offset ~len
+
+let write t ~offset payload =
+  check t offset (Payload.length payload);
+  t.write ~offset payload
+
+let flush t = t.flush ()
+
+let in_memory ~capacity =
+  let space = Sparse_bytes.create () in
+  {
+    capacity;
+    read = (fun ~offset ~len -> Sparse_bytes.read space ~offset ~len);
+    write = (fun ~offset payload -> Sparse_bytes.write space ~offset payload);
+    flush = (fun () -> ());
+  }

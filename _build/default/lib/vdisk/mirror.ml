@@ -1,0 +1,174 @@
+open Simcore
+open Netsim
+open Storage
+open Blobseer
+
+type t = {
+  engine : Engine.t;
+  host : Net.host;
+  local_disk : Disk.t;
+  base : Client.blob;
+  base_version : int;
+  prefetch : Prefetch.t option;
+  mname : string;
+  capacity : int;
+  chunk_size : int;
+  local : Sparse_bytes.t; (* chunk cache + COW diffs, chunk-addressed *)
+  present : (int, unit) Hashtbl.t; (* chunk locally available *)
+  dirty : (int, unit) Hashtbl.t; (* modified since last commit *)
+  mutable ckpt : Client.blob option;
+  mutable reserved : int; (* local-disk bytes held *)
+}
+
+let create engine ~host ~local_disk ~base ~base_version ?prefetch ~name () =
+  let chunk_size = Client.stripe_size base in
+  {
+    engine;
+    host;
+    local_disk;
+    base;
+    base_version;
+    prefetch;
+    mname = name;
+    capacity = Client.capacity base;
+    chunk_size;
+    local = Sparse_bytes.create ~block_size:chunk_size ();
+    present = Hashtbl.create 256;
+    dirty = Hashtbl.create 64;
+    ckpt = None;
+    reserved = 0;
+  }
+
+let name t = t.mname
+let capacity t = t.capacity
+let chunk_size t = t.chunk_size
+let checkpoint_image t = t.ckpt
+let dirty_chunks t = Hashtbl.length t.dirty
+
+let chunk_extent t index =
+  min t.capacity ((index + 1) * t.chunk_size) - (index * t.chunk_size)
+
+let dirty_bytes t = Hashtbl.fold (fun i () acc -> acc + chunk_extent t i) t.dirty 0
+let cached_chunks t = Hashtbl.length t.present
+let local_bytes t = t.reserved
+
+let local_stream t = Net.host_id t.host
+
+let reserve_local t bytes =
+  Disk.reserve t.local_disk bytes;
+  t.reserved <- t.reserved + bytes
+
+let drop_local_state t =
+  Disk.free t.local_disk t.reserved;
+  t.reserved <- 0;
+  Hashtbl.reset t.present;
+  Hashtbl.reset t.dirty;
+  Sparse_bytes.clear t.local
+
+(* Bring chunk [index] into the local cache, lazily. The fetch is coalesced
+   through the prefetcher when the chunk is shared with other instances. *)
+let ensure_present t index =
+  if not (Hashtbl.mem t.present index) then begin
+    let extent = chunk_extent t index in
+    let fetch_plain () =
+      Client.read_chunk t.base ~from:t.host ~version:t.base_version ~chunk:index
+    in
+    let payload =
+      match (t.prefetch, Client.chunk_identity t.base ~version:t.base_version ~chunk:index) with
+      | Some prefetch, Some key ->
+          let provider_host =
+            Option.get (Client.chunk_host t.base ~version:t.base_version ~chunk:index)
+          in
+          Prefetch.fetch prefetch ~self:t.host ~key ~provider_host ~fetch_fn:fetch_plain
+      | _ -> fetch_plain ()
+    in
+    assert (Payload.length payload = extent);
+    (* Cache fill: write-through to the local disk. *)
+    reserve_local t extent;
+    Disk.write t.local_disk ~stream:(local_stream t) extent;
+    Disk.free t.local_disk extent;
+    Sparse_bytes.write t.local ~offset:(index * t.chunk_size) payload;
+    Hashtbl.replace t.present index ()
+  end
+
+let check_range t offset len =
+  if offset < 0 || len < 0 || offset + len > t.capacity then
+    invalid_arg "Mirror: range out of bounds"
+
+let read t ~offset ~len =
+  check_range t offset len;
+  if len = 0 then Payload.zero 0
+  else begin
+    let cs = t.chunk_size in
+    let first = offset / cs and last = (offset + len - 1) / cs in
+    for index = first to last do
+      ensure_present t index
+    done;
+    Disk.read t.local_disk ~stream:(local_stream t) len;
+    Sparse_bytes.read t.local ~offset ~len
+  end
+
+let write t ~offset payload =
+  let len = Payload.length payload in
+  check_range t offset len;
+  if len > 0 then begin
+    let cs = t.chunk_size in
+    let first = offset / cs and last = (offset + len - 1) / cs in
+    for index = first to last do
+      let cstart = index * cs in
+      let covers_whole =
+        offset <= cstart && offset + len >= cstart + chunk_extent t index
+      in
+      (* A partial write to a chunk we do not hold needs its old content
+         (copy-on-write); a full overwrite does not. *)
+      if not covers_whole then ensure_present t index
+      else if not (Hashtbl.mem t.present index) then begin
+        reserve_local t (chunk_extent t index);
+        Hashtbl.replace t.present index ()
+      end;
+      Hashtbl.replace t.dirty index ()
+    done;
+    Disk.write t.local_disk ~stream:(local_stream t) len;
+    Disk.free t.local_disk len;
+    Sparse_bytes.write t.local ~offset payload
+  end
+
+let device t =
+  {
+    Block_dev.capacity = t.capacity;
+    read = (fun ~offset ~len -> read t ~offset ~len);
+    write = (fun ~offset payload -> write t ~offset payload);
+    flush = (fun () -> ());
+  }
+
+let taint_all t =
+  Hashtbl.iter (fun index () -> Hashtbl.replace t.dirty index ()) t.present
+
+let clone t =
+  match t.ckpt with
+  | Some _ -> ()
+  | None ->
+      Trace.emit t.engine ~component:t.mname "CLONE from blob %d v%d"
+        (Client.blob_id t.base) t.base_version;
+      t.ckpt <- Some (Client.clone t.base ~from:t.host ~version:t.base_version)
+
+let commit t =
+  clone t;
+  let ckpt = Option.get t.ckpt in
+  let indices = Hashtbl.fold (fun i () acc -> i :: acc) t.dirty [] |> List.sort compare in
+  (* Reading the accumulated differences back off the local disk before
+     shipping them to the repository. *)
+  let bytes = dirty_bytes t in
+  if bytes > 0 then Disk.read t.local_disk ~stream:(local_stream t) bytes;
+  let runs =
+    List.map
+      (fun index ->
+        let offset = index * t.chunk_size in
+        (offset, Sparse_bytes.read t.local ~offset ~len:(chunk_extent t index)))
+      indices
+  in
+  let version = Client.write_multi ckpt ~from:t.host runs in
+  Trace.emit t.engine ~component:t.mname "COMMIT %d chunks (%d bytes) -> v%d"
+    (List.length indices) bytes version;
+  Hashtbl.reset t.dirty;
+  version

@@ -1,0 +1,77 @@
+(** The BlobCR mirroring module.
+
+    Sits between the hypervisor and the checkpoint repository, exposing a
+    BlobSeer snapshot as a plain raw block device (the paper implements
+    this over FUSE). Internally it:
+
+    - {e lazily fetches} chunks of the backing snapshot on first access and
+      caches them on the compute node's local disk (optionally coalescing
+      fetches of shared chunks through a {!Prefetch.t});
+    - keeps {e local modifications} as copy-on-write differences on the
+      local disk, never touching the repository during normal execution;
+    - implements the two ioctl primitives of the paper: {!clone} (derive
+      the per-VM checkpoint image from the base image, zero-copy) and
+      {!commit} (push the accumulated differences into the checkpoint image
+      as one incremental snapshot and return its version). *)
+
+open Simcore
+open Netsim
+open Storage
+open Blobseer
+
+type t
+
+val create :
+  Engine.t ->
+  host:Net.host ->
+  local_disk:Disk.t ->
+  base:Client.blob ->
+  base_version:int ->
+  ?prefetch:Prefetch.t ->
+  name:string ->
+  unit ->
+  t
+(** A mirror of snapshot [base_version] of [base]. On restart, pass the
+    checkpoint image and the snapshot version to roll back to. *)
+
+val name : t -> string
+val capacity : t -> int
+val chunk_size : t -> int
+(** Equals the repository stripe size: COW granularity. *)
+
+val device : t -> Block_dev.t
+
+val read : t -> offset:int -> len:int -> Payload.t
+val write : t -> offset:int -> Payload.t -> unit
+
+val clone : t -> unit
+(** The [CLONE] ioctl: create this instance's checkpoint image as a clone
+    of the base snapshot. Idempotent; {!commit} calls it on demand. *)
+
+val commit : t -> int
+(** The [COMMIT] ioctl: write every chunk dirtied since the previous commit
+    into the checkpoint image as one incremental snapshot; returns the
+    published version. A commit with no dirty chunks still publishes (an
+    empty incremental snapshot). *)
+
+val checkpoint_image : t -> Client.blob option
+(** The per-instance checkpoint image; [None] before the first {!clone}. *)
+
+val taint_all : t -> unit
+(** Mark every locally present chunk dirty, forcing the next {!commit} to
+    re-push the whole local image state — the ablation baseline that
+    isolates the value of incremental snapshotting. *)
+
+val dirty_chunks : t -> int
+val dirty_bytes : t -> int
+(** Size of the diff the next {!commit} will push (chunk-granular). *)
+
+val cached_chunks : t -> int
+(** Chunks fetched from the repository so far (lazy-transfer footprint). *)
+
+val local_bytes : t -> int
+(** Local-disk bytes used by cache plus COW differences. *)
+
+val drop_local_state : t -> unit
+(** Release the mirror's local-disk footprint (instance terminated and its
+    node-local storage reclaimed). *)

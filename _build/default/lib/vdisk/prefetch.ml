@@ -1,0 +1,46 @@
+open Simcore
+open Netsim
+
+type state =
+  | Fetching of (Payload.t, exn) result Engine.Ivar.t
+  | Done of Payload.t
+
+type t = {
+  engine : Engine.t;
+  net : Net.t;
+  table : (int * int, state) Hashtbl.t;
+  mutable distinct : int;
+  mutable coalesced : int;
+}
+
+let create engine net () =
+  { engine; net; table = Hashtbl.create 1024; distinct = 0; coalesced = 0 }
+
+let serve_cached t ~self ~provider_host payload =
+  t.coalesced <- t.coalesced + 1;
+  Net.transfer t.net ~src:provider_host ~dst:self (Payload.length payload);
+  payload
+
+let rec fetch t ~self ~key ~provider_host ~fetch_fn =
+  match Hashtbl.find_opt t.table key with
+  | Some (Done payload) -> serve_cached t ~self ~provider_host payload
+  | Some (Fetching ivar) -> (
+      match Engine.Ivar.read ivar with
+      | Ok payload -> serve_cached t ~self ~provider_host payload
+      | Error _ ->
+          (* The fetching instance died (e.g. was killed mid-read); retry
+             the fetch ourselves. *)
+          fetch t ~self ~key ~provider_host ~fetch_fn)
+  | None ->
+      let ivar = Engine.Ivar.create t.engine in
+      Hashtbl.replace t.table key (Fetching ivar);
+      t.distinct <- t.distinct + 1;
+      let result = try Ok (fetch_fn ()) with exn -> Error exn in
+      (match result with
+      | Ok payload -> Hashtbl.replace t.table key (Done payload)
+      | Error _ -> Hashtbl.remove t.table key);
+      Engine.Ivar.fill ivar result;
+      (match result with Ok payload -> payload | Error exn -> raise exn)
+
+let distinct_fetches t = t.distinct
+let coalesced_fetches t = t.coalesced

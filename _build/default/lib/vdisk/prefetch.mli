@@ -1,0 +1,40 @@
+(** Adaptive cooperative prefetching for multi-deployment reads.
+
+    When many VM instances boot concurrently from snapshots that share
+    content (the common base image), each instance would fetch the same
+    physical chunks from the checkpoint repository. The prefetcher exploits
+    the execution jitter between instances (Section 3.1.4 / [25] of the
+    paper): the {e first} instance to touch a chunk performs the real
+    repository read; every other instance either joins the in-flight fetch
+    or is served from the already-fetched copy — paying network transfer
+    from the chunk's provider but no repeated provider disk I/O.
+
+    Chunks are keyed by physical identity [(provider, chunk_id)], so
+    sharing works across distinct per-VM checkpoint images that were cloned
+    from the same base. *)
+
+open Simcore
+open Netsim
+
+type t
+
+val create : Engine.t -> Net.t -> unit -> t
+
+val fetch :
+  t ->
+  self:Net.host ->
+  key:int * int ->
+  provider_host:Net.host ->
+  fetch_fn:(unit -> Payload.t) ->
+  Payload.t
+(** [fetch t ~self ~key ~provider_host ~fetch_fn] returns the chunk
+    payload. Exactly one caller per [key] runs [fetch_fn] (the full-cost
+    repository read); concurrent callers block on it and then pay only the
+    provider → [self] network transfer; later callers pay the transfer
+    immediately (a provider-cache hit). *)
+
+val distinct_fetches : t -> int
+(** Number of keys fetched at full cost so far. *)
+
+val coalesced_fetches : t -> int
+(** Number of calls that were served without a repository disk read. *)

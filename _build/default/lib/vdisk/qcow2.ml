@@ -1,0 +1,312 @@
+open Simcore
+open Netsim
+open Storage
+
+type remote_image = {
+  rfs : Pvfs.t;
+  rfile : Pvfs.file;
+  rcapacity : int;
+  rcluster_size : int;
+  rmeta_bytes : int;
+  rtable : (int, int) Hashtbl.t; (* guest cluster -> physical cluster *)
+  rsnapshots : (string * (int, int) Hashtbl.t * (int * int)) list;
+      (* name, table, (vm_state offset, len) in file *)
+  rbacking : backing;
+}
+
+and backing = No_backing | Raw_pvfs of Pvfs.file | Qcow2_remote of remote_image
+
+type snapshot = {
+  stable : (int, int) Hashtbl.t;
+  svm_state : Payload.t;
+}
+
+type t = {
+  engine : Engine.t;
+  host : Net.host;
+  local_disk : Disk.t;
+  qname : string;
+  qcapacity : int;
+  qcluster_size : int;
+  backing : backing;
+  data : (int, Payload.t) Hashtbl.t; (* physical cluster -> content *)
+  mutable table : (int, int) Hashtbl.t; (* guest cluster -> physical *)
+  refcounts : (int, int) Hashtbl.t; (* physical -> table references *)
+  mutable snapshots : (string * snapshot) list; (* newest first *)
+  mutable next_phys : int;
+  mutable snapshot_meta_bytes : int; (* stored tables + vm states *)
+}
+
+let default_cluster_size = 64 * Size.kib
+
+let table_bytes ~capacity ~cluster_size =
+  (* L1/L2/refcount entries: ~16 bytes of metadata per addressable
+     cluster, rounded up to a cluster. *)
+  let entries = Size.div_ceil capacity cluster_size in
+  Size.round_up (16 * entries) cluster_size
+
+let header_bytes ~capacity ~cluster_size =
+  cluster_size + table_bytes ~capacity ~cluster_size
+
+let create engine ~host ~local_disk ?(cluster_size = default_cluster_size) ~capacity
+    ~backing ~name () =
+  if capacity <= 0 || cluster_size <= 0 then invalid_arg "Qcow2.create";
+  (match backing with
+  | Qcow2_remote r when r.rcapacity <> capacity ->
+      invalid_arg "Qcow2.create: backing capacity mismatch"
+  | _ -> ());
+  let t =
+    {
+      engine;
+      host;
+      local_disk;
+      qname = name;
+      qcapacity = capacity;
+      qcluster_size = cluster_size;
+      backing;
+      data = Hashtbl.create 256;
+      table = Hashtbl.create 256;
+      refcounts = Hashtbl.create 256;
+      snapshots = [];
+      next_phys = 0;
+      snapshot_meta_bytes = 0;
+    }
+  in
+  (* The freshly created file holds header + empty tables. *)
+  Disk.reserve local_disk (header_bytes ~capacity ~cluster_size);
+  t
+
+let name t = t.qname
+let capacity t = t.qcapacity
+let cluster_size t = t.qcluster_size
+let allocated_clusters t = t.next_phys
+let data_bytes t = t.next_phys * t.qcluster_size
+
+let file_size t =
+  header_bytes ~capacity:t.qcapacity ~cluster_size:t.qcluster_size
+  + data_bytes t + t.snapshot_meta_bytes
+
+let drop_local t =
+  Disk.free t.local_disk (file_size t);
+  Hashtbl.reset t.data;
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.refcounts;
+  t.snapshots <- []
+
+let local_stream t = Net.host_id t.host
+
+let cluster_extent t index = min t.qcapacity ((index + 1) * t.qcluster_size) - (index * t.qcluster_size)
+
+(* ------------------------------------------------------------------ *)
+(* Remote (exported) image reads *)
+
+let rec backing_cluster_content ~engine ~from ~backing ~cluster_size ~capacity index =
+  let cstart = index * cluster_size in
+  let extent = min capacity (cstart + cluster_size) - cstart in
+  match backing with
+  | No_backing -> Payload.zero extent
+  | Raw_pvfs file ->
+      let readable = max 0 (min extent (Pvfs.size file - cstart)) in
+      if readable <= 0 then Payload.zero extent
+      else
+        let p = Pvfs.read file ~from ~offset:cstart ~len:readable in
+        if readable = extent then p else Payload.concat [ p; Payload.zero (extent - readable) ]
+  | Qcow2_remote r -> (
+      match Hashtbl.find_opt r.rtable index with
+      | Some phys ->
+          Pvfs.read r.rfile ~from ~offset:(r.rmeta_bytes + (phys * r.rcluster_size)) ~len:extent
+      | None ->
+          backing_cluster_content ~engine ~from ~backing:r.rbacking
+            ~cluster_size:r.rcluster_size ~capacity:r.rcapacity index)
+
+(* ------------------------------------------------------------------ *)
+(* Local reads and writes *)
+
+let local_cluster t index = Hashtbl.find_opt t.table index
+
+let read_cluster t index =
+  let extent = cluster_extent t index in
+  match local_cluster t index with
+  | Some phys ->
+      Disk.read t.local_disk ~stream:(local_stream t) extent;
+      let p = Hashtbl.find t.data phys in
+      Payload.sub p ~pos:0 ~len:extent
+  | None ->
+      backing_cluster_content ~engine:t.engine ~from:t.host ~backing:t.backing
+        ~cluster_size:t.qcluster_size ~capacity:t.qcapacity index
+
+let read t ~offset ~len =
+  if offset < 0 || len < 0 || offset + len > t.qcapacity then
+    invalid_arg "Qcow2.read: out of bounds";
+  if len = 0 then Payload.zero 0
+  else begin
+    let cs = t.qcluster_size in
+    let first = offset / cs and last = (offset + len - 1) / cs in
+    let parts = List.init (last - first + 1) (fun k -> read_cluster t (first + k)) in
+    Payload.sub (Payload.concat parts) ~pos:(offset - (first * cs)) ~len
+  end
+
+let alloc_phys t =
+  let phys = t.next_phys in
+  t.next_phys <- t.next_phys + 1;
+  (* The file grows by one cluster. *)
+  Disk.reserve t.local_disk t.qcluster_size;
+  phys
+
+let refs t phys = Option.value ~default:0 (Hashtbl.find_opt t.refcounts phys)
+
+let write_cluster t index content =
+  let extent = cluster_extent t index in
+  assert (Payload.length content = extent);
+  match local_cluster t index with
+  | Some phys when refs t phys <= 1 ->
+      (* Sole reference: overwrite in place. *)
+      Disk.write t.local_disk ~stream:(local_stream t) extent;
+      Disk.free t.local_disk extent;
+      Hashtbl.replace t.data phys content
+  | Some _ | None ->
+      (* Unallocated, or frozen by a snapshot: allocate a fresh cluster. *)
+      let phys = alloc_phys t in
+      Disk.write t.local_disk ~stream:(local_stream t) extent;
+      Disk.free t.local_disk extent;
+      (match local_cluster t index with
+      | Some old -> Hashtbl.replace t.refcounts old (refs t old - 1)
+      | None -> ());
+      Hashtbl.replace t.data phys content;
+      Hashtbl.replace t.table index phys;
+      Hashtbl.replace t.refcounts phys 1
+
+let write t ~offset payload =
+  let len = Payload.length payload in
+  if offset < 0 || offset + len > t.qcapacity then invalid_arg "Qcow2.write: out of bounds";
+  if len > 0 then begin
+    let cs = t.qcluster_size in
+    let first = offset / cs and last = (offset + len - 1) / cs in
+    for index = first to last do
+      let cstart = index * cs in
+      let extent = cluster_extent t index in
+      let wstart = max cstart offset and wend = min (cstart + extent) (offset + len) in
+      let content =
+        if wstart = cstart && wend = cstart + extent then
+          Payload.sub payload ~pos:(cstart - offset) ~len:extent
+        else begin
+          (* Partial cluster write: copy-on-write needs the old content. *)
+          let old = read_cluster t index in
+          Payload.concat
+            [
+              Payload.sub old ~pos:0 ~len:(wstart - cstart);
+              Payload.sub payload ~pos:(wstart - offset) ~len:(wend - wstart);
+              Payload.sub old ~pos:(wend - cstart) ~len:(cstart + extent - wend);
+            ]
+        end
+      in
+      write_cluster t index content
+    done
+  end
+
+let device t =
+  {
+    Block_dev.capacity = t.qcapacity;
+    read = (fun ~offset ~len -> read t ~offset ~len);
+    write = (fun ~offset payload -> write t ~offset payload);
+    flush = (fun () -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Internal snapshots *)
+
+let savevm t ~snapshot_name ~vm_state =
+  if List.mem_assoc snapshot_name t.snapshots then
+    invalid_arg (Fmt.str "Qcow2.savevm: snapshot %s exists" snapshot_name);
+  let stable = Hashtbl.copy t.table in
+  Hashtbl.iter (fun _ phys -> Hashtbl.replace t.refcounts phys (refs t phys + 1)) stable;
+  let meta =
+    Payload.length vm_state
+    + table_bytes ~capacity:t.qcapacity ~cluster_size:t.qcluster_size
+  in
+  (* Dumping the VM state is a local sequential write into the image. *)
+  Disk.write t.local_disk ~stream:(local_stream t) (Payload.length vm_state);
+  Disk.reserve t.local_disk meta;
+  Disk.free t.local_disk (Payload.length vm_state);
+  t.snapshot_meta_bytes <- t.snapshot_meta_bytes + meta;
+  t.snapshots <- (snapshot_name, { stable; svm_state = vm_state }) :: t.snapshots
+
+let snapshot_names t = List.rev_map fst t.snapshots
+
+(* ------------------------------------------------------------------ *)
+(* Export to PVFS *)
+
+let export t fs ~from ~path =
+  let meta_bytes = header_bytes ~capacity:t.qcapacity ~cluster_size:t.qcluster_size in
+  let size = file_size t in
+  (* Read the local file sequentially... *)
+  Disk.read t.local_disk ~stream:(local_stream t) size;
+  (* ...and stream it into a fresh PVFS file: metadata region, clusters in
+     physical order, then snapshot tables and VM states. *)
+  if Pvfs.exists fs ~path then Pvfs.delete fs ~from ~path;
+  let file = Pvfs.create fs ~from ~path in
+  let clusters =
+    List.init t.next_phys (fun phys ->
+        match Hashtbl.find_opt t.data phys with
+        | Some p ->
+            if Payload.length p = t.qcluster_size then p
+            else Payload.concat [ p; Payload.zero (t.qcluster_size - Payload.length p) ]
+        | None -> Payload.zero t.qcluster_size)
+  in
+  let vm_states = List.rev_map (fun (_, s) -> s.svm_state) t.snapshots in
+  let image =
+    Payload.concat ((Payload.zero meta_bytes :: clusters) @ vm_states)
+  in
+  Pvfs.write file ~from ~offset:0 image;
+  (* Pad the accounting to the full file size (snapshot tables etc.). *)
+  let written = Payload.length image in
+  if written < size then Pvfs.write file ~from ~offset:written (Payload.zero (size - written));
+  (* VM state offsets within the exported file, oldest snapshot first. *)
+  let snap_offsets =
+    let base = ref (meta_bytes + (t.next_phys * t.qcluster_size)) in
+    List.rev_map
+      (fun (sname, s) ->
+        let off = !base in
+        let len = Payload.length s.svm_state in
+        base := !base + len;
+        (sname, Hashtbl.copy s.stable, (off, len)))
+      t.snapshots
+  in
+  {
+    rfs = fs;
+    rfile = file;
+    rcapacity = t.qcapacity;
+    rcluster_size = t.qcluster_size;
+    rmeta_bytes = meta_bytes;
+    rtable = Hashtbl.copy t.table;
+    rsnapshots = snap_offsets;
+    rbacking = t.backing;
+  }
+
+let remote_file_size r = Pvfs.size r.rfile
+let remote_capacity r = r.rcapacity
+
+let remote_vm_state r ~from ~snapshot_name =
+  let _, _, (off, len) =
+    List.find (fun (n, _, _) -> n = snapshot_name) r.rsnapshots
+  in
+  Pvfs.read r.rfile ~from ~offset:off ~len
+
+let remote_vm_state_streamed r ~from ~snapshot_name ~record =
+  if record <= 0 then invalid_arg "Qcow2.remote_vm_state_streamed: record";
+  let _, _, (off, len) =
+    List.find (fun (n, _, _) -> n = snapshot_name) r.rsnapshots
+  in
+  let rec stream pos acc =
+    if pos >= len then Payload.concat (List.rev acc)
+    else begin
+      let n = min record (len - pos) in
+      let part = Pvfs.read r.rfile ~from ~offset:(off + pos) ~len:n in
+      stream (pos + n) (part :: acc)
+    end
+  in
+  stream 0 []
+
+let remote_table_of_snapshot r ~snapshot_name =
+  let _, table, _ = List.find (fun (n, _, _) -> n = snapshot_name) r.rsnapshots in
+  { r with rtable = table }

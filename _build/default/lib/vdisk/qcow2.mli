@@ -1,0 +1,104 @@
+(** qcow2-style copy-on-write disk images (the paper's baseline).
+
+    A qcow2 image stores only the clusters its VM has written, backed by a
+    read-only {e backing image} for everything else. Internal snapshots
+    ([savevm]) freeze the current cluster table inside the same file —
+    later writes copy-on-write within the file — and can store the full VM
+    state (RAM, devices) alongside.
+
+    What qcow2 {e cannot} do (and the reason BlobCR wins Figure 5) is
+    transparent incremental {e disk} snapshots: taking a disk snapshot means
+    copying the whole current image file to the parallel file system with
+    {!export}, and successive snapshots re-copy everything accumulated so
+    far.
+
+    Images live on a compute node's local disk; exported images live in
+    PVFS and can serve as backing for freshly created images on other
+    nodes. *)
+
+open Simcore
+open Netsim
+open Storage
+
+type t
+type remote_image
+
+type backing =
+  | No_backing
+  | Raw_pvfs of Pvfs.file  (** raw base image shared through PVFS *)
+  | Qcow2_remote of remote_image  (** exported snapshot chain in PVFS *)
+
+val create :
+  Engine.t ->
+  host:Net.host ->
+  local_disk:Disk.t ->
+  ?cluster_size:int ->
+  capacity:int ->
+  backing:backing ->
+  name:string ->
+  unit ->
+  t
+(** Fresh image with no allocated clusters. Default cluster size 64 KiB.
+    [host] is the compute node, used for remote backing reads. *)
+
+val name : t -> string
+val capacity : t -> int
+val cluster_size : t -> int
+
+val read : t -> offset:int -> len:int -> Payload.t
+(** Allocated clusters read from the local disk; anything else falls
+    through the backing chain (remote I/O through PVFS). *)
+
+val write : t -> offset:int -> Payload.t -> unit
+(** Copy-on-write at cluster granularity: first write to a cluster fetches
+    its backing content (for partial writes), and writes to snapshot-frozen
+    clusters allocate fresh ones. *)
+
+val device : t -> Block_dev.t
+
+val file_size : t -> int
+(** Bytes the image file occupies locally: header and lookup tables,
+    allocated clusters, plus internal-snapshot tables and VM states. This
+    is what a disk snapshot must copy to PVFS. *)
+
+val data_bytes : t -> int
+(** Allocated cluster bytes only. *)
+
+val allocated_clusters : t -> int
+
+val drop_local : t -> unit
+(** Release the image's local-disk footprint (instance terminated, node
+    space reclaimed). The image must not be used afterwards. *)
+
+(** {1 Internal snapshots (savevm)} *)
+
+val savevm : t -> snapshot_name:string -> vm_state:Payload.t -> unit
+(** Freeze the current cluster table under [snapshot_name] and store the VM
+    state in the image (charged as a local disk write). *)
+
+val snapshot_names : t -> string list
+
+(** {1 Export / remote images} *)
+
+val export : t -> Pvfs.t -> from:Net.host -> path:string -> remote_image
+(** The disk-snapshot operation: read the whole local image file and write
+    it to PVFS as a standalone file (replacing any previous file at
+    [path]). The result can back new images and serve VM states. *)
+
+val remote_file_size : remote_image -> int
+val remote_capacity : remote_image -> int
+
+val remote_vm_state : remote_image -> from:Net.host -> snapshot_name:string -> Payload.t
+(** Fetch a stored VM state from the exported image (full-snapshot
+    restart). Raises [Not_found] if there is no such snapshot. *)
+
+val remote_vm_state_streamed :
+  remote_image -> from:Net.host -> snapshot_name:string -> record:int -> Payload.t
+(** Like {!remote_vm_state} but reading the state the way a resuming
+    hypervisor does: sequentially, [record] bytes per request, paying the
+    file-system request path on each record. *)
+
+val remote_table_of_snapshot : remote_image -> snapshot_name:string -> remote_image
+(** View of the exported image as of an internal snapshot: reads resolve
+    through that snapshot's cluster table (used to resume a VM from a full
+    snapshot without rebooting). *)

@@ -1,0 +1,1 @@
+lib/vmsim/blcr.ml: Engine Filename Fmt Guest_fs Hashtbl Int64 List Option Payload Process Simcore Size String Vm

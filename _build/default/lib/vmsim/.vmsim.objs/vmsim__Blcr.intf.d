@@ -1,0 +1,1 @@
+lib/vmsim/blcr.mli: Payload Simcore Vm

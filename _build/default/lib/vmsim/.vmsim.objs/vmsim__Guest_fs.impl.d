@@ -1,0 +1,1 @@
+lib/vmsim/guest_fs.ml: Block_dev Bytes Hashtbl Int64 List Marshal Payload Simcore Size String Vdisk

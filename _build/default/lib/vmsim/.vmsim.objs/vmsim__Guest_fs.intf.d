@@ -1,0 +1,1 @@
+lib/vmsim/guest_fs.mli: Block_dev Payload Simcore Vdisk

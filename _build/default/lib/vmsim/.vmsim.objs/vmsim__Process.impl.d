@@ -1,0 +1,1 @@
+lib/vmsim/process.ml:

@@ -1,0 +1,1 @@
+lib/vmsim/vm.ml: Block_dev Engine Fmt Guest_fs Int64 List Net Netsim Payload Process Rng Simcore Size Trace Vdisk

@@ -1,0 +1,1 @@
+lib/vmsim/vm.mli: Block_dev Engine Guest_fs Net Netsim Process Simcore Vdisk

@@ -1,0 +1,75 @@
+open Simcore
+
+let checkpoint_dir = "/ckpt/blcr"
+
+(* Serializing memory costs CPU: ~1 GiB/s. *)
+let serialize_rate = float_of_int Size.gib
+
+let dump_payload ~mem ~seq = Payload.pattern ~seed:(Int64.of_int (0xB1C4 + seq)) mem
+
+let dump_path ~name ~epoch = Fmt.str "%s/%s.ctx.%d" checkpoint_dir name epoch
+
+(* Dump files found in [fs], as (process name, newest epoch) pairs. *)
+let scan fs =
+  let prefix = checkpoint_dir ^ "/" in
+  let newest = Hashtbl.create 8 in
+  List.iter
+    (fun path ->
+      if String.length path > String.length prefix
+         && String.sub path 0 (String.length prefix) = prefix
+      then
+        match String.rindex_opt path '.' with
+        | Some dot -> (
+            let stem = String.sub path (String.length prefix) (dot - String.length prefix) in
+            match
+              ( Filename.check_suffix stem ".ctx",
+                int_of_string_opt (String.sub path (dot + 1) (String.length path - dot - 1)) )
+            with
+            | true, Some epoch ->
+                let name = Filename.chop_suffix stem ".ctx" in
+                let current = Option.value ~default:(-1) (Hashtbl.find_opt newest name) in
+                if epoch > current then Hashtbl.replace newest name epoch
+            | _ -> ())
+        | None -> ())
+    (Guest_fs.list_files fs);
+  Hashtbl.fold (fun name epoch acc -> (name, epoch) :: acc) newest []
+  |> List.sort compare
+
+let dump vm =
+  let fs = Vm.fs vm in
+  let engine = Vm.engine vm in
+  let existing = scan fs in
+  let next_epoch name =
+    match List.assoc_opt name existing with Some e -> e + 1 | None -> 0
+  in
+  let total = ref 0 in
+  List.iteri
+    (fun seq proc ->
+      let mem = Process.mem proc in
+      let name = Process.name proc in
+      Engine.sleep engine (float_of_int mem /. serialize_rate);
+      (* Each checkpoint request produces a fresh context file. *)
+      Guest_fs.write_file fs
+        ~path:(dump_path ~name ~epoch:(next_epoch name))
+        (dump_payload ~mem ~seq);
+      total := !total + mem)
+    (Vm.processes vm);
+  Guest_fs.sync fs;
+  !total
+
+let restore vm =
+  let fs = Vm.fs vm in
+  let dumps = scan fs in
+  if dumps = [] then failwith "Blcr.restore: no process dumps found";
+  List.fold_left
+    (fun acc (name, epoch) ->
+      let payload = Guest_fs.read_file fs ~path:(dump_path ~name ~epoch) in
+      ignore (Vm.register_process vm ~name ~mem:(Payload.length payload));
+      acc + Payload.length payload)
+    0 dumps
+
+let newest_dump vm ~name =
+  let fs = Vm.fs vm in
+  match List.assoc_opt name (scan fs) with
+  | Some epoch -> Guest_fs.read_file fs ~path:(dump_path ~name ~epoch)
+  | None -> raise Not_found

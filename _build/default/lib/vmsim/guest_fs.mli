@@ -1,0 +1,59 @@
+(** Guest file system.
+
+    A simple extent-based file system living on a {!Vdisk.Block_dev.t} —
+    the guest-visible persistence layer that the paper's checkpoint
+    protocols dump process state into. Two properties matter for BlobCR:
+
+    - writes are buffered in the page cache and only reach the virtual disk
+      on {!sync} (the paper inserts an explicit [sync] before requesting a
+      disk snapshot to avoid corruption);
+    - all metadata is serialized onto the device, so a file system written
+      by one VM can be {!mount}ed by a replacement VM booted from a disk
+      snapshot — which is how restart recovers checkpoint files, and how
+      rolled-back file modifications vanish. *)
+
+open Simcore
+open Vdisk
+
+type t
+
+exception Fs_full
+
+val format : Block_dev.t -> ?block_size:int -> ?meta_region:int -> unit -> t
+(** Create an empty file system. Default 4 KiB blocks and a 4 MiB metadata
+    region. Writes the initial superblock (buffered until {!sync}). *)
+
+val mount : Block_dev.t -> t
+(** Read the superblock and file table back from the device (charging the
+    device reads). Raises [Failure] if the device holds no valid file
+    system. *)
+
+val block_size : t -> int
+
+val write_file : t -> path:string -> Payload.t -> unit
+(** Create or replace a file (page cache only until {!sync}). *)
+
+val append_file : t -> path:string -> Payload.t -> unit
+
+val read_file : t -> path:string -> Payload.t
+(** From the page cache, or loaded from the device on first access.
+    Raises [Not_found]. *)
+
+val file_size : t -> path:string -> int
+val exists : t -> path:string -> bool
+val list_files : t -> string list
+(** Sorted. *)
+
+val delete_file : t -> path:string -> unit
+(** Frees the file's extents for reuse. *)
+
+val sync : t -> unit
+(** Flush dirty file contents and metadata to the device, then flush the
+    device itself. After [sync], a disk snapshot captures a consistent
+    image. *)
+
+val dirty_bytes : t -> int
+(** Bytes the next {!sync} will write (data only). *)
+
+val used_bytes : t -> int
+(** Device bytes allocated to files (block-granular). *)

@@ -1,0 +1,6 @@
+type t = { pname : string; mutable pmem : int }
+
+let create ~name ~mem = { pname = name; pmem = mem }
+let name t = t.pname
+let mem t = t.pmem
+let set_mem t mem = t.pmem <- mem

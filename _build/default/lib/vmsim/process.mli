@@ -1,0 +1,13 @@
+(** Guest process descriptor: name plus tracked memory footprint.
+
+    The footprint is what process-level checkpointing (BLCR) dumps —
+    indiscriminately, the paper notes, which is why blcr snapshots are
+    larger than application-level ones. *)
+
+type t
+
+val create : name:string -> mem:int -> t
+val name : t -> string
+val mem : t -> int
+val set_mem : t -> int -> unit
+(** Update the tracked footprint as the application allocates. *)

@@ -1,0 +1,1 @@
+lib/workloads/cm1.ml: Approach Array Blcr Blobcr Cluster Comm Engine Fmt Guest_fs Int64 List Mpisim Payload Process Simcore Size Vm Vmsim

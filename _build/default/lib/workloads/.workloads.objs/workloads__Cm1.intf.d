@@ -1,0 +1,1 @@
+lib/workloads/cm1.mli: Approach Blobcr Cluster

@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Approach Blcr Blobcr Engine Fmt Fun Guest_fs Hashtbl Int64 List Payload Process Simcore Size String Vm Vmsim

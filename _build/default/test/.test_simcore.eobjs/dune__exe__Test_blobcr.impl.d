@@ -1,0 +1,1 @@
+test/test_blobcr.ml: Alcotest Approach Blobcr Blobseer Calibration Ckpt_proxy Cluster Cm1 Engine Fmt Gc Guest_fs List Payload Protocol Simcore Size String Synthetic Trace Vdisk Vm Vmsim Workloads

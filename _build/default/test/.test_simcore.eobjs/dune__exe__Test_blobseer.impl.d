@@ -1,0 +1,1 @@
+test/test_blobseer.ml: Alcotest Array Blobseer Bytes Char Client Data_provider Disk Engine Fmt Fun List Net Netsim Option Payload QCheck QCheck_alcotest Segment_tree Simcore Size Storage String Types

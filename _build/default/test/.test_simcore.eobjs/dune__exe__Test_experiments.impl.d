@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Blobcr Cm1_sweep Combos Experiments Fmt Lazy List Option Registry Scale Simcore Stats String Synthetic_sweep

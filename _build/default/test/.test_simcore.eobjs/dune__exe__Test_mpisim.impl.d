@@ -1,0 +1,1 @@
+test/test_mpisim.ml: Alcotest Blcr Comm Engine Fmt Guest_fs List Mpisim Net Netsim Option Process Simcore Size String Vdisk Vm Vmsim

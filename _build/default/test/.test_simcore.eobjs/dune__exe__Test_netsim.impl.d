@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Content_store Disk Engine Fmt List Net Netsim Option Payload Rate_server Simcore Size Storage

@@ -1,0 +1,1 @@
+test/test_pvfs.ml: Alcotest Bytes Disk Engine Fmt List Net Netsim Option Payload Pvfs QCheck QCheck_alcotest Simcore Storage String

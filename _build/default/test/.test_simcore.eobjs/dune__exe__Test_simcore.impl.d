@@ -1,0 +1,1 @@
+test/test_simcore.ml: Alcotest Array Bytes Engine Event_queue Fmt Fun Gen List Option Payload QCheck QCheck_alcotest Rng Simcore Size Stats String Trace

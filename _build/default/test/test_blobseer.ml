@@ -1,0 +1,470 @@
+(* Tests for the BlobSeer versioning store: segment trees, data providers,
+   the client API (write/read/clone/versioning), shadowing, replication and
+   failure behaviour. *)
+
+open Simcore
+open Netsim
+open Storage
+open Blobseer
+
+(* ------------------------------------------------------------------ *)
+(* Segment_tree (pure data structure) *)
+
+let leaves_list tree =
+  Segment_tree.fold_set (fun i v acc -> (i, v) :: acc) tree [] |> List.rev
+
+let test_tree_empty () =
+  let t = Segment_tree.create ~chunks:10 in
+  Alcotest.(check int) "chunks" 10 (Segment_tree.chunks t);
+  Alcotest.(check (option int)) "empty leaf" None (Segment_tree.get t 3);
+  Alcotest.(check int) "no nodes" 0 (Segment_tree.live_nodes t);
+  Alcotest.(check (list (pair int int))) "fold empty" [] (leaves_list t)
+
+let test_tree_set_get () =
+  let t = Segment_tree.create ~chunks:8 in
+  let t1, created = Segment_tree.set_range t ~start:2 [| Some 20; Some 30 |] in
+  Alcotest.(check bool) "nodes created" true (created > 0);
+  Alcotest.(check (option int)) "set" (Some 20) (Segment_tree.get t1 2);
+  Alcotest.(check (option int)) "set" (Some 30) (Segment_tree.get t1 3);
+  Alcotest.(check (option int)) "unset" None (Segment_tree.get t1 0);
+  Alcotest.(check (option int)) "original untouched" None (Segment_tree.get t 2)
+
+let test_tree_non_pow2 () =
+  let t = Segment_tree.create ~chunks:5 in
+  let t1, _ = Segment_tree.set_range t ~start:4 [| Some 1 |] in
+  Alcotest.(check (option int)) "last chunk" (Some 1) (Segment_tree.get t1 4);
+  Alcotest.check_raises "out of range" (Invalid_argument "Segment_tree.get: index out of range")
+    (fun () -> ignore (Segment_tree.get t1 5))
+
+let test_tree_shadowing_shares_structure () =
+  let t = Segment_tree.create ~chunks:1024 in
+  let full = Array.init 1024 (fun i -> Some i) in
+  let v1, _ = Segment_tree.set_range t ~start:0 full in
+  let v2, created = Segment_tree.set_range v1 ~start:17 [| Some (-1) |] in
+  (* Updating one leaf touches only the path to the root. *)
+  Alcotest.(check bool) "logarithmic update" true (created <= 11 + 1);
+  let shared = Segment_tree.shared_nodes v1 v2 in
+  let v1_nodes = Segment_tree.live_nodes v1 in
+  Alcotest.(check bool)
+    (Fmt.str "massive sharing (%d shared of %d)" shared v1_nodes)
+    true
+    (shared > v1_nodes - 15);
+  Alcotest.(check (option int)) "old version intact" (Some 17) (Segment_tree.get v1 17);
+  Alcotest.(check (option int)) "new version updated" (Some (-1)) (Segment_tree.get v2 17)
+
+let test_tree_unset_leaf () =
+  let t = Segment_tree.create ~chunks:4 in
+  let t1, _ = Segment_tree.set_range t ~start:0 [| Some 1; Some 2 |] in
+  let t2, _ = Segment_tree.set_range t1 ~start:1 [| None |] in
+  Alcotest.(check (option int)) "punched" None (Segment_tree.get t2 1);
+  Alcotest.(check (option int)) "neighbour kept" (Some 1) (Segment_tree.get t2 0)
+
+let test_tree_noop_set_shares_all () =
+  let t = Segment_tree.create ~chunks:16 in
+  let t1, created = Segment_tree.set_range t ~start:0 [||] in
+  Alcotest.(check int) "no nodes" 0 created;
+  Alcotest.(check bool) "same root" true (Segment_tree.shared_nodes t t1 = 0)
+
+let test_tree_diff_leaves () =
+  let t = Segment_tree.create ~chunks:64 in
+  let v1, _ = Segment_tree.set_range t ~start:0 (Array.init 64 (fun i -> Some i)) in
+  let v2, _ = Segment_tree.set_range v1 ~start:10 [| Some 100; Some 11; Some 120 |] in
+  Alcotest.(check (list (triple int (option int) (option int))))
+    "changed leaves"
+    [ (10, Some 10, Some 100); (12, Some 12, Some 120) ]
+    (Segment_tree.diff_leaves v1 v2)
+
+let test_tree_get_range () =
+  let t = Segment_tree.create ~chunks:8 in
+  let t1, _ = Segment_tree.set_range t ~start:2 [| Some 2; Some 3 |] in
+  Alcotest.(check (array (option int)))
+    "range" [| None; Some 2; Some 3; None |]
+    (Segment_tree.get_range t1 ~start:1 ~len:4)
+
+(* Property: a segment tree behaves like an array, and old versions are
+   immutable under any sequence of range updates. *)
+let prop_tree_matches_array =
+  let gen =
+    QCheck.Gen.(
+      let* chunks = int_range 1 40 in
+      let* ops =
+        list_size (int_range 1 15)
+          (let* start = int_range 0 (chunks - 1) in
+           let* len = int_range 1 (chunks - start) in
+           let* values = list_size (return len) (option (int_range 0 1000)) in
+           return (start, Array.of_list values))
+      in
+      return (chunks, ops))
+  in
+  QCheck.Test.make ~name:"segment tree matches reference array; versions immutable"
+    ~count:300
+    (QCheck.make gen)
+    (fun (chunks, ops) ->
+      let reference = Array.make chunks None in
+      let history = ref [] in
+      let tree = ref (Segment_tree.create ~chunks) in
+      List.for_all
+        (fun (start, values) ->
+          (* Snapshot current state for immutability checking. *)
+          history := (!tree, Array.copy reference) :: !history;
+          let t', _ = Segment_tree.set_range !tree ~start values in
+          tree := t';
+          Array.iteri (fun k v -> reference.(start + k) <- v) values;
+          let current_ok =
+            List.for_all
+              (fun i -> Segment_tree.get !tree i = reference.(i))
+              (List.init chunks Fun.id)
+          in
+          let old_ok =
+            List.for_all
+              (fun (old_tree, old_ref) ->
+                List.for_all
+                  (fun i -> Segment_tree.get old_tree i = old_ref.(i))
+                  (List.init chunks Fun.id))
+              !history
+          in
+          current_ok && old_ok)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Deployment helper *)
+
+type rig = {
+  engine : Engine.t;
+  net : Net.t;
+  service : Client.t;
+  client_host : Net.host;
+}
+
+let make_rig ?(providers = 4) ?(replication = 1) ?(stripe = 1024) () =
+  let engine = Engine.create () in
+  let net = Net.create engine { Net.default_config with latency = 1e-4 } in
+  let vm_host = Net.add_host net ~name:"vmanager" in
+  let pm_host = Net.add_host net ~name:"pmanager" in
+  let md_hosts = List.init 2 (fun i -> Net.add_host net ~name:(Fmt.str "meta%d" i)) in
+  let data =
+    List.init providers (fun i ->
+        let host = Net.add_host net ~name:(Fmt.str "node%d" i) in
+        let disk = Disk.create engine ~name:(Fmt.str "disk%d" i) () in
+        (host, disk))
+  in
+  let client_host = Net.add_host net ~name:"client" in
+  let params = { Types.default_params with stripe_size = stripe; replication } in
+  let service =
+    Client.deploy engine net ~params ~version_manager_host:vm_host
+      ~provider_manager_host:pm_host ~metadata_hosts:md_hosts ~data_providers:data ()
+  in
+  { engine; net; service; client_host }
+
+let run_rig rig f =
+  let result = ref None in
+  let _ = Engine.Fiber.spawn rig.engine ~name:"test-main" (fun () -> result := Some (f ())) in
+  Engine.run rig.engine;
+  Option.get !result
+
+let payload_str = Payload.of_string
+
+(* ------------------------------------------------------------------ *)
+(* Client *)
+
+let test_blob_write_read_roundtrip () =
+  let rig = make_rig () in
+  let from = rig.client_host in
+  let content = String.init 5000 (fun i -> Char.chr (i mod 256)) in
+  let ok =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:100_000 in
+        let v = Client.write blob ~from ~offset:0 (payload_str content) in
+        let back = Client.read blob ~from ~version:v ~offset:0 ~len:5000 in
+        Payload.to_string back = content)
+  in
+  Alcotest.(check bool) "roundtrip" true ok
+
+let test_blob_unwritten_reads_zero () =
+  let rig = make_rig () in
+  let from = rig.client_host in
+  let all_zero =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:10_000 in
+        let p = Client.read blob ~from ~version:0 ~offset:500 ~len:100 in
+        Payload.equal p (Payload.zero 100))
+  in
+  Alcotest.(check bool) "zeros" true all_zero
+
+let test_blob_versions_isolated () =
+  let rig = make_rig () in
+  let from = rig.client_host in
+  let v1_content, v2_content =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:10_000 in
+        let v1 = Client.write blob ~from ~offset:0 (payload_str "aaaa") in
+        let v2 = Client.write blob ~from ~offset:0 (payload_str "bbbb") in
+        ( Payload.to_string (Client.read blob ~from ~version:v1 ~offset:0 ~len:4),
+          Payload.to_string (Client.read blob ~from ~version:v2 ~offset:0 ~len:4) ))
+  in
+  Alcotest.(check string) "v1 immutable" "aaaa" v1_content;
+  Alcotest.(check string) "v2 current" "bbbb" v2_content
+
+let test_blob_partial_stripe_rmw () =
+  let rig = make_rig ~stripe:100 () in
+  let from = rig.client_host in
+  let result =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let base = String.make 300 'x' in
+        let v1 = Client.write blob ~from ~offset:0 (payload_str base) in
+        (* Overwrite 50 bytes spanning a stripe boundary. *)
+        let v2 = Client.write blob ~from ~offset:75 (payload_str (String.make 50 'y')) in
+        ignore v1;
+        Payload.to_string (Client.read blob ~from ~version:v2 ~offset:0 ~len:300))
+  in
+  let expected = String.make 75 'x' ^ String.make 50 'y' ^ String.make 175 'x' in
+  Alcotest.(check string) "spliced" expected result
+
+let test_blob_write_unaligned_offset () =
+  let rig = make_rig ~stripe:64 () in
+  let from = rig.client_host in
+  let result =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let v = Client.write blob ~from ~offset:10 (payload_str "hello") in
+        Payload.to_string (Client.read blob ~from ~version:v ~offset:8 ~len:9))
+  in
+  Alcotest.(check string) "zero-padded around" "\000\000hello\000\000" result
+
+let test_blob_bounds_checked () =
+  let rig = make_rig () in
+  let from = rig.client_host in
+  let raised =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:100 in
+        try
+          ignore (Client.write blob ~from ~offset:90 (payload_str (String.make 20 'z')));
+          false
+        with Invalid_argument _ -> true)
+  in
+  Alcotest.(check bool) "write beyond capacity rejected" true raised
+
+let test_blob_clone_shares_then_diverges () =
+  let rig = make_rig ~stripe:100 () in
+  let from = rig.client_host in
+  let original, cloned, original_after =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let v1 = Client.write blob ~from ~offset:0 (payload_str (String.make 200 'a')) in
+        let fork = Client.clone blob ~from ~version:v1 in
+        let fv = Client.write fork ~from ~offset:0 (payload_str (String.make 100 'b')) in
+        ( Payload.to_string (Client.read blob ~from ~version:v1 ~offset:0 ~len:200),
+          Payload.to_string (Client.read fork ~from ~version:fv ~offset:0 ~len:200),
+          Payload.to_string (Client.read blob ~from ~version:v1 ~offset:100 ~len:100) ))
+  in
+  Alcotest.(check string) "original" (String.make 200 'a') original;
+  Alcotest.(check string) "clone diverged" (String.make 100 'b' ^ String.make 100 'a') cloned;
+  Alcotest.(check string) "original unaffected" (String.make 100 'a') original_after
+
+let test_blob_clone_is_zero_copy () =
+  let rig = make_rig ~stripe:100 () in
+  let from = rig.client_host in
+  let before, after =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let v1 = Client.write blob ~from ~offset:0 (payload_str (String.make 500 'a')) in
+        let before = Client.repository_bytes rig.service in
+        let _fork = Client.clone blob ~from ~version:v1 in
+        (before, Client.repository_bytes rig.service))
+  in
+  Alcotest.(check int) "no data copied" before after
+
+let test_blob_incremental_storage () =
+  (* Writing 1 chunk on top of a 10-chunk blob stores 1 extra chunk, not
+     10 — the shadowing property at the storage level. *)
+  let rig = make_rig ~stripe:100 () in
+  let from = rig.client_host in
+  let after_base, after_update, distinct =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let _ = Client.write blob ~from ~offset:0 (payload_str (String.make 1000 'a')) in
+        let after_base = Client.repository_bytes rig.service in
+        let _ = Client.write blob ~from ~offset:300 (payload_str (String.make 100 'b')) in
+        (after_base, Client.repository_bytes rig.service, Client.distinct_bytes blob))
+  in
+  Alcotest.(check int) "base" 1000 after_base;
+  Alcotest.(check int) "one chunk added" 1100 after_update;
+  Alcotest.(check int) "distinct bytes" 1100 distinct
+
+let test_blob_version_bytes () =
+  let rig = make_rig ~stripe:100 () in
+  let from = rig.client_host in
+  let v1_bytes, v2_bytes =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let v1 = Client.write blob ~from ~offset:0 (payload_str (String.make 300 'a')) in
+        let v2 = Client.write blob ~from ~offset:0 (payload_str (String.make 100 'b')) in
+        (Client.version_bytes blob ~version:v1, Client.version_bytes blob ~version:v2))
+  in
+  Alcotest.(check int) "v1 references 3 chunks" 300 v1_bytes;
+  Alcotest.(check int) "v2 references 3 chunks too" 300 v2_bytes
+
+let test_blob_replication_survives_provider_loss () =
+  let rig = make_rig ~providers:4 ~replication:2 ~stripe:100 () in
+  let from = rig.client_host in
+  let recovered =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let v = Client.write blob ~from ~offset:0 (payload_str (String.make 400 'r')) in
+        (* Kill one provider; every chunk still has a replica elsewhere. *)
+        Data_provider.fail (Client.data_provider rig.service 0);
+        Payload.to_string (Client.read blob ~from ~version:v ~offset:0 ~len:400))
+  in
+  Alcotest.(check string) "readable after failure" (String.make 400 'r') recovered
+
+let test_blob_unreplicated_loss_raises () =
+  let rig = make_rig ~providers:2 ~replication:1 ~stripe:100 () in
+  let from = rig.client_host in
+  let raised =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let v = Client.write blob ~from ~offset:0 (payload_str (String.make 400 'r')) in
+        Data_provider.fail (Client.data_provider rig.service 0);
+        Data_provider.fail (Client.data_provider rig.service 1);
+        try
+          ignore (Client.read blob ~from ~version:v ~offset:0 ~len:400);
+          false
+        with Types.Provider_down _ -> true)
+  in
+  Alcotest.(check bool) "provider_down" true raised
+
+let test_blob_concurrent_writers_merge () =
+  (* Two clients write disjoint ranges concurrently from the same base
+     version; both updates survive in the final version. *)
+  let rig = make_rig ~stripe:100 () in
+  let from = rig.client_host in
+  let final =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let base = Client.write blob ~from ~offset:0 (payload_str (String.make 400 '.')) in
+        Engine.all rig.engine
+          [
+            (fun () ->
+              ignore (Client.write blob ~from ~base ~offset:0 (payload_str (String.make 100 'A'))));
+            (fun () ->
+              ignore
+                (Client.write blob ~from ~base ~offset:200 (payload_str (String.make 100 'B'))));
+          ];
+        let latest = Client.latest_version blob ~from in
+        Payload.to_string (Client.read blob ~from ~version:latest ~offset:0 ~len:400))
+  in
+  Alcotest.(check string) "both writes survive"
+    (String.make 100 'A' ^ String.make 100 '.' ^ String.make 100 'B' ^ String.make 100 '.')
+    final
+
+let test_blob_striping_spreads_load () =
+  let rig = make_rig ~providers:4 ~stripe:100 () in
+  let from = rig.client_host in
+  let counts =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:10_000 in
+        let _ = Client.write blob ~from ~offset:0 (payload_str (String.make 8000 's')) in
+        Array.to_list (Array.map Data_provider.chunk_count (Client.data_providers rig.service)))
+  in
+  Alcotest.(check (list int)) "even spread" [ 20; 20; 20; 20 ] counts
+
+let test_blob_write_takes_simulated_time () =
+  let rig = make_rig ~stripe:(256 * Size.kib) () in
+  let from = rig.client_host in
+  let elapsed =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:(Size.mib_n 64) in
+        let t0 = Engine.now rig.engine in
+        let _ =
+          Client.write blob ~from ~offset:0 (Payload.pattern ~seed:1L (Size.mib_n 16))
+        in
+        Engine.now rig.engine -. t0)
+  in
+  (* 16 MiB over 4 provider disks at 55 MB/s: at least the disk time of the
+     most loaded provider (~4 MiB / 55 MBps ~ 0.07 s), at most a couple of
+     seconds. *)
+  Alcotest.(check bool) (Fmt.str "plausible duration %.3fs" elapsed) true
+    (elapsed > 0.05 && elapsed < 3.0)
+
+let test_open_blob_by_id () =
+  let rig = make_rig () in
+  let from = rig.client_host in
+  let same =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let v = Client.write blob ~from ~offset:0 (payload_str "persistent") in
+        let reopened = Client.open_blob rig.service ~from ~id:(Client.blob_id blob) in
+        Payload.to_string (Client.read reopened ~from ~version:v ~offset:0 ~len:10))
+  in
+  Alcotest.(check string) "reopened" "persistent" same
+
+(* Property: arbitrary write sequences against a reference byte array. *)
+let prop_blob_matches_reference =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 8)
+        (let* offset = int_range 0 990 in
+         let* len = int_range 1 (1000 - offset) in
+         let* ch = char in
+         return (offset, len, ch)))
+  in
+  QCheck.Test.make ~name:"blob: random writes match reference array" ~count:30
+    (QCheck.make gen)
+    (fun ops ->
+      let rig = make_rig ~stripe:64 () in
+      let from = rig.client_host in
+      run_rig rig (fun () ->
+          let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+          let reference = Bytes.make 1000 '\000' in
+          List.iter
+            (fun (offset, len, ch) ->
+              Bytes.fill reference offset len ch;
+              ignore (Client.write blob ~from ~offset (payload_str (String.make len ch))))
+            ops;
+          let latest = Client.latest_version blob ~from in
+          let back = Client.read blob ~from ~version:latest ~offset:0 ~len:1000 in
+          Payload.to_string back = Bytes.to_string reference))
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests
+
+let () =
+  Alcotest.run "blobseer"
+    [
+      ( "segment_tree",
+        [
+          Alcotest.test_case "empty" `Quick test_tree_empty;
+          Alcotest.test_case "set/get" `Quick test_tree_set_get;
+          Alcotest.test_case "non-power-of-two size" `Quick test_tree_non_pow2;
+          Alcotest.test_case "shadowing shares structure" `Quick
+            test_tree_shadowing_shares_structure;
+          Alcotest.test_case "unset leaf" `Quick test_tree_unset_leaf;
+          Alcotest.test_case "noop set shares all" `Quick test_tree_noop_set_shares_all;
+          Alcotest.test_case "diff leaves" `Quick test_tree_diff_leaves;
+          Alcotest.test_case "get_range" `Quick test_tree_get_range;
+        ]
+        @ qsuite [ prop_tree_matches_array ] );
+      ( "client",
+        [
+          Alcotest.test_case "write/read roundtrip" `Quick test_blob_write_read_roundtrip;
+          Alcotest.test_case "unwritten reads zero" `Quick test_blob_unwritten_reads_zero;
+          Alcotest.test_case "versions isolated" `Quick test_blob_versions_isolated;
+          Alcotest.test_case "partial stripe RMW" `Quick test_blob_partial_stripe_rmw;
+          Alcotest.test_case "unaligned offset" `Quick test_blob_write_unaligned_offset;
+          Alcotest.test_case "bounds checked" `Quick test_blob_bounds_checked;
+          Alcotest.test_case "clone shares then diverges" `Quick
+            test_blob_clone_shares_then_diverges;
+          Alcotest.test_case "clone is zero-copy" `Quick test_blob_clone_is_zero_copy;
+          Alcotest.test_case "incremental storage" `Quick test_blob_incremental_storage;
+          Alcotest.test_case "version bytes" `Quick test_blob_version_bytes;
+          Alcotest.test_case "replication survives provider loss" `Quick
+            test_blob_replication_survives_provider_loss;
+          Alcotest.test_case "unreplicated loss raises" `Quick test_blob_unreplicated_loss_raises;
+          Alcotest.test_case "concurrent writers merge" `Quick test_blob_concurrent_writers_merge;
+          Alcotest.test_case "striping spreads load" `Quick test_blob_striping_spreads_load;
+          Alcotest.test_case "write takes simulated time" `Quick
+            test_blob_write_takes_simulated_time;
+          Alcotest.test_case "open blob by id" `Quick test_open_blob_by_id;
+        ]
+        @ qsuite [ prop_blob_matches_reference ] );
+    ]

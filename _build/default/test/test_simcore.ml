@@ -1,0 +1,666 @@
+(* Tests for the simulation kernel: sizes, RNG, payloads, event queue,
+   engine fibers, synchronization primitives, cancellation, stats. *)
+
+open Simcore
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Size *)
+
+let test_size_constants () =
+  Alcotest.(check int) "kib" 1024 Size.kib;
+  Alcotest.(check int) "mib" (1024 * 1024) Size.mib;
+  Alcotest.(check int) "mib_n" (50 * 1024 * 1024) (Size.mib_n 50);
+  check_float "to_mib" 50.0 (Size.to_mib (Size.mib_n 50))
+
+let test_size_rounding () =
+  Alcotest.(check int) "div_ceil exact" 4 (Size.div_ceil 8 2);
+  Alcotest.(check int) "div_ceil up" 5 (Size.div_ceil 9 2);
+  Alcotest.(check int) "div_ceil zero" 0 (Size.div_ceil 0 7);
+  Alcotest.(check int) "round_up" 512 (Size.round_up 300 256);
+  Alcotest.(check int) "round_up exact" 256 (Size.round_up 256 256)
+
+let test_size_pp () =
+  Alcotest.(check string) "mb" "52.0 MB" (Size.to_string (Size.mib_n 52));
+  Alcotest.(check string) "b" "17 B" (Size.to_string 17);
+  Alcotest.(check string) "kb" "1.5 KB" (Size.to_string 1536)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" false (Rng.int64 a = Rng.int64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_exponential_positive () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "positive" true (Rng.exponential rng 10.0 > 0.0)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "diverge" false (Rng.int64 a = Rng.int64 b)
+
+let test_rng_byte_at_pure () =
+  Alcotest.(check char) "pure" (Rng.byte_at ~seed:5L 100) (Rng.byte_at ~seed:5L 100);
+  let distinct = ref 0 in
+  for i = 0 to 255 do
+    if Rng.byte_at ~seed:5L i <> Rng.byte_at ~seed:6L i then incr distinct
+  done;
+  Alcotest.(check bool) "seeds differ" true (!distinct > 200)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 11 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Payload *)
+
+let payload = Alcotest.testable Payload.pp Payload.equal
+
+let test_payload_basics () =
+  let p = Payload.of_string "hello world" in
+  Alcotest.(check int) "length" 11 (Payload.length p);
+  Alcotest.(check string) "roundtrip" "hello world" (Payload.to_string p);
+  Alcotest.(check char) "byte_at" 'w' (Payload.byte_at p 6)
+
+let test_payload_zero () =
+  let p = Payload.zero 5 in
+  Alcotest.(check string) "zeros" "\000\000\000\000\000" (Payload.to_string p)
+
+let test_payload_sub () =
+  let p = Payload.of_string "abcdefgh" in
+  Alcotest.(check string) "middle" "cde" (Payload.to_string (Payload.sub p ~pos:2 ~len:3));
+  Alcotest.(check string) "empty" "" (Payload.to_string (Payload.sub p ~pos:4 ~len:0))
+
+let test_payload_concat () =
+  let p = Payload.concat [ Payload.of_string "ab"; Payload.of_string "cd"; Payload.zero 2 ] in
+  Alcotest.(check string) "concat" "abcd\000\000" (Payload.to_string p);
+  Alcotest.(check int) "len" 6 (Payload.length p)
+
+let test_payload_pattern_deterministic () =
+  let a = Payload.pattern ~seed:42L 1000 and b = Payload.pattern ~seed:42L 1000 in
+  Alcotest.check payload "equal" a b;
+  let c = Payload.pattern ~seed:43L 1000 in
+  Alcotest.(check bool) "different" false (Payload.equal a c)
+
+let test_payload_pattern_slicing () =
+  (* A slice of a pattern equals the corresponding bytes of the whole. *)
+  let whole = Payload.pattern ~seed:7L 100 in
+  let slice = Payload.sub whole ~pos:33 ~len:20 in
+  let expected = String.sub (Payload.to_string whole) 33 20 in
+  Alcotest.(check string) "slice bytes" expected (Payload.to_string slice)
+
+let test_payload_equal_mixed_repr () =
+  (* Same content built via different structures compares equal. *)
+  let a = Payload.of_string "abcdef" in
+  let b = Payload.concat [ Payload.of_string "abc"; Payload.of_string "def" ] in
+  Alcotest.check payload "structural vs split" a b
+
+let test_payload_digest_matches_equal () =
+  let a = Payload.concat [ Payload.pattern ~seed:3L 100; Payload.zero 50 ] in
+  let b =
+    Payload.concat
+      [ Payload.sub (Payload.pattern ~seed:3L 100) ~pos:0 ~len:60;
+        Payload.sub (Payload.pattern ~seed:3L 100) ~pos:60 ~len:40; Payload.zero 50 ]
+  in
+  Alcotest.(check int64) "digest equal" (Payload.digest a) (Payload.digest b)
+
+let test_payload_digest_zero_closed_form () =
+  (* The O(log n) zero digest must agree with the byte-by-byte digest. *)
+  let z = Payload.zero 1000 in
+  let explicit = Payload.of_bytes (Bytes.make 1000 '\000') in
+  Alcotest.(check int64) "closed form" (Payload.digest explicit) (Payload.digest z)
+
+let test_payload_to_string_guard () =
+  Alcotest.check_raises "guard" (Invalid_argument "Payload.to_string: payload too large")
+    (fun () -> ignore (Payload.to_string (Payload.zero (Size.mib_n 65))))
+
+(* qcheck: random slicing/concatenation preserves content. *)
+let prop_payload_slice_concat =
+  QCheck.Test.make ~name:"payload: split at any point and reconcat is identity" ~count:200
+    QCheck.(pair (string_of_size Gen.(int_range 1 200)) (int_range 0 200))
+    (fun (s, cut) ->
+      QCheck.assume (s <> "");
+      let cut = cut mod String.length s in
+      let p = Payload.of_string s in
+      let left = Payload.sub p ~pos:0 ~len:cut in
+      let right = Payload.sub p ~pos:cut ~len:(String.length s - cut) in
+      Payload.to_string (Payload.concat [ left; right ]) = s)
+
+let prop_payload_digest_agrees_with_equal =
+  QCheck.Test.make ~name:"payload: equal strings have equal digests" ~count:200
+    QCheck.(pair small_string small_string)
+    (fun (a, b) ->
+      let pa = Payload.of_string a and pb = Payload.of_string b in
+      if a = b then Payload.digest pa = Payload.digest pb && Payload.equal pa pb
+      else (not (Payload.equal pa pb)) || a = b)
+
+(* ------------------------------------------------------------------ *)
+(* Event_queue *)
+
+let test_event_queue_order () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:3.0 "c";
+  Event_queue.add q ~time:1.0 "a";
+  Event_queue.add q ~time:2.0 "b";
+  let order = List.init 3 (fun _ -> Event_queue.pop q) in
+  Alcotest.(check (list (option (pair (float 0.0) string))))
+    "sorted" [ Some (1.0, "a"); Some (2.0, "b"); Some (3.0, "c") ] order
+
+let test_event_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    Event_queue.add q ~time:1.0 i
+  done;
+  let order = List.init 10 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list int)) "insertion order" (List.init 10 Fun.id) order
+
+let test_event_queue_empty () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+  Alcotest.(check (option (pair (float 0.0) int))) "pop none" None (Event_queue.pop q);
+  Alcotest.(check (option (float 0.0))) "peek none" None (Event_queue.peek_time q)
+
+let prop_event_queue_sorted =
+  QCheck.Test.make ~name:"event queue: pops are time-sorted" ~count:100
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun time -> Event_queue.add q ~time ()) times;
+      let rec drain last =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_time_advances () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let _ =
+    Engine.Fiber.spawn e (fun () ->
+        log := (Engine.now e, "start") :: !log;
+        Engine.sleep e 5.0;
+        log := (Engine.now e, "mid") :: !log;
+        Engine.sleep e 2.5;
+        log := (Engine.now e, "end") :: !log)
+  in
+  Engine.run e;
+  Alcotest.(check (list (pair (float 1e-9) string)))
+    "timeline"
+    [ (0.0, "start"); (5.0, "mid"); (7.5, "end") ]
+    (List.rev !log)
+
+let test_engine_interleaving_deterministic () =
+  let run_once () =
+    let e = Engine.create () in
+    let log = ref [] in
+    let mk name delays =
+      ignore
+        (Engine.Fiber.spawn e ~name (fun () ->
+             List.iter
+               (fun d ->
+                 Engine.sleep e d;
+                 log := Fmt.str "%s@%.1f" name (Engine.now e) :: !log)
+               delays))
+    in
+    mk "a" [ 1.0; 2.0 ];
+    mk "b" [ 2.0; 2.0 ];
+    Engine.run e;
+    List.rev !log
+  in
+  Alcotest.(check (list string))
+    "expected interleaving"
+    [ "a@1.0"; "b@2.0"; "a@3.0"; "b@4.0" ]
+    (run_once ());
+  Alcotest.(check (list string)) "reproducible" (run_once ()) (run_once ())
+
+let test_engine_fiber_failure_surfaces () =
+  let e = Engine.create () in
+  let _ = Engine.Fiber.spawn e ~name:"boom" (fun () -> failwith "kaput") in
+  Alcotest.check_raises "failure raised"
+    (Engine.Fiber_failure ("boom", Failure "kaput"))
+    (fun () -> Engine.run e)
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  let _ =
+    Engine.Fiber.spawn e (fun () ->
+        for _ = 1 to 10 do
+          Engine.sleep e 1.0;
+          incr hits
+        done)
+  in
+  Engine.run_until e 4.5;
+  Alcotest.(check int) "partial" 4 !hits;
+  check_float "clock at limit" 4.5 (Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "rest" 10 !hits
+
+let test_engine_at_callback () =
+  let e = Engine.create () in
+  let fired = ref (-1.0) in
+  Engine.at e 3.25 (fun () -> fired := Engine.now e);
+  Engine.run e;
+  check_float "fired at" 3.25 !fired
+
+let test_ivar_basic () =
+  let e = Engine.create () in
+  let iv = Engine.Ivar.create e in
+  let got = ref 0 in
+  let _ = Engine.Fiber.spawn e (fun () -> got := Engine.Ivar.read iv) in
+  let _ =
+    Engine.Fiber.spawn e (fun () ->
+        Engine.sleep e 2.0;
+        Engine.Ivar.fill iv 42)
+  in
+  Engine.run e;
+  Alcotest.(check int) "value" 42 !got
+
+let test_ivar_read_after_fill () =
+  let e = Engine.create () in
+  let iv = Engine.Ivar.create e in
+  Engine.Ivar.fill iv "x";
+  let got = ref "" in
+  let _ = Engine.Fiber.spawn e (fun () -> got := Engine.Ivar.read iv) in
+  Engine.run e;
+  Alcotest.(check string) "value" "x" !got
+
+let test_ivar_double_fill_rejected () =
+  let e = Engine.create () in
+  let iv = Engine.Ivar.create e in
+  Engine.Ivar.fill iv 1;
+  Alcotest.check_raises "double fill" (Invalid_argument "Ivar.fill: already filled")
+    (fun () -> Engine.Ivar.fill iv 2)
+
+let test_ivar_multiple_readers () =
+  let e = Engine.create () in
+  let iv = Engine.Ivar.create e in
+  let sum = ref 0 in
+  for _ = 1 to 5 do
+    ignore (Engine.Fiber.spawn e (fun () -> sum := !sum + Engine.Ivar.read iv))
+  done;
+  let _ = Engine.Fiber.spawn e (fun () -> Engine.sleep e 1.0; Engine.Ivar.fill iv 10) in
+  Engine.run e;
+  Alcotest.(check int) "all woken" 50 !sum
+
+let test_mailbox_fifo () =
+  let e = Engine.create () in
+  let mb = Engine.Mailbox.create e in
+  let got = ref [] in
+  let _ =
+    Engine.Fiber.spawn e (fun () ->
+        for _ = 1 to 3 do
+          got := Engine.Mailbox.recv mb :: !got
+        done)
+  in
+  let _ =
+    Engine.Fiber.spawn e (fun () ->
+        List.iter
+          (fun v ->
+            Engine.sleep e 1.0;
+            Engine.Mailbox.send mb v)
+          [ 1; 2; 3 ])
+  in
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_buffered_before_recv () =
+  let e = Engine.create () in
+  let mb = Engine.Mailbox.create e in
+  Engine.Mailbox.send mb "a";
+  Engine.Mailbox.send mb "b";
+  Alcotest.(check int) "buffered" 2 (Engine.Mailbox.length mb);
+  let got = ref [] in
+  let _ =
+    Engine.Fiber.spawn e (fun () ->
+        let first = Engine.Mailbox.recv mb in
+        let second = Engine.Mailbox.recv mb in
+        got := [ first; second ])
+  in
+  Engine.run e;
+  Alcotest.(check (list string)) "drained" [ "a"; "b" ] !got
+
+let test_semaphore_limits_concurrency () =
+  let e = Engine.create () in
+  let sem = Engine.Semaphore.create e 2 in
+  let active = ref 0 and peak = ref 0 in
+  for _ = 1 to 6 do
+    ignore
+      (Engine.Fiber.spawn e (fun () ->
+           Engine.Semaphore.with_held sem (fun () ->
+               incr active;
+               peak := max !peak !active;
+               Engine.sleep e 1.0;
+               decr active)))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "peak concurrency" 2 !peak;
+  check_float "three waves" 3.0 (Engine.now e)
+
+let test_semaphore_release_on_exception () =
+  let e = Engine.create () in
+  let sem = Engine.Semaphore.create e 1 in
+  let _ =
+    Engine.Fiber.spawn e (fun () ->
+        (try Engine.Semaphore.with_held sem (fun () -> failwith "die") with
+        | Failure _ -> ());
+        Engine.Semaphore.with_held sem (fun () -> ()))
+  in
+  Engine.run e;
+  Alcotest.(check int) "token back" 1 (Engine.Semaphore.available sem)
+
+let test_fiber_join () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let _ =
+    Engine.Fiber.spawn e (fun () ->
+        let child =
+          Engine.Fiber.spawn e (fun () ->
+              Engine.sleep e 3.0;
+              order := "child" :: !order)
+        in
+        Engine.Fiber.join child;
+        order := "parent" :: !order)
+  in
+  Engine.run e;
+  Alcotest.(check (list string)) "join waits" [ "child"; "parent" ] (List.rev !order)
+
+let test_fiber_cancel_blocked () =
+  let e = Engine.create () in
+  let cancelled_at = ref (-1.0) and reached = ref false in
+  let victim =
+    Engine.Fiber.spawn e ~name:"victim" (fun () ->
+        (try Engine.sleep e 100.0
+         with Engine.Cancelled as exn ->
+           cancelled_at := Engine.now e;
+           raise exn);
+        reached := true)
+  in
+  let _ =
+    Engine.Fiber.spawn e (fun () ->
+        Engine.sleep e 1.0;
+        Engine.Fiber.cancel victim)
+  in
+  Engine.run e;
+  check_float "cancelled at 1s, not 100s" 1.0 !cancelled_at;
+  Alcotest.(check bool) "body aborted" false !reached;
+  Alcotest.(check bool) "finished" true (Engine.Fiber.is_finished victim)
+
+let test_fiber_cancel_before_start () =
+  let e = Engine.create () in
+  let ran = ref false in
+  let f = Engine.Fiber.spawn e (fun () -> ran := true) in
+  Engine.Fiber.cancel f;
+  Engine.run e;
+  Alcotest.(check bool) "never ran" false !ran
+
+let test_fiber_cancel_outcome () =
+  let e = Engine.create () in
+  let victim = Engine.Fiber.spawn e (fun () -> Engine.sleep e 10.0) in
+  let outcome = ref Engine.Fiber.Completed in
+  let _ =
+    Engine.Fiber.spawn e (fun () ->
+        Engine.sleep e 1.0;
+        Engine.Fiber.cancel victim;
+        outcome := Engine.Fiber.await victim)
+  in
+  Engine.run e;
+  Alcotest.(check bool) "cancelled outcome" true (!outcome = Engine.Fiber.Cancelled_outcome)
+
+let test_group_cancel () =
+  let e = Engine.create () in
+  let group = Engine.Group.create () in
+  let survivors = ref 0 in
+  for _ = 1 to 4 do
+    ignore
+      (Engine.Fiber.spawn e ~group (fun () ->
+           Engine.sleep e 50.0;
+           incr survivors))
+  done;
+  let _ =
+    Engine.Fiber.spawn e (fun () ->
+        Engine.sleep e 5.0;
+        Engine.Group.cancel e group)
+  in
+  Engine.run_until e 6.0;
+  Alcotest.(check int) "group live after cancel" 0 (Engine.Group.live group);
+  Engine.run e;
+  Alcotest.(check int) "all killed" 0 !survivors
+
+let test_engine_all_barrier () =
+  let e = Engine.create () in
+  let finished_at = ref 0.0 in
+  let _ =
+    Engine.Fiber.spawn e (fun () ->
+        Engine.all e
+          [ (fun () -> Engine.sleep e 1.0); (fun () -> Engine.sleep e 7.0);
+            (fun () -> Engine.sleep e 3.0) ];
+        finished_at := Engine.now e)
+  in
+  Engine.run e;
+  check_float "barrier waits for slowest" 7.0 !finished_at
+
+let test_cancelled_semaphore_waiter_does_not_eat_token () =
+  let e = Engine.create () in
+  let sem = Engine.Semaphore.create e 1 in
+  let got_token = ref false in
+  let _ =
+    Engine.Fiber.spawn e ~name:"holder" (fun () ->
+        Engine.Semaphore.with_held sem (fun () -> Engine.sleep e 10.0))
+  in
+  let waiter =
+    Engine.Fiber.spawn e ~name:"waiter" (fun () ->
+        Engine.sleep e 1.0;
+        Engine.Semaphore.acquire sem)
+  in
+  let _ =
+    Engine.Fiber.spawn e ~name:"late" (fun () ->
+        Engine.sleep e 5.0;
+        Engine.Fiber.cancel waiter;
+        Engine.Semaphore.acquire sem;
+        got_token := true)
+  in
+  Engine.run e;
+  Alcotest.(check bool) "token reached late fiber" true !got_token
+
+let test_blocked_fibers_counter () =
+  let e = Engine.create () in
+  let iv : unit Engine.Ivar.t = Engine.Ivar.create e in
+  for _ = 1 to 3 do
+    ignore (Engine.Fiber.spawn e (fun () -> Engine.Ivar.read iv))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "blocked" 3 (Engine.blocked_fibers e);
+  Alcotest.(check int) "live" 3 (Engine.live_fibers e)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_series () =
+  let s = Stats.series "a" in
+  Stats.add s ~x:1.0 ~y:10.0;
+  Stats.add s ~x:2.0 ~y:20.0;
+  Alcotest.(check (option (float 0.0))) "lookup" (Some 20.0) (Stats.y_at s ~x:2.0);
+  Alcotest.(check (option (float 0.0))) "missing" None (Stats.y_at s ~x:3.0)
+
+let test_stats_render_table () =
+  let a = Stats.series "alpha" and b = Stats.series "beta" in
+  Stats.add a ~x:1.0 ~y:1.5;
+  Stats.add b ~x:1.0 ~y:2.5;
+  Stats.add a ~x:2.0 ~y:3.5;
+  let t = Stats.table ~title:"t" ~x_label:"x" ~y_label:"y" [ a; b ] in
+  let rendered = Stats.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length rendered > 0 && String.sub rendered 0 2 = "==");
+  (* beta has no point at x=2: rendered as "-" *)
+  Alcotest.(check bool) "hole marker" true
+    (String.split_on_char '\n' rendered |> List.exists (fun l ->
+         String.length l > 0
+         && String.trim l <> ""
+         && String.split_on_char ' ' l |> List.filter (( <> ) "") |> fun cells ->
+            cells = [ "2"; "3.50"; "-" ]))
+
+let test_stats_csv () =
+  let a = Stats.series "s" in
+  Stats.add a ~x:1.0 ~y:2.0;
+  let t = Stats.table ~title:"t" ~x_label:"n" ~y_label:"y" [ a ] in
+  Alcotest.(check string) "csv" "n,s\n1,2\n" (Stats.to_csv t)
+
+let test_stats_aggregates () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "stddev" 1.0 (Stats.stddev [ 1.0; 2.0; 3.0 ]);
+  let lo, hi = Stats.min_max [ 3.0; 1.0; 2.0 ] in
+  check_float "min" 1.0 lo;
+  check_float "max" 3.0 hi
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_capture () =
+  let e = Engine.create () in
+  let (), lines =
+    Trace.capture (fun () ->
+        let _ =
+          Engine.Fiber.spawn e (fun () ->
+              Engine.sleep e 1.5;
+              Trace.emit e ~component:"unit" "hello %d" 42)
+        in
+        Engine.run e)
+  in
+  Alcotest.(check (list string)) "captured" [ "t=1.500000s [unit] hello 42" ] lines;
+  Alcotest.(check bool) "sink restored" false (Trace.enabled ())
+
+let test_trace_disabled_is_silent () =
+  let e = Engine.create () in
+  Trace.emit e ~component:"unit" "not recorded %s" "x";
+  Alcotest.(check bool) "disabled" false (Trace.enabled ())
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests
+
+let () =
+  Alcotest.run "simcore"
+    [
+      ( "size",
+        [
+          Alcotest.test_case "constants" `Quick test_size_constants;
+          Alcotest.test_case "rounding" `Quick test_size_rounding;
+          Alcotest.test_case "pretty printing" `Quick test_size_pp;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "exponential positive" `Quick test_rng_exponential_positive;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "byte_at purity" `Quick test_rng_byte_at_pure;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "payload",
+        [
+          Alcotest.test_case "basics" `Quick test_payload_basics;
+          Alcotest.test_case "zero" `Quick test_payload_zero;
+          Alcotest.test_case "sub" `Quick test_payload_sub;
+          Alcotest.test_case "concat" `Quick test_payload_concat;
+          Alcotest.test_case "pattern determinism" `Quick test_payload_pattern_deterministic;
+          Alcotest.test_case "pattern slicing" `Quick test_payload_pattern_slicing;
+          Alcotest.test_case "mixed representation equality" `Quick test_payload_equal_mixed_repr;
+          Alcotest.test_case "digest respects equality" `Quick test_payload_digest_matches_equal;
+          Alcotest.test_case "zero digest closed form" `Quick test_payload_digest_zero_closed_form;
+          Alcotest.test_case "to_string guard" `Quick test_payload_to_string_guard;
+        ]
+        @ qsuite [ prop_payload_slice_concat; prop_payload_digest_agrees_with_equal ] );
+      ( "event_queue",
+        [
+          Alcotest.test_case "time order" `Quick test_event_queue_order;
+          Alcotest.test_case "fifo on ties" `Quick test_event_queue_fifo_ties;
+          Alcotest.test_case "empty queue" `Quick test_event_queue_empty;
+        ]
+        @ qsuite [ prop_event_queue_sorted ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time advances" `Quick test_engine_time_advances;
+          Alcotest.test_case "deterministic interleaving" `Quick
+            test_engine_interleaving_deterministic;
+          Alcotest.test_case "fiber failure surfaces" `Quick test_engine_fiber_failure_surfaces;
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "at callback" `Quick test_engine_at_callback;
+          Alcotest.test_case "all barrier" `Quick test_engine_all_barrier;
+          Alcotest.test_case "blocked fiber count" `Quick test_blocked_fibers_counter;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "basic" `Quick test_ivar_basic;
+          Alcotest.test_case "read after fill" `Quick test_ivar_read_after_fill;
+          Alcotest.test_case "double fill rejected" `Quick test_ivar_double_fill_rejected;
+          Alcotest.test_case "multiple readers" `Quick test_ivar_multiple_readers;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "buffered before recv" `Quick test_mailbox_buffered_before_recv;
+        ] );
+      ( "semaphore",
+        [
+          Alcotest.test_case "limits concurrency" `Quick test_semaphore_limits_concurrency;
+          Alcotest.test_case "release on exception" `Quick test_semaphore_release_on_exception;
+          Alcotest.test_case "cancelled waiter keeps token" `Quick
+            test_cancelled_semaphore_waiter_does_not_eat_token;
+        ] );
+      ( "fiber",
+        [
+          Alcotest.test_case "join" `Quick test_fiber_join;
+          Alcotest.test_case "cancel blocked fiber" `Quick test_fiber_cancel_blocked;
+          Alcotest.test_case "cancel before start" `Quick test_fiber_cancel_before_start;
+          Alcotest.test_case "cancel outcome" `Quick test_fiber_cancel_outcome;
+          Alcotest.test_case "group cancel" `Quick test_group_cancel;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "series" `Quick test_stats_series;
+          Alcotest.test_case "render table" `Quick test_stats_render_table;
+          Alcotest.test_case "csv" `Quick test_stats_csv;
+          Alcotest.test_case "aggregates" `Quick test_stats_aggregates;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "capture" `Quick test_trace_capture;
+          Alcotest.test_case "disabled is silent" `Quick test_trace_disabled_is_silent;
+        ] );
+    ]

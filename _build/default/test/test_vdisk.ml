@@ -1,0 +1,514 @@
+(* Tests for the virtual disk stack: sparse bytes, block devices, qcow2
+   (COW, backing chains, internal snapshots, export), prefetcher and the
+   BlobCR mirroring module. *)
+
+open Simcore
+open Netsim
+open Storage
+open Blobseer
+open Vdisk
+
+(* ------------------------------------------------------------------ *)
+(* Sparse_bytes *)
+
+let test_sparse_bytes_roundtrip () =
+  let s = Sparse_bytes.create ~block_size:16 () in
+  Sparse_bytes.write s ~offset:10 (Payload.of_string "hello");
+  Alcotest.(check string) "read back" "hello"
+    (Payload.to_string (Sparse_bytes.read s ~offset:10 ~len:5));
+  Alcotest.(check string) "hole before" "\000\000" (Payload.to_string (Sparse_bytes.read s ~offset:8 ~len:2))
+
+let test_sparse_bytes_overwrite () =
+  let s = Sparse_bytes.create ~block_size:8 () in
+  Sparse_bytes.write s ~offset:0 (Payload.of_string "aaaaaaaaaa");
+  Sparse_bytes.write s ~offset:4 (Payload.of_string "bb");
+  Alcotest.(check string) "spliced" "aaaabbaaaa"
+    (Payload.to_string (Sparse_bytes.read s ~offset:0 ~len:10))
+
+let prop_sparse_bytes_matches_reference =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 12)
+        (let* offset = int_range 0 200 in
+         let* len = int_range 1 60 in
+         let* ch = printable in
+         return (offset, len, ch)))
+  in
+  QCheck.Test.make ~name:"sparse bytes match reference" ~count:100 (QCheck.make gen)
+    (fun ops ->
+      let s = Sparse_bytes.create ~block_size:13 () in
+      let reference = Bytes.make 300 '\000' in
+      List.iter
+        (fun (offset, len, ch) ->
+          Bytes.fill reference offset len ch;
+          Sparse_bytes.write s ~offset (Payload.of_string (String.make len ch)))
+        ops;
+      Payload.to_string (Sparse_bytes.read s ~offset:0 ~len:300) = Bytes.to_string reference)
+
+(* ------------------------------------------------------------------ *)
+(* Block_dev *)
+
+let test_block_dev_bounds () =
+  let dev = Block_dev.in_memory ~capacity:100 in
+  Block_dev.write dev ~offset:90 (Payload.of_string "0123456789");
+  Alcotest.check_raises "overflow"
+    (Invalid_argument "Block_dev: range [95, 105) exceeds capacity 100") (fun () ->
+      ignore (Block_dev.write dev ~offset:95 (Payload.of_string "0123456789")))
+
+let test_block_dev_in_memory () =
+  let dev = Block_dev.in_memory ~capacity:100 in
+  Block_dev.write dev ~offset:5 (Payload.of_string "xyz");
+  Block_dev.flush dev;
+  Alcotest.(check string) "read" "xyz" (Payload.to_string (Block_dev.read dev ~offset:5 ~len:3))
+
+(* ------------------------------------------------------------------ *)
+(* Test rig with PVFS + BlobSeer + compute nodes *)
+
+type rig = {
+  engine : Engine.t;
+  net : Net.t;
+  fs : Pvfs.t;
+  service : Client.t;
+  nodes : (Net.host * Disk.t) array; (* compute nodes *)
+}
+
+let make_rig ?(nodes = 3) ?(stripe = 1024) () =
+  let engine = Engine.create () in
+  let net = Net.create engine { Net.default_config with latency = 1e-4 } in
+  let md_host = Net.add_host net ~name:"pvfs-md" in
+  let vm_host = Net.add_host net ~name:"vmanager" in
+  let pm_host = Net.add_host net ~name:"pmanager" in
+  let meta = [ Net.add_host net ~name:"meta0" ] in
+  let compute =
+    Array.init nodes (fun i ->
+        ( Net.add_host net ~name:(Fmt.str "node%d" i),
+          Disk.create engine ~name:(Fmt.str "nodedisk%d" i) () ))
+  in
+  let fs =
+    Pvfs.deploy engine net
+      ~params:{ Pvfs.default_params with stripe_size = stripe }
+      ~metadata_host:md_host
+      ~io_servers:(Array.to_list compute) ()
+  in
+  let service =
+    Client.deploy engine net
+      ~params:{ Types.default_params with stripe_size = stripe }
+      ~version_manager_host:vm_host ~provider_manager_host:pm_host ~metadata_hosts:meta
+      ~data_providers:(Array.to_list compute) ()
+  in
+  { engine; net; fs; service; nodes = compute }
+
+let run rig f =
+  let result = ref None in
+  let _ = Engine.Fiber.spawn rig.engine (fun () -> result := Some (f ())) in
+  Engine.run rig.engine;
+  Option.get !result
+
+(* ------------------------------------------------------------------ *)
+(* Qcow2 *)
+
+let test_qcow2_cow_read_write () =
+  let rig = make_rig () in
+  let host, disk = rig.nodes.(0) in
+  let back, after =
+    run rig (fun () ->
+        let q =
+          Qcow2.create rig.engine ~host ~local_disk:disk ~cluster_size:256 ~capacity:4096
+            ~backing:Qcow2.No_backing ~name:"q" ()
+        in
+        let before = Payload.to_string (Qcow2.read q ~offset:0 ~len:8) in
+        Qcow2.write q ~offset:100 (Payload.of_string "cowdata!");
+        (before, Payload.to_string (Qcow2.read q ~offset:100 ~len:8)))
+  in
+  Alcotest.(check string) "zeros before" (String.make 8 '\000') back;
+  Alcotest.(check string) "data after" "cowdata!" after
+
+let test_qcow2_backing_raw_pvfs () =
+  let rig = make_rig () in
+  let host, disk = rig.nodes.(0) in
+  let through, overlaid =
+    run rig (fun () ->
+        let base = Pvfs.create rig.fs ~from:host ~path:"/base.raw" in
+        Pvfs.write base ~from:host ~offset:0 (Payload.of_string (String.make 4096 'B'));
+        let q =
+          Qcow2.create rig.engine ~host ~local_disk:disk ~cluster_size:256 ~capacity:4096
+            ~backing:(Qcow2.Raw_pvfs base) ~name:"q" ()
+        in
+        let through = Payload.to_string (Qcow2.read q ~offset:1000 ~len:4) in
+        Qcow2.write q ~offset:1000 (Payload.of_string "local");
+        (through, Payload.to_string (Qcow2.read q ~offset:998 ~len:9)))
+  in
+  Alcotest.(check string) "falls through to base" "BBBB" through;
+  Alcotest.(check string) "partial COW merges base" "BBlocalBB" overlaid
+
+let test_qcow2_grows_only_on_allocation () =
+  let rig = make_rig () in
+  let host, disk = rig.nodes.(0) in
+  let size0, size1, size2 =
+    run rig (fun () ->
+        let q =
+          Qcow2.create rig.engine ~host ~local_disk:disk ~cluster_size:256 ~capacity:65536
+            ~backing:Qcow2.No_backing ~name:"q" ()
+        in
+        let size0 = Qcow2.file_size q in
+        Qcow2.write q ~offset:0 (Payload.pattern ~seed:1L 256);
+        let size1 = Qcow2.file_size q in
+        Qcow2.write q ~offset:0 (Payload.pattern ~seed:2L 256);
+        (size0, size1, Qcow2.file_size q))
+  in
+  Alcotest.(check int) "one cluster" (size0 + 256) size1;
+  Alcotest.(check int) "overwrite in place" size1 size2
+
+let test_qcow2_savevm_freezes_clusters () =
+  let rig = make_rig () in
+  let host, disk = rig.nodes.(0) in
+  let size_before, size_after_snap, size_after_write, names =
+    run rig (fun () ->
+        let q =
+          Qcow2.create rig.engine ~host ~local_disk:disk ~cluster_size:256 ~capacity:65536
+            ~backing:Qcow2.No_backing ~name:"q" ()
+        in
+        Qcow2.write q ~offset:0 (Payload.pattern ~seed:1L 256);
+        let size_before = Qcow2.file_size q in
+        Qcow2.savevm q ~snapshot_name:"s1" ~vm_state:(Payload.pattern ~seed:9L 1000);
+        let size_after_snap = Qcow2.file_size q in
+        (* Writing a frozen cluster must allocate a new one. *)
+        Qcow2.write q ~offset:0 (Payload.pattern ~seed:2L 256);
+        (size_before, size_after_snap, Qcow2.file_size q, Qcow2.snapshot_names q))
+  in
+  Alcotest.(check bool) "snapshot adds vm state" true (size_after_snap >= size_before + 1000);
+  Alcotest.(check int) "COW after snapshot" (size_after_snap + 256) size_after_write;
+  Alcotest.(check (list string)) "names" [ "s1" ] names
+
+let test_qcow2_export_and_remote_backing () =
+  let rig = make_rig () in
+  let host0, disk0 = rig.nodes.(0) in
+  let host1, disk1 = rig.nodes.(1) in
+  let restored =
+    run rig (fun () ->
+        let base = Pvfs.create rig.fs ~from:host0 ~path:"/base.raw" in
+        Pvfs.write base ~from:host0 ~offset:0 (Payload.of_string (String.make 4096 'B'));
+        let q =
+          Qcow2.create rig.engine ~host:host0 ~local_disk:disk0 ~cluster_size:256
+            ~capacity:4096 ~backing:(Qcow2.Raw_pvfs base) ~name:"q0" ()
+        in
+        Qcow2.write q ~offset:512 (Payload.of_string (String.make 256 'L'));
+        (* Take a disk snapshot: copy the image to PVFS. *)
+        let remote = Qcow2.export q rig.fs ~from:host0 ~path:"/snap/q0" in
+        (* Redeploy on another node, backed by the snapshot. *)
+        let q' =
+          Qcow2.create rig.engine ~host:host1 ~local_disk:disk1 ~cluster_size:256
+            ~capacity:4096 ~backing:(Qcow2.Qcow2_remote remote) ~name:"q1" ()
+        in
+        Payload.to_string (Qcow2.read q' ~offset:500 ~len:300))
+  in
+  let expected = String.make 12 'B' ^ String.make 256 'L' ^ String.make 32 'B' in
+  Alcotest.(check string) "snapshot content via chain" expected restored
+
+let test_qcow2_export_vm_state_roundtrip () =
+  let rig = make_rig () in
+  let host, disk = rig.nodes.(0) in
+  let state =
+    run rig (fun () ->
+        let q =
+          Qcow2.create rig.engine ~host ~local_disk:disk ~cluster_size:256 ~capacity:4096
+            ~backing:Qcow2.No_backing ~name:"q" ()
+        in
+        Qcow2.write q ~offset:0 (Payload.of_string (String.make 256 'd'));
+        Qcow2.savevm q ~snapshot_name:"full" ~vm_state:(Payload.of_string "RAMSTATE");
+        let remote = Qcow2.export q rig.fs ~from:host ~path:"/snap/full" in
+        Payload.to_string (Qcow2.remote_vm_state remote ~from:host ~snapshot_name:"full"))
+  in
+  Alcotest.(check string) "vm state preserved" "RAMSTATE" state
+
+let test_qcow2_snapshot_table_view () =
+  let rig = make_rig () in
+  let host, disk = rig.nodes.(0) in
+  let host1, disk1 = rig.nodes.(1) in
+  let at_snapshot =
+    run rig (fun () ->
+        let q =
+          Qcow2.create rig.engine ~host ~local_disk:disk ~cluster_size:256 ~capacity:4096
+            ~backing:Qcow2.No_backing ~name:"q" ()
+        in
+        Qcow2.write q ~offset:0 (Payload.of_string (String.make 256 'x'));
+        Qcow2.savevm q ~snapshot_name:"s" ~vm_state:(Payload.zero 10);
+        Qcow2.write q ~offset:0 (Payload.of_string (String.make 256 'y'));
+        let remote = Qcow2.export q rig.fs ~from:host ~path:"/snap/v" in
+        let view = Qcow2.remote_table_of_snapshot remote ~snapshot_name:"s" in
+        let q' =
+          Qcow2.create rig.engine ~host:host1 ~local_disk:disk1 ~cluster_size:256
+            ~capacity:4096 ~backing:(Qcow2.Qcow2_remote view) ~name:"q1" ()
+        in
+        Payload.to_string (Qcow2.read q' ~offset:0 ~len:4))
+  in
+  Alcotest.(check string) "pre-snapshot content" "xxxx" at_snapshot
+
+(* ------------------------------------------------------------------ *)
+(* Prefetch *)
+
+let test_prefetch_coalesces_concurrent_fetches () =
+  let engine = Engine.create () in
+  let net = Net.create engine { Net.default_config with latency = 0.0 } in
+  let provider = Net.add_host net ~name:"provider" in
+  let clients = List.init 4 (fun i -> Net.add_host net ~name:(Fmt.str "c%d" i)) in
+  let prefetch = Prefetch.create engine net () in
+  let real_fetches = ref 0 in
+  List.iter
+    (fun self ->
+      ignore
+        (Engine.Fiber.spawn engine (fun () ->
+             let p =
+               Prefetch.fetch prefetch ~self ~key:(0, 7) ~provider_host:provider
+                 ~fetch_fn:(fun () ->
+                   incr real_fetches;
+                   Engine.sleep engine 0.5;
+                   Payload.of_string "chunk")
+             in
+             assert (Payload.to_string p = "chunk"))))
+    clients;
+  Engine.run engine;
+  Alcotest.(check int) "single real fetch" 1 !real_fetches;
+  Alcotest.(check int) "distinct" 1 (Prefetch.distinct_fetches prefetch);
+  Alcotest.(check int) "coalesced" 3 (Prefetch.coalesced_fetches prefetch)
+
+let test_prefetch_late_fetch_served_cached () =
+  let engine = Engine.create () in
+  let net = Net.create engine { Net.default_config with latency = 0.0 } in
+  let provider = Net.add_host net ~name:"provider" in
+  let a = Net.add_host net ~name:"a" and b = Net.add_host net ~name:"b" in
+  let prefetch = Prefetch.create engine net () in
+  let fetches = ref 0 in
+  let fetch self delay =
+    ignore
+      (Engine.Fiber.spawn engine (fun () ->
+           Engine.sleep engine delay;
+           ignore
+             (Prefetch.fetch prefetch ~self ~key:(1, 1) ~provider_host:provider
+                ~fetch_fn:(fun () ->
+                  incr fetches;
+                  Payload.of_string "x"))))
+  in
+  fetch a 0.0;
+  fetch b 10.0;
+  Engine.run engine;
+  Alcotest.(check int) "one real fetch" 1 !fetches
+
+(* ------------------------------------------------------------------ *)
+(* Mirror *)
+
+let setup_base rig ~content =
+  let client_host, _ = rig.nodes.(0) in
+  let base = Client.create_blob rig.service ~from:client_host ~capacity:(String.length content) in
+  let v = Client.write base ~from:client_host ~offset:0 (Payload.of_string content) in
+  (base, v)
+
+let test_mirror_reads_base_lazily () =
+  let rig = make_rig ~stripe:256 () in
+  let host, disk = rig.nodes.(1) in
+  let first, cached =
+    run rig (fun () ->
+        let base, v = setup_base rig ~content:(String.make 2048 'Z') in
+        let m =
+          Mirror.create rig.engine ~host ~local_disk:disk ~base ~base_version:v ~name:"m" ()
+        in
+        let first = Payload.to_string (Mirror.read m ~offset:100 ~len:4) in
+        (first, Mirror.cached_chunks m))
+  in
+  Alcotest.(check string) "base content" "ZZZZ" first;
+  Alcotest.(check int) "only touched chunk cached" 1 cached
+
+let test_mirror_write_is_local_cow () =
+  let rig = make_rig ~stripe:256 () in
+  let host, disk = rig.nodes.(1) in
+  let repo_before, repo_after, dirty =
+    run rig (fun () ->
+        let base, v = setup_base rig ~content:(String.make 2048 'Z') in
+        let repo_before = Client.repository_bytes rig.service in
+        let m =
+          Mirror.create rig.engine ~host ~local_disk:disk ~base ~base_version:v ~name:"m" ()
+        in
+        Mirror.write m ~offset:0 (Payload.of_string (String.make 512 'w'));
+        (repo_before, Client.repository_bytes rig.service, Mirror.dirty_bytes m))
+  in
+  Alcotest.(check int) "repository untouched by guest writes" repo_before repo_after;
+  Alcotest.(check int) "two dirty chunks" 512 dirty
+
+let test_mirror_commit_publishes_incremental () =
+  let rig = make_rig ~stripe:256 () in
+  let host, disk = rig.nodes.(1) in
+  let committed, repo_growth, dirty_after =
+    run rig (fun () ->
+        let base, v = setup_base rig ~content:(String.make 2048 'Z') in
+        let repo0 = Client.repository_bytes rig.service in
+        let m =
+          Mirror.create rig.engine ~host ~local_disk:disk ~base ~base_version:v ~name:"m" ()
+        in
+        Mirror.write m ~offset:256 (Payload.of_string (String.make 256 'w'));
+        let version = Mirror.commit m in
+        let ckpt = Option.get (Mirror.checkpoint_image m) in
+        let committed =
+          Payload.to_string
+            (Client.read ckpt ~from:host ~version ~offset:200 ~len:112)
+        in
+        (committed, Client.repository_bytes rig.service - repo0, Mirror.dirty_bytes m))
+  in
+  Alcotest.(check string) "ckpt image = base + diff"
+    (String.make 56 'Z' ^ String.make 56 'w')
+    committed;
+  Alcotest.(check int) "repository grew by diff only" 256 repo_growth;
+  Alcotest.(check int) "dirty cleared" 0 dirty_after
+
+let test_mirror_successive_commits_are_incremental () =
+  let rig = make_rig ~stripe:256 () in
+  let host, disk = rig.nodes.(1) in
+  let growths =
+    run rig (fun () ->
+        let base, v = setup_base rig ~content:(String.make 4096 'Z') in
+        let m =
+          Mirror.create rig.engine ~host ~local_disk:disk ~base ~base_version:v ~name:"m" ()
+        in
+        List.map
+          (fun round ->
+            let before = Client.repository_bytes rig.service in
+            Mirror.write m ~offset:(round * 256) (Payload.of_string (String.make 256 'w'));
+            let _ = Mirror.commit m in
+            Client.repository_bytes rig.service - before)
+          [ 0; 1; 2 ])
+  in
+  Alcotest.(check (list int)) "constant per-commit growth" [ 256; 256; 256 ] growths
+
+let test_mirror_commit_without_dirty_publishes_empty () =
+  let rig = make_rig ~stripe:256 () in
+  let host, disk = rig.nodes.(1) in
+  let v1, v2 =
+    run rig (fun () ->
+        let base, v = setup_base rig ~content:(String.make 1024 'Z') in
+        let m =
+          Mirror.create rig.engine ~host ~local_disk:disk ~base ~base_version:v ~name:"m" ()
+        in
+        let v1 = Mirror.commit m in
+        (v1, Mirror.commit m))
+  in
+  Alcotest.(check int) "first" 1 v1;
+  Alcotest.(check int) "second" 2 v2
+
+let test_mirror_rollback_via_new_mirror () =
+  (* The headline feature: file-system changes after a checkpoint are
+     rolled back by re-mirroring the snapshot version. *)
+  let rig = make_rig ~stripe:256 () in
+  let host, disk = rig.nodes.(1) in
+  let host2, disk2 = rig.nodes.(2) in
+  let restored =
+    run rig (fun () ->
+        let base, v = setup_base rig ~content:(String.make 1024 'Z') in
+        let m =
+          Mirror.create rig.engine ~host ~local_disk:disk ~base ~base_version:v ~name:"m" ()
+        in
+        Mirror.write m ~offset:0 (Payload.of_string (String.make 256 'G'));
+        let good = Mirror.commit m in
+        (* Post-checkpoint corruption that must disappear on rollback. *)
+        Mirror.write m ~offset:0 (Payload.of_string (String.make 512 '!'));
+        let ckpt = Option.get (Mirror.checkpoint_image m) in
+        let m' =
+          Mirror.create rig.engine ~host:host2 ~local_disk:disk2 ~base:ckpt
+            ~base_version:good ~name:"m'" ()
+        in
+        Payload.to_string (Mirror.read m' ~offset:0 ~len:512))
+  in
+  Alcotest.(check string) "rolled back" (String.make 256 'G' ^ String.make 256 'Z') restored
+
+let test_mirror_shared_chunks_prefetched_once () =
+  let rig = make_rig ~stripe:256 () in
+  let prefetch = Prefetch.create rig.engine rig.net () in
+  let distinct, coalesced =
+    run rig (fun () ->
+        let base, v = setup_base rig ~content:(String.make 1024 'Z') in
+        (* Two instances on different nodes mirror the same snapshot and
+           read the same range concurrently. *)
+        let mk i =
+          let host, disk = rig.nodes.(i) in
+          Mirror.create rig.engine ~host ~local_disk:disk ~base ~base_version:v ~prefetch
+            ~name:(Fmt.str "m%d" i) ()
+        in
+        let m1 = mk 1 and m2 = mk 2 in
+        Engine.all rig.engine
+          [
+            (fun () -> ignore (Mirror.read m1 ~offset:0 ~len:1024));
+            (fun () -> ignore (Mirror.read m2 ~offset:0 ~len:1024));
+          ];
+        (Prefetch.distinct_fetches prefetch, Prefetch.coalesced_fetches prefetch))
+  in
+  Alcotest.(check int) "each chunk fetched once" 4 distinct;
+  Alcotest.(check int) "other instance coalesced" 4 coalesced
+
+let test_mirror_local_footprint_and_drop () =
+  let rig = make_rig ~stripe:256 () in
+  let host, disk = rig.nodes.(1) in
+  let during, after =
+    run rig (fun () ->
+        let base, v = setup_base rig ~content:(String.make 1024 'Z') in
+        let m =
+          Mirror.create rig.engine ~host ~local_disk:disk ~base ~base_version:v ~name:"m" ()
+        in
+        ignore (Mirror.read m ~offset:0 ~len:512);
+        Mirror.write m ~offset:512 (Payload.of_string (String.make 256 'w'));
+        let during = Mirror.local_bytes m in
+        Mirror.drop_local_state m;
+        (during, Mirror.local_bytes m))
+  in
+  Alcotest.(check int) "cache + cow" 768 during;
+  Alcotest.(check int) "released" 0 after
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests
+
+let () =
+  Alcotest.run "vdisk"
+    [
+      ( "sparse_bytes",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_sparse_bytes_roundtrip;
+          Alcotest.test_case "overwrite" `Quick test_sparse_bytes_overwrite;
+        ]
+        @ qsuite [ prop_sparse_bytes_matches_reference ] );
+      ( "block_dev",
+        [
+          Alcotest.test_case "bounds" `Quick test_block_dev_bounds;
+          Alcotest.test_case "in-memory" `Quick test_block_dev_in_memory;
+        ] );
+      ( "qcow2",
+        [
+          Alcotest.test_case "COW read/write" `Quick test_qcow2_cow_read_write;
+          Alcotest.test_case "raw PVFS backing" `Quick test_qcow2_backing_raw_pvfs;
+          Alcotest.test_case "grows only on allocation" `Quick
+            test_qcow2_grows_only_on_allocation;
+          Alcotest.test_case "savevm freezes clusters" `Quick test_qcow2_savevm_freezes_clusters;
+          Alcotest.test_case "export + remote backing" `Quick
+            test_qcow2_export_and_remote_backing;
+          Alcotest.test_case "vm state roundtrip" `Quick test_qcow2_export_vm_state_roundtrip;
+          Alcotest.test_case "snapshot table view" `Quick test_qcow2_snapshot_table_view;
+        ] );
+      ( "prefetch",
+        [
+          Alcotest.test_case "coalesces concurrent fetches" `Quick
+            test_prefetch_coalesces_concurrent_fetches;
+          Alcotest.test_case "late fetch served cached" `Quick
+            test_prefetch_late_fetch_served_cached;
+        ] );
+      ( "mirror",
+        [
+          Alcotest.test_case "lazy base reads" `Quick test_mirror_reads_base_lazily;
+          Alcotest.test_case "writes are local COW" `Quick test_mirror_write_is_local_cow;
+          Alcotest.test_case "commit publishes incremental" `Quick
+            test_mirror_commit_publishes_incremental;
+          Alcotest.test_case "successive commits incremental" `Quick
+            test_mirror_successive_commits_are_incremental;
+          Alcotest.test_case "empty commit still publishes" `Quick
+            test_mirror_commit_without_dirty_publishes_empty;
+          Alcotest.test_case "rollback via new mirror" `Quick test_mirror_rollback_via_new_mirror;
+          Alcotest.test_case "shared chunks prefetched once" `Quick
+            test_mirror_shared_chunks_prefetched_once;
+          Alcotest.test_case "local footprint and drop" `Quick
+            test_mirror_local_footprint_and_drop;
+        ] );
+    ]
