@@ -1,0 +1,161 @@
+(* blobcr_lint: static analysis and state auditing for the reproduction.
+
+     blobcr_lint lint [--root DIR] [DIR...]     source lint (determinism hazards)
+     blobcr_lint invariants                     structural audits over a live scenario
+     blobcr_lint determinism --exp fig2a        replay-divergence check
+     blobcr_lint all                            everything; exit 0 = clean *)
+
+open Cmdliner
+open Analysis
+
+let default_dirs = [ "lib"; "bin"; "bench"; "examples" ]
+
+(* ------------------------------------------------------------------ *)
+(* lint *)
+
+let run_lint root dirs =
+  let dirs = if dirs = [] then default_dirs else dirs in
+  let dirs = List.filter (fun d -> Sys.file_exists (Filename.concat root d)) dirs in
+  let findings = Lint.scan_tree ~root dirs in
+  List.iter (fun f -> Fmt.pr "%a@." Lint.pp_finding f) findings;
+  match findings with
+  | [] ->
+      Fmt.pr "lint: clean (%s)@." (String.concat " " dirs);
+      0
+  | fs ->
+      Fmt.pr "lint: %d finding(s)@." (List.length fs);
+      1
+
+let root_term =
+  Arg.(
+    value & opt string "."
+    & info [ "root" ] ~docv:"DIR" ~doc:"Directory the scanned paths are relative to.")
+
+let dirs_term =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"DIR" ~doc:"Directories to scan (default: lib bin bench examples).")
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint" ~doc:"Scan the source tree for determinism and correctness hazards.")
+    Term.(const run_lint $ root_term $ dirs_term)
+
+(* ------------------------------------------------------------------ *)
+(* invariants: run a scenario that exercises every audited structure, then
+   audit the quiesced state. *)
+
+let run_invariants () =
+  Invariants.install ();
+  let scale = Experiments.Scale.quick in
+  let cluster = Blobcr.Cluster.build ~seed:scale.Experiments.Scale.seed scale.Experiments.Scale.cal in
+  let engine = cluster.Blobcr.Cluster.engine in
+  Blobcr.Cluster.run cluster (fun () ->
+      (* BlobCR path: mirror over the base blob, dirty chunks, checkpoint
+         twice — exercises mirror COW state, the version manager and its
+         segment trees. *)
+      let node = Blobcr.Cluster.node cluster 0 in
+      let inst = Blobcr.Approach.deploy cluster Blobcr.Approach.Blobcr ~node ~id:"audit-vm" in
+      let bench = Workloads.Synthetic.start inst ~buffer_bytes:(Simcore.Size.mib_n 1) in
+      Workloads.Synthetic.dump_app bench;
+      ignore (Blobcr.Approach.request_checkpoint cluster inst);
+      Workloads.Synthetic.refill bench;
+      Workloads.Synthetic.dump_app bench;
+      ignore (Blobcr.Approach.request_checkpoint cluster inst);
+      (* qcow2 baseline path: COW writes around an internal snapshot —
+         exercises the refcount machinery. *)
+      let qnode = Blobcr.Cluster.node cluster 1 in
+      let qinst = Blobcr.Approach.deploy cluster Blobcr.Approach.Qcow2_full ~node:qnode ~id:"audit-qcow2" in
+      let qbench = Workloads.Synthetic.start qinst ~buffer_bytes:(Simcore.Size.mib_n 1) in
+      Workloads.Synthetic.dump_app qbench;
+      ignore (Blobcr.Approach.request_checkpoint cluster qinst);
+      Workloads.Synthetic.refill qbench;
+      Workloads.Synthetic.dump_app qbench);
+  let violations = Invariants.audit_engine engine in
+  List.iter (fun x -> Fmt.pr "%a@." Invariants.pp_violation x) violations;
+  match violations with
+  | [] ->
+      Fmt.pr "invariants: clean (%d subjects audited)@."
+        (List.length (Simcore.Engine.audit_subjects engine));
+      0
+  | vs ->
+      Fmt.pr "invariants: %d violation(s)@." (List.length vs);
+      1
+
+let invariants_cmd =
+  Cmd.v
+    (Cmd.info "invariants"
+       ~doc:"Run a representative scenario and audit qcow2/BlobSeer/mirror state.")
+    Term.(const run_invariants $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* determinism *)
+
+let scale_arg =
+  let parse s =
+    match Experiments.Scale.find s with
+    | Some scale -> Ok (s, scale)
+    | None -> Error (`Msg (Fmt.str "unknown scale %S (expected: paper, quick)" s))
+  in
+  let print ppf (name, _) = Fmt.string ppf name in
+  Arg.conv (parse, print)
+
+let scale_term =
+  Arg.(
+    value
+    & opt scale_arg ("quick", Experiments.Scale.quick)
+    & info [ "s"; "scale" ] ~docv:"SCALE" ~doc:"Experiment scale: $(b,quick) or $(b,paper).")
+
+let seed_term =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Engine seed for both runs.")
+
+let exp_term =
+  Arg.(
+    value & opt string "fig5a"
+    & info [ "exp" ] ~docv:"NAME" ~doc:"Experiment id from the registry (see blobcr_cli list).")
+
+let run_determinism (_, scale) seed exp_id =
+  match Experiments.Registry.find exp_id with
+  | None ->
+      Fmt.epr "unknown experiment %S; try `blobcr_cli list'@." exp_id;
+      2
+  | Some exp ->
+      let report = Determinism.check_experiment ~exp ~scale ~seed in
+      Fmt.pr "@[<v>%a@]@." Determinism.pp_report report;
+      if Determinism.identical report then 0 else 1
+
+let determinism_cmd =
+  Cmd.v
+    (Cmd.info "determinism"
+       ~doc:"Run an experiment twice with the same seed and diff the traces.")
+    Term.(const run_determinism $ scale_term $ seed_term $ exp_term)
+
+(* ------------------------------------------------------------------ *)
+(* all *)
+
+let run_all root seed =
+  let stage name code =
+    Fmt.pr "--- %s ---@." name;
+    code ()
+  in
+  let lint = stage "lint" (fun () -> run_lint root []) in
+  let inv = stage "invariants" (fun () -> run_invariants ()) in
+  let det =
+    stage "determinism" (fun () ->
+        run_determinism ("quick", Experiments.Scale.quick) seed "fig5a")
+  in
+  if lint = 0 && inv = 0 && det = 0 then begin
+    Fmt.pr "--- all clean ---@.";
+    0
+  end
+  else 1
+
+let all_cmd =
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run lint, invariants and determinism; exit 0 when all clean.")
+    Term.(const run_all $ root_term $ seed_term)
+
+let () =
+  let doc = "BlobCR determinism lint, invariant audit and replay checking" in
+  let info = Cmd.info "blobcr_lint" ~doc ~version:"1.0.0" in
+  exit (Cmd.eval' (Cmd.group info [ lint_cmd; invariants_cmd; determinism_cmd; all_cmd ]))

@@ -1,0 +1,70 @@
+open Simcore
+
+type divergence = {
+  line_no : int;
+  context : string list;
+  first : string option;
+  second : string option;
+}
+
+type report = {
+  name : string;
+  seed : int;
+  lines : int * int;
+  first_divergence : divergence option;
+  outputs_match : bool;
+}
+
+let identical r = r.first_divergence = None && r.outputs_match
+
+let diff_traces ?(context = 3) a b =
+  let rec go i before a b =
+    match (a, b) with
+    | [], [] -> None
+    | la :: ra, lb :: rb when String.equal la lb -> go (i + 1) (la :: before) ra rb
+    | _ ->
+        let first = match a with l :: _ -> Some l | [] -> None in
+        let second = match b with l :: _ -> Some l | [] -> None in
+        let keep = List.filteri (fun k _ -> k < context) before in
+        Some { line_no = i + 1; context = List.rev keep; first; second }
+  in
+  go 0 [] a b
+
+let compare_runs ~name ?(seed = 42) run =
+  let out_a, trace_a = Trace.capture run in
+  let out_b, trace_b = Trace.capture run in
+  {
+    name;
+    seed;
+    lines = (List.length trace_a, List.length trace_b);
+    first_divergence = diff_traces trace_a trace_b;
+    outputs_match = String.equal out_a out_b;
+  }
+
+let render_outputs outputs =
+  String.concat "\n"
+    (List.map
+       (fun o -> o.Experiments.Registry.name ^ "\n" ^ Stats.render o.Experiments.Registry.table)
+       outputs)
+
+let check_experiment ~exp ~scale ~seed =
+  let scale = { scale with Experiments.Scale.seed } in
+  compare_runs ~name:exp.Experiments.Registry.id ~seed (fun () ->
+      render_outputs (exp.Experiments.Registry.run scale ~progress:(fun _ -> ())))
+
+let pp_report ppf r =
+  let a, b = r.lines in
+  if identical r then
+    Fmt.pf ppf "%s (seed %d): deterministic — %d trace lines identical, outputs identical"
+      r.name r.seed a
+  else begin
+    Fmt.pf ppf "%s (seed %d): NON-DETERMINISTIC (%d vs %d trace lines)@," r.name r.seed a b;
+    (match r.first_divergence with
+    | None -> ()
+    | Some d ->
+        Fmt.pf ppf "first divergence at trace line %d:@," d.line_no;
+        List.iter (Fmt.pf ppf "    %s@,") d.context;
+        Fmt.pf ppf "  - %s@," (Option.value ~default:"<end of trace>" d.first);
+        Fmt.pf ppf "  + %s@," (Option.value ~default:"<end of trace>" d.second));
+    if not r.outputs_match then Fmt.pf ppf "final stats tables differ"
+  end

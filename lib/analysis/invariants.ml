@@ -1,0 +1,188 @@
+open Simcore
+open Blobseer
+open Vdisk
+
+type violation = { subject : string; invariant : string; detail : string }
+
+let v subject invariant fmt = Fmt.kstr (fun detail -> { subject; invariant; detail }) fmt
+
+let pp_violation ppf x =
+  Fmt.pf ppf "%s: invariant %S violated: %s" x.subject x.invariant x.detail
+
+(* ------------------------------------------------------------------ *)
+(* qcow2 refcount audit (paper §2.3 baseline mechanics): every physical
+   cluster's refcount must equal its references from the live table plus
+   all frozen snapshot tables, every referenced cluster must hold data,
+   and no data cluster may be orphaned. *)
+
+let audit_qcow2 q =
+  let subject = "qcow2:" ^ Qcow2.name q in
+  let tables =
+    ("live", Qcow2.table_view q)
+    :: List.map (fun (n, tbl) -> ("snapshot " ^ n, tbl)) (Qcow2.snapshot_table_views q)
+  in
+  let expected =
+    List.concat_map (fun (_, tbl) -> List.map snd tbl) tables
+    |> List.sort compare
+    |> List.fold_left
+         (fun acc phys ->
+           match acc with
+           | (p, n) :: rest when p = phys -> (p, n + 1) :: rest
+           | _ -> (phys, 1) :: acc)
+         []
+    |> List.rev
+  in
+  let stored = List.filter (fun (_, n) -> n <> 0) (Qcow2.refcount_view q) in
+  let data = Qcow2.data_phys_view q in
+  let refcount_violations =
+    List.filter_map
+      (fun (phys, n) ->
+        match List.assoc_opt phys stored with
+        | Some m when m = n -> None
+        | Some m ->
+            Some
+              (v subject "refcount" "physical cluster %d: stored refcount %d, %d references"
+                 phys m n)
+        | None ->
+            Some (v subject "refcount" "physical cluster %d: no refcount, %d references" phys n))
+      expected
+    @ List.filter_map
+        (fun (phys, m) ->
+          if List.mem_assoc phys expected then None
+          else Some (v subject "refcount" "physical cluster %d: refcount %d but unreferenced" phys m))
+        stored
+  in
+  let data_violations =
+    List.filter_map
+      (fun phys ->
+        if List.mem_assoc phys expected then None
+        else Some (v subject "no-orphans" "data cluster %d referenced by no table" phys))
+      data
+    @ List.filter_map
+        (fun (phys, _) ->
+          if List.mem phys data then None
+          else Some (v subject "data-present" "referenced cluster %d holds no data" phys))
+        expected
+  in
+  refcount_violations @ data_violations
+
+(* ------------------------------------------------------------------ *)
+(* Segment-tree partition audit: the terminal spans of a version tree must
+   tile the padded power-of-two chunk space contiguously — a hole or
+   overlap means shadowing produced a corrupt version (paper §3.1.2). *)
+
+let audit_segment_tree ~subject ~chunks tree =
+  let spans = Segment_tree.terminal_spans tree in
+  let declared = Segment_tree.chunks tree in
+  let shape =
+    if declared <> chunks then
+      [ v subject "tree-shape" "tree covers %d chunks, blob has %d" declared chunks ]
+    else []
+  in
+  let rec tile expected = function
+    | [] ->
+        if expected >= chunks then []
+        else [ v subject "partition" "leaves end at %d, short of %d chunks" expected chunks ]
+    | (lo, extent, _) :: rest ->
+        if extent <= 0 then
+          [ v subject "partition" "non-positive span %d at leaf offset %d" extent lo ]
+        else if lo <> expected then
+          [
+            v subject "partition" "leaf at offset %d where %d expected (%s)" lo expected
+              (if lo > expected then "gap" else "overlap");
+          ]
+        else tile (lo + extent) rest
+  in
+  let occupied_width =
+    List.filter_map
+      (fun (lo, extent, occupied) ->
+        if occupied && extent <> 1 then
+          Some (v subject "leaf-width" "occupied leaf at %d spans %d chunks" lo extent)
+        else None)
+      spans
+  in
+  shape @ tile 0 spans @ occupied_width
+
+(* ------------------------------------------------------------------ *)
+(* Version-manager audit: versions of every blob form a dense range (the
+   GC's retention drops a prefix, never punches holes), [latest] is the
+   newest registered version, and every stored tree addresses exactly the
+   blob's chunk count. *)
+
+let audit_version_manager vm =
+  List.concat_map
+    (fun blob ->
+      let subject = Fmt.str "version-manager:blob%d" blob in
+      let info = Version_manager.blob_info vm blob in
+      let chunks =
+        Version_manager.chunk_count ~capacity:info.Version_manager.capacity
+          ~stripe_size:info.Version_manager.stripe_size
+      in
+      match Version_manager.versions vm ~blob with
+      | [] -> [ v subject "versions-dense" "blob has no live versions at all" ]
+      | first :: _ as versions ->
+          let latest = Version_manager.peek_latest vm blob in
+          let newest = List.fold_left max first versions in
+          let dense =
+            if versions <> List.init (List.length versions) (fun i -> first + i) then
+              [
+                v subject "versions-dense" "versions %a are not a dense range"
+                  Fmt.(list ~sep:comma int) versions;
+              ]
+            else []
+          in
+          let latest_ok =
+            if latest <> newest then
+              [ v subject "latest-is-max" "latest is %d, newest stored version is %d" latest newest ]
+            else []
+          in
+          let trees =
+            List.concat_map
+              (fun version ->
+                audit_segment_tree
+                  ~subject:(Fmt.str "%s/v%d" subject version)
+                  ~chunks
+                  (Version_manager.peek_tree vm ~blob ~version))
+              versions
+          in
+          dense @ latest_ok @ trees)
+    (Version_manager.blob_ids vm)
+
+(* ------------------------------------------------------------------ *)
+(* Mirror COW audit: a chunk can only be dirty if it is locally present —
+   commit reads dirty chunks back from the local cache, so a dirty absent
+   chunk would push garbage into the checkpoint image (paper §3.2). *)
+
+let audit_mirror m =
+  let subject = "mirror:" ^ Mirror.name m in
+  let present = Mirror.present_view m in
+  List.filter_map
+    (fun chunk ->
+      if List.mem chunk present then None
+      else Some (v subject "dirty-subset-present" "chunk %d dirty but not locally present" chunk))
+    (Mirror.dirty_view m)
+
+(* ------------------------------------------------------------------ *)
+(* Engine teardown hook *)
+
+let audit_subject = function
+  | Qcow2.Audit_image q -> Some ("qcow2:" ^ Qcow2.name q, audit_qcow2 q)
+  | Mirror.Audit_mirror m -> Some ("mirror:" ^ Mirror.name m, audit_mirror m)
+  | Version_manager.Audit_version_manager vm -> Some ("version-manager", audit_version_manager vm)
+  | _ -> None
+
+let audit_engine engine =
+  List.concat_map
+    (fun s -> match audit_subject s with Some (_, vs) -> vs | None -> [])
+    (Engine.audit_subjects engine)
+
+let install () =
+  Engine.set_subject_auditor (fun s ->
+      match audit_subject s with
+      | Some (_, []) | None -> None
+      | Some (name, violations) ->
+          Some (name, List.map (Fmt.str "%a" pp_violation) violations))
+
+(* Linking this module is opting in: install the auditor so engines run
+   the checks at teardown whenever BLOBCR_AUDIT is set. *)
+let () = install ()

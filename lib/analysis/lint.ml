@@ -1,0 +1,331 @@
+type finding = { rule : string; file : string; line : int; message : string }
+
+let rule_ids =
+  [
+    ( "hashtbl-order",
+      "Hashtbl.iter/Hashtbl.fold whose result may escape without a sort: hash iteration \
+       order is arbitrary and breaks trace determinism" );
+    ( "ambient-random",
+      "stdlib Random instead of Simcore.Rng: ambient PRNG state escapes the engine seed" );
+    ("wall-clock", "wall-clock reads (Unix.gettimeofday / Unix.time / Sys.time) in simulated code");
+    ("obj-magic", "Obj.magic / Obj.repr / Obj.obj defeat the type system");
+    ( "poly-compare",
+      "bare polymorphic compare in a float-bearing module: NaN breaks ordering and \
+       physical equality of closures/lazies can raise" );
+    ("missing-mli", "library module without a companion .mli interface");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Comment- and string-aware line stripping.
+
+   [split_lines source] returns, per line, the code text with comments and
+   string-literal contents blanked out (replaced by spaces, so columns are
+   preserved) and the comment text with everything else blanked. Handles
+   nested (* *) comments, "..." strings with escapes, {x|...|x} quoted
+   strings and character literals (including '\'' and '"'); apostrophes in
+   identifiers such as [left'] are not treated as literals. *)
+
+type lex_state =
+  | Code
+  | Comment of int (* nesting depth *)
+  | String
+  | Quoted of string (* the {x| delimiter's id, matched by |x} *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = '\''
+
+let split_lines source =
+  let lines = String.split_on_char '\n' source in
+  let state = ref Code in
+  List.map
+    (fun line ->
+      let n = String.length line in
+      let code = Bytes.make n ' ' in
+      let comment = Bytes.make n ' ' in
+      let i = ref 0 in
+      while !i < n do
+        let c = line.[!i] in
+        (match !state with
+        | Code ->
+            if c = '(' && !i + 1 < n && line.[!i + 1] = '*' then begin
+              state := Comment 1;
+              incr i
+            end
+            else if c = '"' then state := String
+            else if c = '{' then begin
+              (* {|...|} or {id|...|id} quoted string *)
+              let j = ref (!i + 1) in
+              while !j < n && line.[!j] >= 'a' && line.[!j] <= 'z' do
+                incr j
+              done;
+              if !j < n && line.[!j] = '|' then begin
+                state := Quoted (String.sub line (!i + 1) (!j - !i - 1));
+                i := !j
+              end
+              else Bytes.set code !i c
+            end
+            else if
+              c = '\''
+              && (!i = 0 || not (is_ident_char line.[!i - 1]))
+              && !i + 1 < n
+            then begin
+              (* Character literal: skip '\x..' or 'c' wholesale. *)
+              Bytes.set code !i c;
+              let close =
+                if line.[!i + 1] = '\\' then
+                  (* escape: find the closing quote after it *)
+                  let j = ref (!i + 2) in
+                  while !j < n && line.[!j] <> '\'' do
+                    incr j
+                  done;
+                  if !j < n then Some !j else None
+                else if !i + 2 < n && line.[!i + 2] = '\'' then Some (!i + 2)
+                else None
+              in
+              match close with
+              | Some j -> i := j
+              | None -> () (* lone quote: type variable or stray *)
+            end
+            else Bytes.set code !i c
+        | Comment depth ->
+            Bytes.set comment !i c;
+            if c = '(' && !i + 1 < n && line.[!i + 1] = '*' then begin
+              state := Comment (depth + 1);
+              Bytes.set comment (!i + 1) '*';
+              incr i
+            end
+            else if c = '*' && !i + 1 < n && line.[!i + 1] = ')' then begin
+              state := (if depth = 1 then Code else Comment (depth - 1));
+              incr i
+            end
+        | String ->
+            if c = '\\' then incr i (* skip the escaped character *)
+            else if c = '"' then state := Code
+        | Quoted id ->
+            let close = "|" ^ id ^ "}" in
+            let cl = String.length close in
+            if c = '|' && !i + cl <= n && String.sub line !i cl = close then begin
+              state := Code;
+              i := !i + cl - 1
+            end);
+        incr i
+      done;
+      (* A string or quoted literal never spans lines in this codebase, but
+         if one does, the blanking state simply carries over. *)
+      (Bytes.to_string code, Bytes.to_string comment))
+    lines
+
+(* ------------------------------------------------------------------ *)
+(* Token search *)
+
+(* All start positions where [needle] occurs in [code] as a full token:
+   the character before is not part of an identifier (and, unless
+   [allow_dot_before], not '.'), and the character after is not part of an
+   identifier. *)
+let token_positions ?(allow_dot_before = false) code needle =
+  let nl = String.length needle and cl = String.length code in
+  let open_ended = nl > 0 && needle.[nl - 1] = '.' in
+  let ok_before i =
+    i = 0
+    ||
+    let c = code.[i - 1] in
+    (not (is_ident_char c)) && (allow_dot_before || c <> '.')
+  in
+  let ok_after i =
+    let j = i + nl in
+    open_ended || j >= cl || not (is_ident_char code.[j])
+  in
+  let rec go from acc =
+    if from + nl > cl then List.rev acc
+    else
+      match String.index_from_opt code from needle.[0] with
+      | None -> List.rev acc
+      | Some i when i + nl <= cl && String.sub code i nl = needle ->
+          let acc = if ok_before i && ok_after i then i :: acc else acc in
+          go (i + 1) acc
+      | Some i -> go (i + 1) acc
+  in
+  go 0 []
+
+let has_token ?allow_dot_before code needle =
+  token_positions ?allow_dot_before code needle <> []
+
+let contains_substring hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Pragmas *)
+
+let pragma_prefix = "lint: allow"
+
+(* Rule ids allowed by pragmas in this comment text. *)
+let allowances comment =
+  (* Everything after "lint: allow", split on spaces and commas, filtered
+     to known rule ids — trailing justification text is simply ignored. *)
+  let pl = String.length pragma_prefix in
+  let rec find i =
+    if i + pl > String.length comment then None
+    else if String.sub comment i pl = pragma_prefix then Some (i + pl)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> []
+  | Some start ->
+      let rest = String.sub comment start (String.length comment - start) in
+      String.split_on_char ' ' rest
+      |> List.concat_map (String.split_on_char ',')
+      |> List.filter (fun w -> List.mem_assoc w rule_ids)
+
+(* ------------------------------------------------------------------ *)
+(* Per-file scan *)
+
+let module_qualified_needles =
+  [
+    ("hashtbl-order", [ "Hashtbl.iter"; "Hashtbl.fold" ]);
+    ("ambient-random", [ "Random." ]);
+    ("wall-clock", [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]);
+    ("obj-magic", [ "Obj.magic"; "Obj.repr"; "Obj.obj" ]);
+  ]
+
+(* The hashtbl-order rule forgives an iteration whose result is explicitly
+   ordered nearby: any "sort" within this many lines below the call. *)
+let sort_window = 2
+
+let ends_with_definition code pos =
+  (* [compare] right after [let]/[and]/[rec] is a monomorphic definition,
+     and [~compare] is a labelled argument — neither is a use of the
+     polymorphic comparator. *)
+  if pos > 0 && code.[pos - 1] = '~' then true
+  else
+    let before = String.trim (String.sub code 0 pos) in
+    let word s w =
+      let wl = String.length w and l = String.length s in
+      l >= wl
+      && String.sub s (l - wl) wl = w
+      && (l = wl || not (is_ident_char s.[l - wl - 1]))
+    in
+    word before "let" || word before "and" || word before "rec"
+
+let scan_source ~file source =
+  let lines = split_lines source in
+  let code_lines = Array.of_list (List.map fst lines) in
+  let comment_lines = Array.of_list (List.map snd lines) in
+  let nlines = Array.length code_lines in
+  let float_bearing =
+    Array.exists (fun code -> has_token code "float") code_lines
+  in
+  let findings = ref [] in
+  let allowed rule line =
+    (* A pragma suppresses the offending line itself or, when written as a
+       standalone comment, the line directly below it. *)
+    List.mem rule (allowances comment_lines.(line))
+    || (line > 0
+        && String.trim code_lines.(line - 1) = ""
+        && List.mem rule (allowances comment_lines.(line - 1)))
+  in
+  let emit rule line message =
+    if not (allowed rule line) then
+      findings := { rule; file; line = line + 1; message } :: !findings
+  in
+  for i = 0 to nlines - 1 do
+    let code = code_lines.(i) in
+    List.iter
+      (fun (rule, needles) ->
+        List.iter
+          (fun needle ->
+            if has_token ~allow_dot_before:true code needle then
+              match rule with
+              | "hashtbl-order" ->
+                  let sorted = ref false in
+                  for j = i to min (nlines - 1) (i + sort_window) do
+                    if contains_substring code_lines.(j) "sort" then sorted := true
+                  done;
+                  if not !sorted then
+                    emit rule i
+                      (Fmt.str "%s result not explicitly sorted within %d lines" needle
+                         sort_window)
+              | _ -> emit rule i (Fmt.str "use of %s" needle))
+          needles)
+      module_qualified_needles;
+    if float_bearing then
+      List.iter
+        (fun pos ->
+          if not (ends_with_definition code pos) then
+            emit "poly-compare" i
+              "bare polymorphic compare in a module handling floats (use Float.compare \
+               or a typed comparator)")
+        (token_positions code "compare")
+  done;
+  List.rev !findings
+
+(* ------------------------------------------------------------------ *)
+(* Tree scan *)
+
+let missing_mli ~dir ~ml ~mli =
+  let mli_stems = List.map Filename.remove_extension mli in
+  List.filter_map
+    (fun f ->
+      let stem = Filename.remove_extension f in
+      if List.mem stem mli_stems then None
+      else
+        Some
+          {
+            rule = "missing-mli";
+            file = Filename.concat dir f;
+            line = 1;
+            message = Fmt.str "%s has no companion %s.mli interface" f (Filename.basename stem);
+          })
+    (List.sort compare ml)
+
+let rec walk dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.sort compare entries;
+      Array.to_list entries
+      |> List.concat_map (fun entry ->
+             if String.length entry = 0 || entry.[0] = '.' || entry.[0] = '_' then []
+             else
+               let path = Filename.concat dir entry in
+               if Sys.is_directory path then walk path
+               else if Filename.check_suffix entry ".ml" || Filename.check_suffix entry ".mli"
+               then [ path ]
+               else [])
+  | exception Sys_error _ -> []
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Group files per directory for the missing-mli rule. *)
+let scan_tree ~root dirs =
+  let findings = ref [] in
+  List.iter
+    (fun dir ->
+      let full = Filename.concat root dir in
+      let files = walk full in
+      let in_lib = String.length dir >= 3 && String.sub dir 0 3 = "lib" in
+      List.iter
+        (fun path ->
+          if Filename.check_suffix path ".ml" then
+            findings := scan_source ~file:path (read_file path) @ !findings)
+        files;
+      if in_lib then begin
+        let by_dir = List.sort_uniq compare (List.map Filename.dirname files) in
+        List.iter
+          (fun d ->
+            let here = List.filter (fun p -> Filename.dirname p = d) files in
+            let base = List.map Filename.basename here in
+            let ml = List.filter (fun f -> Filename.check_suffix f ".ml") base in
+            let mli = List.filter (fun f -> Filename.check_suffix f ".mli") base in
+            findings := missing_mli ~dir:d ~ml ~mli @ !findings)
+          by_dir
+      end)
+    dirs;
+  List.sort compare !findings
+
+let pp_finding ppf f =
+  Fmt.pf ppf "%s:%d: [%s] %s" f.file f.line f.rule f.message

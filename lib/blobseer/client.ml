@@ -311,4 +311,4 @@ let distinct_bytes b =
             desc.replicas)
         tr ())
     (versions b);
-  Hashtbl.fold (fun _ size acc -> acc + size) seen 0
+  Hashtbl.fold (fun _ size acc -> acc + size) seen 0 (* lint: allow hashtbl-order — commutative sum *)

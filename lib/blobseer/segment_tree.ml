@@ -22,9 +22,10 @@ let empty_table : (int, Obj.t) Hashtbl.t = Hashtbl.create 64
 
 let empty_node espan : 'a node =
   match Hashtbl.find_opt empty_table espan with
-  | Some node -> (Obj.obj node : 'a node)
+  | Some node -> (Obj.obj node : 'a node) (* lint: allow obj-magic — see above *)
   | None ->
       let node = Empty { espan } in
+      (* lint: allow obj-magic — Empty carries no 'a, sharing is sound *)
       Hashtbl.add empty_table espan (Obj.repr node);
       node
 
@@ -126,7 +127,17 @@ let live_nodes t = Hashtbl.length (node_ids t)
 let shared_nodes a b =
   let ids_a = node_ids a in
   let ids_b = node_ids b in
+  (* lint: allow hashtbl-order — commutative count *)
   Hashtbl.fold (fun id () acc -> if Hashtbl.mem ids_a id then acc + 1 else acc) ids_b 0
+
+let terminal_spans t =
+  let rec go node lo acc =
+    match node with
+    | Empty { espan } -> (lo, espan, false) :: acc
+    | Leaf _ -> (lo, 1, true) :: acc
+    | Branch { left; right; _ } -> go right (lo + span left) (go left lo acc)
+  in
+  List.rev (go t.root 0 [])
 
 let diff_leaves a b =
   if a.chunks <> b.chunks then invalid_arg "Segment_tree.diff_leaves: shape mismatch";

@@ -1,0 +1,28 @@
+(** Shared BlobSeer datatypes. *)
+
+type replica = { provider : int; chunk : Storage.Content_store.chunk_id }
+(** One stored copy of a chunk: which data provider holds it, under which
+    content-store id. *)
+
+type chunk_desc = { size : int; replicas : replica list }
+(** Descriptor stored in segment-tree leaves: where the chunk for this
+    stripe lives and how many bytes of it are meaningful. *)
+
+(** Tunable service parameters. Costs are in seconds, sizes in bytes. *)
+type params = {
+  stripe_size : int;  (** chunk granularity; the paper uses 256 KiB *)
+  replication : int;  (** copies per chunk, on distinct providers *)
+  write_window : int;  (** outstanding chunk writes per client *)
+  read_window : int;  (** outstanding chunk reads per client *)
+  request_overhead : float;  (** per-chunk service cost at a data provider *)
+  metadata_node_bytes : int;  (** wire size of one tree node *)
+  metadata_node_cost : float;  (** per-node service cost at a metadata provider *)
+  publish_cost : float;  (** serialized cost of one version publication *)
+  allocate_cost : float;  (** per-chunk cost at the provider manager *)
+}
+
+val default_params : params
+
+exception Provider_down of string
+(** Raised when an operation needs a data provider whose machine failed and
+    no live replica remains. *)

@@ -19,15 +19,21 @@ type t = {
   mutable next_blob : int;
 }
 
+type Engine.audit_subject += Audit_version_manager of t
+
 let create engine net ~host ?(publish_cost = Types.default_params.publish_cost) () =
-  {
-    engine;
-    net;
-    host;
-    server = Rate_server.create engine ~rate:1e12 ~per_op:publish_cost ~name:"vmanager" ();
-    blobs = Hashtbl.create 64;
-    next_blob = 0;
-  }
+  let t =
+    {
+      engine;
+      net;
+      host;
+      server = Rate_server.create engine ~rate:1e12 ~per_op:publish_cost ~name:"vmanager" ();
+      blobs = Hashtbl.create 64;
+      next_blob = 0;
+    }
+  in
+  Engine.register_audit_subject engine (Audit_version_manager t);
+  t
 
 let chunk_count ~capacity ~stripe_size = Size.div_ceil capacity stripe_size
 
@@ -101,7 +107,14 @@ let versions t ~blob =
   let st = state t blob in
   Hashtbl.fold (fun v _ acc -> v :: acc) st.versions [] |> List.sort compare
 
+let peek_latest t blob = (state t blob).latest
+let peek_tree t ~blob ~version = Hashtbl.find (state t blob).versions version
+
+(* Iterate in sorted (blob, version) order: callers fold arbitrary state
+   over the trees (the GC builds its mark set here), so hash order must not
+   escape into results. *)
 let iter_live_trees t f =
-  Hashtbl.iter
-    (fun blob st -> Hashtbl.iter (fun version tree -> f ~blob ~version tree) st.versions)
-    t.blobs
+  List.iter
+    (fun blob ->
+      List.iter (fun version -> f ~blob ~version (peek_tree t ~blob ~version)) (versions t ~blob))
+    (blob_ids t)

@@ -51,4 +51,22 @@ val versions : t -> blob:int -> int list
 (** Published (non-dropped) version numbers, ascending. *)
 
 val iter_live_trees : t -> (blob:int -> version:int -> tree -> unit) -> unit
-(** All live (blob, version) roots — the GC roots. *)
+(** All live (blob, version) roots — the GC roots — in ascending
+    (blob, version) order, so iteration order is deterministic. *)
+
+val chunk_count : capacity:int -> stripe_size:int -> int
+(** Number of segment-tree leaves a blob of this shape addresses. *)
+
+(** {1 Audit views}
+
+    Read-only accessors for [Analysis.Invariants]; no simulated network or
+    service cost is charged. Version managers register themselves with
+    their engine as {!Audit_version_manager} subjects. *)
+
+type Engine.audit_subject += Audit_version_manager of t
+
+val peek_latest : t -> int -> int
+(** Like {!latest} but free of simulated cost. *)
+
+val peek_tree : t -> blob:int -> version:int -> tree
+(** Like {!get_tree} but free of simulated cost. *)

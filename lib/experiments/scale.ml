@@ -3,6 +3,7 @@ open Blobcr
 
 type t = {
   cal : Calibration.t;
+  seed : int;
   instance_counts : int list;
   buffer_small : int;
   buffer_large : int;
@@ -15,6 +16,7 @@ type t = {
 let paper =
   {
     cal = Calibration.default;
+    seed = 42;
     instance_counts = [ 1; 30; 60; 90; 120 ];
     buffer_small = Size.mib_n 50;
     buffer_large = Size.mib_n 200;
@@ -35,6 +37,7 @@ let paper =
 let quick =
   {
     cal = Calibration.quick_test;
+    seed = 42;
     instance_counts = [ 1; 2; 4 ];
     buffer_small = Size.mib_n 2;
     buffer_large = Size.mib_n 8;

@@ -9,6 +9,7 @@ open Blobcr
 
 type t = {
   cal : Calibration.t;
+  seed : int;  (** engine seed every cluster in the run is built with *)
   instance_counts : int list;  (** x-axis of Figures 2 and 3 *)
   buffer_small : int;
   buffer_large : int;

@@ -35,7 +35,7 @@ let restart_node cluster ~n i =
   Cluster.node cluster ((i + shift) mod count)
 
 let run_point (scale : Scale.t) ~(combo : Combos.t) ~n ~buffer =
-  let cluster = Cluster.build scale.Scale.cal in
+  let cluster = Cluster.build ~seed:scale.Scale.seed scale.Scale.cal in
   Cluster.run cluster (fun () ->
       let instances = deploy_many cluster combo.Combos.kind ~n in
       let benches = Hashtbl.create n in
@@ -88,7 +88,7 @@ let sweep scale ~buffer ?(combos = Combos.all) ?ns ?(progress = fun _ -> ()) () 
     combos
 
 let run_successive (scale : Scale.t) ~(combo : Combos.t) ~rounds ~buffer =
-  let cluster = Cluster.build scale.Scale.cal in
+  let cluster = Cluster.build ~seed:scale.Scale.seed scale.Scale.cal in
   Cluster.run cluster (fun () ->
       let instances = deploy_many cluster combo.Combos.kind ~n:1 in
       let inst = List.hd instances in

@@ -68,6 +68,7 @@ let params t = t.prm
 let server_count t = Array.length t.servers
 
 let total_bytes t =
+  (* lint: allow hashtbl-order — commutative sum *)
   Hashtbl.fold
     (fun _ file acc ->
       Array.fold_left

@@ -1,11 +1,31 @@
 exception Cancelled
 exception Fiber_failure of string * exn
+exception Audit_failure of string * string list
 
 let () =
   Printexc.register_printer (function
     | Fiber_failure (name, exn) ->
         Some (Printf.sprintf "Fiber_failure(%s: %s)" name (Printexc.to_string exn))
+    | Audit_failure (subject, violations) ->
+        Some
+          (Printf.sprintf "Audit_failure(%s: %s)" subject (String.concat "; " violations))
     | _ -> None)
+
+type audit_subject = ..
+
+(* The subject auditor is installed by [Analysis.Invariants] (which lives
+   above the component libraries in the dependency order); until it is
+   installed, registered subjects are inert. *)
+let subject_auditor : (audit_subject -> (string * string list) option) ref =
+  ref (fun _ -> None)
+
+let set_subject_auditor f = subject_auditor := f
+
+let audits_enabled_flag =
+  ref (match Sys.getenv_opt "BLOBCR_AUDIT" with Some ("0" | "") | None -> false | Some _ -> true)
+
+let audits_enabled () = !audits_enabled_flag
+let set_audits_enabled v = audits_enabled_flag := v
 
 type outcome = Completed | Cancelled_outcome | Failed of exn
 
@@ -24,6 +44,7 @@ type t = {
   mutable live : int;
   mutable blocked : int;
   mutable next_id : int;
+  mutable audit_subjects : audit_subject list;
 }
 
 and fiber = {
@@ -53,7 +74,14 @@ let create ?(seed = 42) () =
     live = 0;
     blocked = 0;
     next_id = 0;
+    audit_subjects = [];
   }
+
+let register_audit_subject t s = t.audit_subjects <- s :: t.audit_subjects
+let audit_subjects t = List.rev t.audit_subjects
+
+let audit_violations t =
+  List.filter_map (fun s -> !subject_auditor s) (audit_subjects t)
 
 let now t = t.now
 let rng t = t.rng
@@ -194,7 +222,13 @@ let step t =
 let run t =
   while step t do
     ()
-  done
+  done;
+  (* Teardown audit: at quiescence every registered subject's structural
+     invariants must hold (debug builds only, see BLOBCR_AUDIT). *)
+  if audits_enabled () then
+    match audit_violations t with
+    | [] -> ()
+    | (subject, violations) :: _ -> raise (Audit_failure (subject, violations))
 
 let run_until t limit =
   let rec go () =

@@ -27,6 +27,11 @@ exception Fiber_failure of string * exn
 (** Raised out of {!run} when a fiber dies with an unhandled exception
     (other than {!Cancelled}); carries the fiber name and the exception. *)
 
+exception Audit_failure of string * string list
+(** Raised out of {!run} when teardown audits are enabled and a registered
+    audit subject violates a structural invariant; carries the subject name
+    and the violation descriptions. *)
+
 val create : ?seed:int -> unit -> t
 (** [create ~seed ()] is a fresh engine at time [0.0]. Default seed 42. *)
 
@@ -54,6 +59,41 @@ val live_fibers : t -> int
 
 val blocked_fibers : t -> int
 (** Number of live fibers currently suspended on a blocking operation. *)
+
+(** {1 Teardown audits}
+
+    Stateful components (disk images, mirrors, version managers, ...)
+    register themselves as {e audit subjects} at creation. When audits are
+    enabled, {!run} checks every subject's structural invariants once the
+    event queue drains and raises {!Audit_failure} on the first violation.
+    The actual invariant checks live above the component libraries (in
+    [Analysis.Invariants]) and are injected with {!set_subject_auditor};
+    until an auditor is installed, registered subjects are inert. *)
+
+type audit_subject = ..
+(** Extensible registry of auditable state. Component modules add their own
+    constructor (e.g. [Qcow2.Audit_image]) and register instances. *)
+
+val register_audit_subject : t -> audit_subject -> unit
+(** Attach a subject to this engine's teardown audit. Cheap, and safe to
+    call even when audits are disabled. *)
+
+val audit_subjects : t -> audit_subject list
+(** All registered subjects, in registration order. *)
+
+val audit_violations : t -> (string * string list) list
+(** Run the installed auditor over every subject and return the non-clean
+    results as [(subject, violations)]. Does not raise. *)
+
+val set_subject_auditor : (audit_subject -> (string * string list) option) -> unit
+(** Install the global subject auditor (normally [Analysis.Invariants]'s;
+    the function receives each subject and returns [None] when clean). *)
+
+val audits_enabled : unit -> bool
+(** Whether {!run} performs teardown audits. Defaults to the [BLOBCR_AUDIT]
+    environment variable (unset, empty or ["0"] means disabled). *)
+
+val set_audits_enabled : bool -> unit
 
 val sleep : t -> float -> unit
 (** [sleep t d] blocks the calling fiber for [d] simulated seconds.

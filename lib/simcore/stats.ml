@@ -20,7 +20,7 @@ let table ~title ~x_label ~y_label columns = { title; x_label; y_label; columns 
 let xs_of t =
   let xs =
     List.concat_map (fun s -> List.map fst (points s)) t.columns
-    |> List.sort_uniq compare
+    |> List.sort_uniq Float.compare
   in
   xs
 

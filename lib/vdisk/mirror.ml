@@ -20,9 +20,11 @@ type t = {
   mutable reserved : int; (* local-disk bytes held *)
 }
 
+type Engine.audit_subject += Audit_mirror of t
+
 let create engine ~host ~local_disk ~base ~base_version ?prefetch ~name () =
   let chunk_size = Client.stripe_size base in
-  {
+  let t = {
     engine;
     host;
     local_disk;
@@ -38,6 +40,9 @@ let create engine ~host ~local_disk ~base ~base_version ?prefetch ~name () =
     ckpt = None;
     reserved = 0;
   }
+  in
+  Engine.register_audit_subject engine (Audit_mirror t);
+  t
 
 let name t = t.mname
 let capacity t = t.capacity
@@ -48,9 +53,14 @@ let dirty_chunks t = Hashtbl.length t.dirty
 let chunk_extent t index =
   min t.capacity ((index + 1) * t.chunk_size) - (index * t.chunk_size)
 
-let dirty_bytes t = Hashtbl.fold (fun i () acc -> acc + chunk_extent t i) t.dirty 0
+let dirty_bytes t = Hashtbl.fold (fun i () acc -> acc + chunk_extent t i) t.dirty 0 (* lint: allow hashtbl-order — commutative sum *)
 let cached_chunks t = Hashtbl.length t.present
 let local_bytes t = t.reserved
+
+let sorted_keys tbl = Hashtbl.fold (fun i () acc -> i :: acc) tbl [] |> List.sort compare
+let present_view t = sorted_keys t.present
+let dirty_view t = sorted_keys t.dirty
+let unsafe_mark_dirty t ~chunk = Hashtbl.replace t.dirty chunk ()
 
 let local_stream t = Net.host_id t.host
 
@@ -142,6 +152,7 @@ let device t =
   }
 
 let taint_all t =
+  (* lint: allow hashtbl-order — independent per-key marking *)
   Hashtbl.iter (fun index () -> Hashtbl.replace t.dirty index ()) t.present
 
 let clone t =

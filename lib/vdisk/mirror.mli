@@ -75,3 +75,22 @@ val local_bytes : t -> int
 val drop_local_state : t -> unit
 (** Release the mirror's local-disk footprint (instance terminated and its
     node-local storage reclaimed). *)
+
+(** {1 Audit views}
+
+    Read-only views for [Analysis.Invariants]; no simulated I/O charged.
+    Mirrors register themselves with their engine as {!Audit_mirror}
+    subjects. *)
+
+type Engine.audit_subject += Audit_mirror of t
+
+val present_view : t -> int list
+(** Locally cached chunk indices, ascending. *)
+
+val dirty_view : t -> int list
+(** Chunk indices modified since the last commit, ascending. The COW
+    invariant is [dirty_view ⊆ present_view]. *)
+
+val unsafe_mark_dirty : t -> chunk:int -> unit
+(** Mark a chunk dirty without caching it — breaks the COW invariant.
+    Test-only: used to verify the auditor catches corruption. *)

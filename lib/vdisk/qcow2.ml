@@ -37,6 +37,8 @@ type t = {
   mutable snapshot_meta_bytes : int; (* stored tables + vm states *)
 }
 
+type Engine.audit_subject += Audit_image of t
+
 let default_cluster_size = 64 * Size.kib
 
 let table_bytes ~capacity ~cluster_size =
@@ -74,6 +76,7 @@ let create engine ~host ~local_disk ?(cluster_size = default_cluster_size) ~capa
   in
   (* The freshly created file holds header + empty tables. *)
   Disk.reserve local_disk (header_bytes ~capacity ~cluster_size);
+  Engine.register_audit_subject engine (Audit_image t);
   t
 
 let name t = t.qname
@@ -219,6 +222,7 @@ let savevm t ~snapshot_name ~vm_state =
   if List.mem_assoc snapshot_name t.snapshots then
     invalid_arg (Fmt.str "Qcow2.savevm: snapshot %s exists" snapshot_name);
   let stable = Hashtbl.copy t.table in
+  (* lint: allow hashtbl-order — commutative per-cluster increments *)
   Hashtbl.iter (fun _ phys -> Hashtbl.replace t.refcounts phys (refs t phys + 1)) stable;
   let meta =
     Payload.length vm_state
@@ -232,6 +236,24 @@ let savevm t ~snapshot_name ~vm_state =
   t.snapshots <- (snapshot_name, { stable; svm_state = vm_state }) :: t.snapshots
 
 let snapshot_names t = List.rev_map fst t.snapshots
+
+(* ------------------------------------------------------------------ *)
+(* Read-only audit views *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let table_view t = sorted_bindings t.table
+
+let snapshot_table_views t =
+  List.rev_map (fun (sname, s) -> (sname, sorted_bindings s.stable)) t.snapshots
+
+let refcount_view t = sorted_bindings t.refcounts
+
+let data_phys_view t =
+  Hashtbl.fold (fun phys _ acc -> phys :: acc) t.data [] |> List.sort compare
+
+let unsafe_set_refcount t ~phys count = Hashtbl.replace t.refcounts phys count
 
 (* ------------------------------------------------------------------ *)
 (* Export to PVFS *)

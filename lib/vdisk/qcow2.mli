@@ -78,6 +78,32 @@ val savevm : t -> snapshot_name:string -> vm_state:Payload.t -> unit
 
 val snapshot_names : t -> string list
 
+(** {1 Audit views}
+
+    Read-only structural views for the invariant auditor
+    ([Analysis.Invariants]); none of these charge simulated I/O. Images
+    register themselves with their engine as {!Audit_image} subjects so
+    teardown audits (see {!Engine.audits_enabled}) cover them. *)
+
+type Engine.audit_subject += Audit_image of t
+
+val table_view : t -> (int * int) list
+(** Live [guest cluster -> physical cluster] mappings, sorted by guest
+    index. *)
+
+val snapshot_table_views : t -> (string * (int * int) list) list
+(** Frozen per-snapshot tables, oldest snapshot first. *)
+
+val refcount_view : t -> (int * int) list
+(** [physical cluster -> table references], sorted by physical index. *)
+
+val data_phys_view : t -> int list
+(** Physical clusters holding content, ascending. *)
+
+val unsafe_set_refcount : t -> phys:int -> int -> unit
+(** Corrupt a refcount in place. Test-only: exists so tests can prove the
+    refcount auditor catches seeded defects. *)
+
 (** {1 Export / remote images} *)
 
 val export : t -> Pvfs.t -> from:Net.host -> path:string -> remote_image

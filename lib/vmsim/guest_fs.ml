@@ -197,9 +197,10 @@ let delete_file t ~path =
   t.meta_dirty <- true
 
 let dirty_bytes t =
+  (* lint: allow hashtbl-order — commutative sum *)
   Hashtbl.fold (fun _ e acc -> if e.dirty then acc + e.size else acc) t.files 0
 
-let used_bytes t = Hashtbl.fold (fun _ e acc -> acc + extent_bytes e.extents) t.files 0
+let used_bytes t = Hashtbl.fold (fun _ e acc -> acc + extent_bytes e.extents) t.files 0 (* lint: allow hashtbl-order — commutative sum *)
 
 let flush_file t e =
   let generation = e.generation in
@@ -238,6 +239,7 @@ let flush_file t e =
   if e.generation = generation then e.dirty <- false
 
 let sync t =
+  (* lint: allow hashtbl-order — flush_file only flips per-file flags *)
   Hashtbl.iter (fun _ e -> if e.dirty then flush_file t e) t.files;
   if t.meta_dirty then write_metadata t;
   Block_dev.flush t.dev

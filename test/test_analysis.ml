@@ -1,0 +1,295 @@
+(* Tests for the analysis subsystem: the source lint rules (positive and
+   pragma-suppressed cases), the runtime invariant auditors (each must
+   catch a seeded defect), and the replay-divergence checker. *)
+
+open Simcore
+open Netsim
+open Storage
+open Blobseer
+open Vdisk
+open Analysis
+
+(* ------------------------------------------------------------------ *)
+(* Lint: rule positives, forgiveness and pragmas *)
+
+let rules findings = List.map (fun f -> f.Lint.rule) findings
+
+let scan src = Lint.scan_source ~file:"fixture.ml" src
+
+let test_lint_hashtbl_order () =
+  Alcotest.(check (list string)) "unsorted fold flagged" [ "hashtbl-order" ]
+    (rules (scan "let xs = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []\n"));
+  Alcotest.(check (list string)) "sort within window forgiven" []
+    (rules
+       (scan
+          "let xs = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []\n\
+           let xs = List.sort compare xs\n"));
+  Alcotest.(check (list string)) "same-line pragma suppresses" []
+    (rules
+       (scan
+          "let n = Hashtbl.fold (fun _ v a -> a + v) tbl 0 (* lint: allow \
+           hashtbl-order — sum *)\n"));
+  Alcotest.(check (list string)) "preceding-line pragma suppresses" []
+    (rules
+       (scan
+          "(* lint: allow hashtbl-order — sum *)\n\
+           let n = Hashtbl.fold (fun _ v a -> a + v) tbl 0\n"));
+  Alcotest.(check (list string)) "pragma for another rule does not" [ "hashtbl-order" ]
+    (rules
+       (scan
+          "let n = Hashtbl.fold (fun _ v a -> a + v) tbl 0 (* lint: allow \
+           wall-clock *)\n"))
+
+let test_lint_ambient_effects () =
+  Alcotest.(check (list string)) "ambient Random flagged" [ "ambient-random" ]
+    (rules (scan "let r = Random.int 6\n"));
+  Alcotest.(check (list string)) "wall clock flagged" [ "wall-clock" ]
+    (rules (scan "let t = Unix.gettimeofday ()\n"));
+  Alcotest.(check (list string)) "Obj.magic flagged" [ "obj-magic" ]
+    (rules (scan "let x = Obj.magic y\n"))
+
+let test_lint_strings_and_comments_inert () =
+  Alcotest.(check (list string)) "needle inside a string literal" []
+    (rules (scan "let s = \"Hashtbl.iter is risky\"\n"));
+  Alcotest.(check (list string)) "needle inside a comment" []
+    (rules (scan "(* avoid Random.int in simulations *)\nlet x = 1\n"));
+  Alcotest.(check (list string)) "needle inside a quoted string" []
+    (rules (scan "let s = {q|Unix.gettimeofday|q}\n"))
+
+let test_lint_poly_compare () =
+  Alcotest.(check (list string)) "bare compare near floats" [ "poly-compare" ]
+    (rules (scan "let f (x : float) = x\nlet c a b = compare a b\n"));
+  Alcotest.(check (list string)) "Float.compare accepted" []
+    (rules (scan "let f (x : float) = x\nlet c a b = Float.compare a b\n"));
+  Alcotest.(check (list string)) "bare compare without floats accepted" []
+    (rules (scan "let c a b = compare a b\n"))
+
+let test_lint_missing_mli () =
+  Alcotest.(check (list string)) "ml without mli flagged" [ "missing-mli" ]
+    (rules (Lint.missing_mli ~dir:"lib/x" ~ml:[ "foo.ml" ] ~mli:[]));
+  Alcotest.(check (list string)) "ml with mli accepted" []
+    (rules (Lint.missing_mli ~dir:"lib/x" ~ml:[ "foo.ml" ] ~mli:[ "foo.mli" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Invariants: each auditor catches a seeded defect *)
+
+type rig = {
+  engine : Engine.t;
+  service : Client.t;
+  nodes : (Net.host * Disk.t) array;
+}
+
+let make_rig ?(stripe = 256) () =
+  let engine = Engine.create () in
+  let net = Net.create engine { Net.default_config with latency = 1e-4 } in
+  let vm_host = Net.add_host net ~name:"vmanager" in
+  let pm_host = Net.add_host net ~name:"pmanager" in
+  let meta = [ Net.add_host net ~name:"meta0" ] in
+  let nodes =
+    Array.init 3 (fun i ->
+        ( Net.add_host net ~name:(Fmt.str "node%d" i),
+          Disk.create engine ~name:(Fmt.str "nodedisk%d" i) () ))
+  in
+  let service =
+    Client.deploy engine net
+      ~params:{ Types.default_params with stripe_size = stripe }
+      ~version_manager_host:vm_host ~provider_manager_host:pm_host
+      ~metadata_hosts:meta ~data_providers:(Array.to_list nodes) ()
+  in
+  { engine; service; nodes }
+
+let run rig f =
+  let result = ref None in
+  let _ = Engine.Fiber.spawn rig.engine (fun () -> result := Some (f ())) in
+  Engine.run rig.engine;
+  Option.get !result
+
+(* Tests that seed corruption and audit by hand must not also trip the
+   teardown audit (armed suite-wide via BLOBCR_AUDIT=1 in test/dune). *)
+let without_teardown_audits f =
+  let was = Engine.audits_enabled () in
+  Engine.set_audits_enabled false;
+  Fun.protect ~finally:(fun () -> Engine.set_audits_enabled was) f
+
+let make_qcow2 rig =
+  let host, disk = rig.nodes.(0) in
+  let q =
+    Qcow2.create rig.engine ~host ~local_disk:disk ~cluster_size:256 ~capacity:4096
+      ~backing:Qcow2.No_backing ~name:"q" ()
+  in
+  Qcow2.write q ~offset:0 (Payload.of_string (String.make 512 'a'));
+  Qcow2.savevm q ~snapshot_name:"s1" ~vm_state:(Payload.of_string "vm");
+  Qcow2.write q ~offset:0 (Payload.of_string (String.make 256 'b'));
+  q
+
+let test_qcow2_audit_catches_refcount_corruption () =
+  without_teardown_audits @@ fun () ->
+  let rig = make_rig () in
+  let clean, corrupted =
+    run rig (fun () ->
+        let q = make_qcow2 rig in
+        let clean = Invariants.audit_qcow2 q in
+        Qcow2.unsafe_set_refcount q ~phys:0 7;
+        (clean, Invariants.audit_qcow2 q))
+  in
+  Alcotest.(check int) "clean image audits clean" 0 (List.length clean);
+  Alcotest.(check bool) "corrupted refcount caught" true
+    (List.exists (fun v -> v.Invariants.invariant = "refcount") corrupted)
+
+let test_engine_teardown_audit () =
+  let was = Engine.audits_enabled () in
+  Fun.protect
+    ~finally:(fun () -> Engine.set_audits_enabled was)
+    (fun () ->
+      Engine.set_audits_enabled true;
+      let rig = make_rig () in
+      let _ =
+        Engine.Fiber.spawn rig.engine (fun () ->
+            let q = make_qcow2 rig in
+            Qcow2.unsafe_set_refcount q ~phys:0 7)
+      in
+      match Engine.run rig.engine with
+      | () -> Alcotest.fail "expected Audit_failure at teardown"
+      | exception Engine.Audit_failure _ -> ())
+
+let test_mirror_audit_catches_uncached_dirty () =
+  without_teardown_audits @@ fun () ->
+  let rig = make_rig () in
+  let clean, corrupted =
+    run rig (fun () ->
+        let host, disk = rig.nodes.(1) in
+        let client_host, _ = rig.nodes.(0) in
+        let base =
+          Client.create_blob rig.service ~from:client_host ~capacity:2048
+        in
+        let v =
+          Client.write base ~from:client_host ~offset:0
+            (Payload.of_string (String.make 2048 'Z'))
+        in
+        let m =
+          Mirror.create rig.engine ~host ~local_disk:disk ~base ~base_version:v
+            ~name:"m" ()
+        in
+        Mirror.write m ~offset:0 (Payload.of_string (String.make 256 'w'));
+        let clean = Invariants.audit_mirror m in
+        Mirror.unsafe_mark_dirty m ~chunk:7;
+        (clean, Invariants.audit_mirror m))
+  in
+  Alcotest.(check int) "clean mirror audits clean" 0 (List.length clean);
+  Alcotest.(check bool) "dirty-not-present caught" true
+    (List.exists (fun v -> v.Invariants.invariant = "dirty-subset-present") corrupted)
+
+let test_version_manager_audit_catches_version_hole () =
+  without_teardown_audits @@ fun () ->
+  let rig = make_rig () in
+  let clean, holed =
+    run rig (fun () ->
+        let client_host, _ = rig.nodes.(0) in
+        let blob = Client.create_blob rig.service ~from:client_host ~capacity:1024 in
+        let write c =
+          ignore
+            (Client.write blob ~from:client_host ~offset:0
+               (Payload.of_string (String.make 1024 c)))
+        in
+        write 'a';
+        write 'b';
+        write 'c';
+        let vm = Client.version_manager rig.service in
+        let clean = Invariants.audit_version_manager vm in
+        (* The GC drops prefixes, never middles: a hole is a seeded defect. *)
+        Version_manager.drop_version vm ~blob:(Client.blob_id blob) ~version:2;
+        (clean, Invariants.audit_version_manager vm))
+  in
+  Alcotest.(check int) "live manager audits clean" 0 (List.length clean);
+  Alcotest.(check bool) "version hole caught" true
+    (List.exists (fun v -> v.Invariants.invariant = "versions-dense") holed)
+
+let test_segment_tree_audit () =
+  let tree = Segment_tree.create ~chunks:4 in
+  let tree, _ = Segment_tree.set_range tree ~start:1 [| Some 1; Some 2 |] in
+  Alcotest.(check int) "well-formed tree audits clean" 0
+    (List.length (Invariants.audit_segment_tree ~subject:"t" ~chunks:4 tree));
+  Alcotest.(check bool) "undersized tree caught" true
+    (Invariants.audit_segment_tree ~subject:"t" ~chunks:16 tree <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Determinism *)
+
+let test_diff_traces () =
+  Alcotest.(check bool) "equal traces" true
+    (Determinism.diff_traces [ "a"; "b" ] [ "a"; "b" ] = None);
+  (match Determinism.diff_traces [ "a"; "b" ] [ "a"; "c" ] with
+  | Some d ->
+      Alcotest.(check int) "divergence line" 2 d.Determinism.line_no;
+      Alcotest.(check (option string)) "first" (Some "b") d.Determinism.first;
+      Alcotest.(check (option string)) "second" (Some "c") d.Determinism.second
+  | None -> Alcotest.fail "expected a divergence");
+  match Determinism.diff_traces [ "a" ] [ "a"; "b" ] with
+  | Some d ->
+      Alcotest.(check (option string)) "short run ended" None d.Determinism.first
+  | None -> Alcotest.fail "expected a length divergence"
+
+let test_compare_runs_catches_nondeterminism () =
+  let counter = ref 0 in
+  let report =
+    Determinism.compare_runs ~name:"drift" ~seed:1 (fun () ->
+        incr counter;
+        let engine = Engine.create () in
+        let _ =
+          Engine.Fiber.spawn engine (fun () ->
+              Trace.emit engine ~component:"drift" "run %d" !counter)
+        in
+        Engine.run engine;
+        string_of_int !counter)
+  in
+  Alcotest.(check bool) "divergence detected" false (Determinism.identical report);
+  Alcotest.(check bool) "trace divergence located" true
+    (report.Determinism.first_divergence <> None);
+  Alcotest.(check bool) "outputs differ" false report.Determinism.outputs_match
+
+let test_registry_experiment_deterministic () =
+  match Experiments.Registry.find "fig5a" with
+  | None -> Alcotest.fail "fig5a not registered"
+  | Some exp ->
+      let report =
+        Determinism.check_experiment ~exp ~scale:Experiments.Scale.quick ~seed:7
+      in
+      Alcotest.(check bool)
+        (Fmt.str "fig5a quick deterministic: %a" Determinism.pp_report report)
+        true (Determinism.identical report)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "lint",
+        [
+          Alcotest.test_case "hashtbl-order rule" `Quick test_lint_hashtbl_order;
+          Alcotest.test_case "ambient-effect rules" `Quick test_lint_ambient_effects;
+          Alcotest.test_case "strings and comments inert" `Quick
+            test_lint_strings_and_comments_inert;
+          Alcotest.test_case "poly-compare rule" `Quick test_lint_poly_compare;
+          Alcotest.test_case "missing-mli rule" `Quick test_lint_missing_mli;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "qcow2 refcount corruption caught" `Quick
+            test_qcow2_audit_catches_refcount_corruption;
+          Alcotest.test_case "engine teardown raises Audit_failure" `Quick
+            test_engine_teardown_audit;
+          Alcotest.test_case "mirror dirty-not-present caught" `Quick
+            test_mirror_audit_catches_uncached_dirty;
+          Alcotest.test_case "version hole caught" `Quick
+            test_version_manager_audit_catches_version_hole;
+          Alcotest.test_case "segment-tree shape audit" `Quick test_segment_tree_audit;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "diff_traces" `Quick test_diff_traces;
+          Alcotest.test_case "nondeterministic thunk caught" `Quick
+            test_compare_runs_catches_nondeterminism;
+          Alcotest.test_case "fig5a quick run is deterministic" `Slow
+            test_registry_experiment_deterministic;
+        ] );
+    ]

@@ -7,6 +7,10 @@ open Netsim
 open Storage
 open Blobseer
 
+(* Run every engine with teardown invariant audits armed (BLOBCR_AUDIT=1
+   in test/dune enables them; linking the auditor installs it). *)
+let () = Analysis.Invariants.install ()
+
 (* ------------------------------------------------------------------ *)
 (* Segment_tree (pure data structure) *)
 

@@ -8,6 +8,10 @@ open Storage
 open Blobseer
 open Vdisk
 
+(* Run every engine with teardown invariant audits armed (BLOBCR_AUDIT=1
+   in test/dune enables them; linking the auditor installs it). *)
+let () = Analysis.Invariants.install ()
+
 (* ------------------------------------------------------------------ *)
 (* Sparse_bytes *)
 
