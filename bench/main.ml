@@ -5,6 +5,7 @@
                                      (paper scale) then run microbenchmarks
      bench/main.exe fig2a fig5a      run selected experiments
      bench/main.exe ablations        the four design-choice ablations
+     bench/main.exe availability     MTBF x checkpoint-interval chaos sweep
      bench/main.exe micro            only the Bechamel microbenchmarks
      bench/main.exe --scale quick    fast smoke run of everything
      bench/main.exe --csv DIR        also write CSV outputs

@@ -71,12 +71,52 @@ let run_invariants () =
       ignore (Blobcr.Approach.request_checkpoint cluster qinst);
       Workloads.Synthetic.refill qbench;
       Workloads.Synthetic.dump_app qbench);
-  let violations = Invariants.audit_engine engine in
+  (* Supervised chaos path on its own cluster: a scripted node crash
+     forces detection, rollback and re-deploy — exercises the
+     supervisor's dead-instance accounting audit. *)
+  let chaos_cluster =
+    Blobcr.Cluster.build ~seed:scale.Experiments.Scale.seed
+      {
+        scale.Experiments.Scale.cal with
+        Blobcr.Calibration.blobseer =
+          {
+            scale.Experiments.Scale.cal.Blobcr.Calibration.blobseer with
+            Blobseer.Types.replication = 2;
+          };
+      }
+  in
+  Blobcr.Cluster.run chaos_cluster (fun () ->
+      let workload =
+        Workloads.Cm1.supervised_workload chaos_cluster scale.Experiments.Scale.cm1_config
+          ~iters_per_unit:1
+      in
+      let injector = ref None in
+      let report =
+        Blobcr.Supervisor.run chaos_cluster ~kind:Blobcr.Approach.Blobcr
+          ~policy:{ Blobcr.Supervisor.default_policy with checkpoint_interval = 2 }
+          ~on_ready:(fun sup ->
+            injector :=
+              Some
+                (Faults.start chaos_cluster.Blobcr.Cluster.engine
+                   ~script:[ { Faults.at = 6.0; action = Faults.Crash_host 0 } ]
+                   ~handlers:(Blobcr.Supervisor.fault_handlers sup)))
+          ~id:"audit-sup" ~gang:2 ~units:6 ~workload ()
+      in
+      (match !injector with Some inj -> Faults.stop inj | None -> ());
+      if not (report.Blobcr.Supervisor.finished && report.Blobcr.Supervisor.recoveries > 0)
+      then
+        Fmt.epr "warning: chaos scenario finished=%b recoveries=%d@."
+          report.Blobcr.Supervisor.finished report.Blobcr.Supervisor.recoveries);
+  let violations =
+    Invariants.audit_engine engine
+    @ Invariants.audit_engine chaos_cluster.Blobcr.Cluster.engine
+  in
   List.iter (fun x -> Fmt.pr "%a@." Invariants.pp_violation x) violations;
   match violations with
   | [] ->
       Fmt.pr "invariants: clean (%d subjects audited)@."
-        (List.length (Simcore.Engine.audit_subjects engine));
+        (List.length (Simcore.Engine.audit_subjects engine)
+        + List.length (Simcore.Engine.audit_subjects chaos_cluster.Blobcr.Cluster.engine));
       0
   | vs ->
       Fmt.pr "invariants: %d violation(s)@." (List.length vs);

@@ -1,12 +1,14 @@
 (* Fault-tolerant CM1: the paper's motivating scenario end to end.
 
-   A CM1-like atmospheric simulation runs across several quad-core VM
-   instances with periodic BlobCR checkpoints. Mid-run, a machine failure
-   takes the whole tightly-coupled application down (one process dying
-   kills the computation); the driver rolls the deployment back to the
-   last global checkpoint on fresh nodes and the run continues — losing
-   only the iterations since that checkpoint, with all file-system output
-   rolled back to a consistent state.
+   A CM1-like atmospheric simulation runs across several VM instances
+   under the supervisor, with periodic BlobCR checkpoints. A deterministic
+   fault injector crash-stops one compute node mid-run — taking the whole
+   tightly-coupled application down — and later fail-stops a data
+   provider. The supervisor detects the failure through its heartbeat
+   prober, rolls the gang back to the last global checkpoint, re-deploys
+   on spare nodes and resumes; replicated chunks let snapshot reads fail
+   over around the lost provider. Only the iterations since the last
+   checkpoint are lost.
 
      dune exec examples/cm1_fault_tolerance.exe *)
 
@@ -14,9 +16,9 @@ open Simcore
 open Blobcr
 open Workloads
 
-let vms = 2
-let checkpoint_every = 4 (* iterations *)
-let total_iterations = 12
+let gang = 2
+let checkpoint_every = 4 (* work units (= iterations) *)
+let total_units = 12
 
 let cm1_config =
   {
@@ -27,66 +29,69 @@ let cm1_config =
     summary_every = 2;
   }
 
+(* Scripted failures: crash the node hosting the first instance shortly
+   after the second checkpoint lands, then fail-stop a surviving data
+   provider while recovery is re-reading the snapshot — the restart rides
+   on replica failover. Times are relative to injector start. *)
+let script =
+  [
+    { Faults.at = 18.0; action = Faults.Crash_host 0 };
+    { Faults.at = 19.2; action = Faults.Fail_provider 2 };
+  ]
+
 let () =
-  let cluster = Cluster.build Calibration.quick_test in
+  (* Replicated chunks so snapshots survive a co-located provider loss. *)
+  let cal =
+    {
+      Calibration.quick_test with
+      blobseer =
+        { Calibration.quick_test.Calibration.blobseer with Blobseer.Types.replication = 2 };
+    }
+  in
+  let cluster = Cluster.build cal in
   Cluster.run cluster (fun () ->
       let say fmt = Fmt.pr ("[t=%7.2fs] " ^^ fmt ^^ "@.") (Cluster.now cluster) in
-
-      let deploy ids =
-        List.map
-          (fun (node, id) ->
-            Approach.deploy cluster Approach.Blobcr ~node:(Cluster.node cluster node) ~id)
-          ids
+      say "deploying %d supervised CM1 instances" gang;
+      let workload = Cm1.supervised_workload cluster cm1_config ~iters_per_unit:1 in
+      let policy =
+        { Supervisor.default_policy with checkpoint_interval = checkpoint_every }
       in
-      let instances = deploy [ (0, "cm1-a"); (1, "cm1-b") ] in
-      let cm1 = Cm1.setup cluster ~instances cm1_config in
-      let say2 fmt = Fmt.pr ("[t=%7.2fs] " ^^ fmt ^^ "@.") (Cluster.now cluster) in
-      say2 "CM1 deployed: %d MPI processes on %d VMs" (Cm1.process_count cm1) vms;
-      ignore say;
-
-      let last_snapshot = ref None in
-      let completed = ref 0 in
-      (* Run with periodic coordinated checkpoints. *)
-      let checkpoint () =
-        let snapshots = Protocol.global_checkpoint cluster ~instances ~dump:(Cm1.dump_app cm1) in
-        last_snapshot := Some snapshots;
-        let say fmt = Fmt.pr ("[t=%7.2fs] " ^^ fmt ^^ "@.") (Cluster.now cluster) in
-        say "global checkpoint at iteration %d (%a per VM)" !completed Size.pp
-          (int_of_float
-             (Stats.mean
-                (List.map (fun s -> float_of_int (Approach.snapshot_bytes s)) snapshots)))
+      let injector = ref None in
+      let report =
+        Supervisor.run cluster ~kind:Approach.Blobcr ~policy
+          ~on_ready:(fun sup ->
+            injector :=
+              Some
+                (Faults.start cluster.Cluster.engine ~script
+                   ~handlers:(Supervisor.fault_handlers sup)))
+          ~id:"cm1" ~gang ~units:total_units ~workload ()
       in
-      (try
-         while !completed < total_iterations do
-           Cm1.iterate cm1 1;
-           incr completed;
-           if !completed mod checkpoint_every = 0 then checkpoint ();
-           (* Fail-stop strikes after iteration 9. *)
-           if !completed = 9 then begin
-             let say fmt = Fmt.pr ("[t=%7.2fs] " ^^ fmt ^^ "@.") (Cluster.now cluster) in
-             say "MACHINE FAILURE: killing all instances at iteration %d" !completed;
-             Protocol.kill_all instances;
-             raise Exit
-           end
-         done
-       with Exit -> ());
-
-      (* Recovery: redeploy from the last global checkpoint on new nodes. *)
-      let snapshots = Option.get !last_snapshot in
-      let plan =
-        List.mapi
-          (fun i s -> (Cluster.node cluster (2 + i), Fmt.str "cm1-r%d" i, s))
-          snapshots
-      in
-      let new_instances = Protocol.global_restart cluster ~plan ~restore:(fun _ -> ()) in
-      let cm1' = Cm1.setup cluster ~instances:new_instances cm1_config in
-      List.iter (Cm1.restore_app cm1') new_instances;
+      (match !injector with Some inj -> Faults.stop inj | None -> ());
       let say fmt = Fmt.pr ("[t=%7.2fs] " ^^ fmt ^^ "@.") (Cluster.now cluster) in
-      say "recovered from checkpoint at iteration %d; resuming" (8 : int);
-
-      (* Finish the remaining iterations (9..12 re-run from iteration 8). *)
-      Cm1.iterate cm1' (total_iterations - 8);
-      let say fmt = Fmt.pr ("[t=%7.2fs] " ^^ fmt ^^ "@.") (Cluster.now cluster) in
-      say "simulation complete: %d iterations (4 re-computed after the failure)"
-        total_iterations;
+      List.iter
+        (fun event ->
+          match event with
+          | Supervisor.Deployed { at; ids } ->
+              Fmt.pr "[t=%7.2fs] deployed: %s@." at (String.concat ", " ids)
+          | Supervisor.Checkpoint_committed { at; units } ->
+              Fmt.pr "[t=%7.2fs] global checkpoint committed at %d units@." at units
+          | Supervisor.Checkpoint_degraded { at; units; reason } ->
+              Fmt.pr "[t=%7.2fs] checkpoint degraded at %d units (%s)@." at units reason
+          | Supervisor.Failure_detected { at; dead } ->
+              Fmt.pr "[t=%7.2fs] MACHINE FAILURE detected: %s@." at (String.concat ", " dead)
+          | Supervisor.Recovered { at; attempt; resumed_units } ->
+              Fmt.pr "[t=%7.2fs] recovery #%d complete: resumed from %d units@." at attempt
+                resumed_units
+          | Supervisor.Abandoned { at; ids } ->
+              Fmt.pr "[t=%7.2fs] abandoned: %s@." at (String.concat ", " ids))
+        report.Supervisor.events;
+      say "simulation %s: %d/%d units, %d checkpoints, %d recoveries"
+        (if report.Supervisor.finished then "complete" else "ABANDONED")
+        report.Supervisor.units_completed total_units report.Supervisor.checkpoints
+        report.Supervisor.recoveries;
+      say "useful %.1fs, wasted (rolled back) %.1fs, mean recovery latency %.2fs"
+        report.Supervisor.useful_time report.Supervisor.wasted_time
+        (match report.Supervisor.recovery_latencies with
+        | [] -> 0.0
+        | ls -> Stats.mean ls);
       say "storage used for checkpoints: %a" Size.pp (Approach.storage_total cluster))

@@ -45,7 +45,7 @@ let () =
          virtual disk (CLONE + COMMIT into the checkpoint repository). *)
       let pairs = List.combine instances benches in
       let snapshots =
-        Protocol.global_checkpoint cluster ~instances ~dump:(fun inst ->
+        Protocol.global_checkpoint_exn cluster ~instances ~dump:(fun inst ->
             Synthetic.dump_app (List.assq inst pairs))
       in
       let say fmt = Fmt.pr ("[t=%7.2fs] " ^^ fmt ^^ "@.") (Cluster.now cluster) in
@@ -67,7 +67,7 @@ let () =
       in
       let restored = ref [] in
       let _ =
-        Protocol.global_restart cluster ~plan ~restore:(fun inst ->
+        Protocol.global_restart_exn cluster ~plan ~restore:(fun inst ->
             let bench = Synthetic.restore_app inst in
             restored := Payload.digest (Synthetic.buffer bench) :: !restored)
       in

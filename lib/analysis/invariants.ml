@@ -163,12 +163,24 @@ let audit_mirror m =
     (Mirror.dirty_view m)
 
 (* ------------------------------------------------------------------ *)
+(* Supervisor accounting audit: every instance the supervisor ever
+   declared dead must have been rolled back and restarted, or explicitly
+   abandoned — a silently dropped instance means the recovery loop lost
+   track of part of the gang. *)
+
+let audit_supervisor sup =
+  List.map
+    (fun detail -> { subject = "supervisor"; invariant = "dead-accounted"; detail })
+    (Blobcr.Supervisor.audit sup)
+
+(* ------------------------------------------------------------------ *)
 (* Engine teardown hook *)
 
 let audit_subject = function
   | Qcow2.Audit_image q -> Some ("qcow2:" ^ Qcow2.name q, audit_qcow2 q)
   | Mirror.Audit_mirror m -> Some ("mirror:" ^ Mirror.name m, audit_mirror m)
   | Version_manager.Audit_version_manager vm -> Some ("version-manager", audit_version_manager vm)
+  | Blobcr.Supervisor.Audit_supervisor sup -> Some ("supervisor", audit_supervisor sup)
   | _ -> None
 
 let audit_engine engine =

@@ -39,6 +39,10 @@ val audit_version_manager : Version_manager.t -> violation list
 val audit_mirror : Mirror.t -> violation list
 (** COW audit: dirty ⊆ present. *)
 
+val audit_supervisor : Blobcr.Supervisor.t -> violation list
+(** Recovery accounting: every declared-dead instance was restarted or
+    abandoned, and a finished run is consistent. *)
+
 val audit_subject : Engine.audit_subject -> (string * violation list) option
 (** Dispatch over the registered subject kinds; [None] for foreign
     subjects. *)

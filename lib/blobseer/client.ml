@@ -45,6 +45,7 @@ let provider_count t = Provider_manager.provider_count t.pm
 let data_provider t i = Provider_manager.provider t.pm i
 let data_providers t = Provider_manager.providers t.pm
 let version_manager t = t.vm
+let metadata_service t = t.md
 
 let repository_bytes t =
   Array.fold_left
@@ -85,28 +86,51 @@ let fetch_tree b ~from ~version =
   let tree = Version_manager.get_tree t.vm ~from ~blob:(blob_id b) ~version in
   tree
 
-(* Pick the replica to read a chunk from: prefer one whose provider runs on
-   the reading host (free network), otherwise the first live one. *)
-let choose_replica t ~from (desc : Types.chunk_desc) =
+(* Replica reading order: prefer one whose provider runs on the reading
+   host (free network), then the remaining live ones in descriptor order. *)
+let replica_order t ~from (desc : Types.chunk_desc) =
   let live =
     List.filter
       (fun (r : Types.replica) -> Data_provider.is_alive (data_provider t r.provider))
       desc.replicas
   in
-  match
-    List.find_opt
+  let local, remote =
+    List.partition
       (fun (r : Types.replica) ->
         Data_provider.host (data_provider t r.provider) == from)
       live
-  with
-  | Some r -> Some r
-  | None -> ( match live with r :: _ -> Some r | [] -> None)
+  in
+  local @ remote
 
+(* Chunk reads fail over across surviving replicas: a replica whose
+   provider died mid-request (or lost the chunk with its machine, or keeps
+   erroring after the provider-side transient retries) is skipped and the
+   next one tried. When a whole round finds no working replica the client
+   backs off and re-polls liveness — a provider-manager failure report may
+   still be propagating — for a bounded number of rounds. *)
 let read_chunk_payload b ~from (desc : Types.chunk_desc) =
   let t = b.service in
-  match choose_replica t ~from desc with
-  | None -> raise (Types.Provider_down "all replicas lost")
-  | Some r -> Data_provider.read_chunk (data_provider t r.provider) ~to_:from r.chunk
+  let try_replica (r : Types.replica) =
+    let provider = data_provider t r.provider in
+    match Data_provider.read_chunk provider ~to_:from r.chunk with
+    | payload -> Some payload
+    | exception (Types.Provider_down _ | Faults.Injected_error _ | Not_found) ->
+        Trace.emit t.engine ~component:"blobseer.client" "read failover: replica at %s failed"
+          (Data_provider.name provider);
+        None
+  in
+  let rec round n =
+    match List.find_map try_replica (replica_order t ~from desc) with
+    | Some payload -> payload
+    | None ->
+        if n >= t.params.read_retries then
+          raise (Types.Provider_down "all replicas failed")
+        else begin
+          Engine.sleep t.engine (t.params.retry_backoff *. float_of_int (1 lsl n));
+          round (n + 1)
+        end
+  in
+  round 0
 
 (* Content that chunk [i] of [tree] currently holds (zeros if unwritten). *)
 let current_chunk_content b ~from tree i =

@@ -41,6 +41,7 @@ val provider_count : t -> int
 val data_provider : t -> int -> Data_provider.t
 val data_providers : t -> Data_provider.t array
 val version_manager : t -> Version_manager.t
+val metadata_service : t -> Metadata_service.t
 
 val repository_bytes : t -> int
 (** Physical bytes held across all data providers — the storage-space

@@ -50,13 +50,19 @@ let check_alive t =
    concurrency better than an in-place file system. *)
 let append_stream t = 1_000_000 + Net.host_id t.phost
 
+(* Local disk I/O retries transient injected errors on the provider side,
+   so a flaky spindle does not surface to clients that still have the
+   network round-trip invested in this replica. *)
+let disk_retries = 3
+
 let write_chunk t ~from payload =
   check_alive t;
   let bytes = Payload.length payload in
   Net.transfer t.net ~src:from ~dst:t.phost bytes;
   check_alive t;
   Rate_server.process t.service 0;
-  Disk.write t.pdisk ~stream:(append_stream t) bytes;
+  Faults.with_retries t.engine ~retries:disk_retries ~label:t.pname (fun () ->
+      Disk.write t.pdisk ~stream:(append_stream t) bytes);
   check_alive t;
   Content_store.put t.pstore payload
 
@@ -64,7 +70,8 @@ let read_chunk t ~to_ chunk =
   check_alive t;
   let payload = Content_store.get t.pstore chunk in
   Rate_server.process t.service 0;
-  Disk.read t.pdisk ~stream:(Net.host_id to_) (Payload.length payload);
+  Faults.with_retries t.engine ~retries:disk_retries ~label:t.pname (fun () ->
+      Disk.read t.pdisk ~stream:(Net.host_id to_) (Payload.length payload));
   check_alive t;
   Net.transfer t.net ~src:t.phost ~dst:to_ (Payload.length payload);
   payload

@@ -1,7 +1,7 @@
 open Simcore
 open Netsim
 
-type provider = { mhost : Net.host; server : Rate_server.t }
+type provider = { mhost : Net.host; server : Rate_server.t; mutable malive : bool }
 
 type t = {
   engine : Engine.t;
@@ -21,6 +21,7 @@ let create engine net ~hosts ?(node_bytes = Types.default_params.metadata_node_b
       server =
         Rate_server.create engine ~rate:1e12 ~per_op:node_cost
           ~name:(Fmt.str "metadata.%d" i) ();
+      malive = true;
     }
   in
   {
@@ -34,19 +35,35 @@ let create engine net ~hosts ?(node_bytes = Types.default_params.metadata_node_b
 
 let provider_count t = Array.length t.providers
 
-(* Spread [n] nodes over the providers starting at the rotating cursor, so
-   successive small commits do not all hit provider 0. Each provider's batch
-   is shipped and served in parallel; per-node cost is charged through the
-   provider's serial service queue. *)
+let fail t i =
+  if i < 0 || i >= Array.length t.providers then invalid_arg "Metadata_service.fail";
+  t.providers.(i).malive <- false
+
+let recover t i =
+  if i < 0 || i >= Array.length t.providers then invalid_arg "Metadata_service.recover";
+  t.providers.(i).malive <- true
+
+let alive_count t =
+  Array.fold_left (fun acc p -> if p.malive then acc + 1 else acc) 0 t.providers
+
+(* Spread [n] nodes over the live providers starting at the rotating cursor,
+   so successive small commits do not all hit provider 0. Each provider's
+   batch is shipped and served in parallel; per-node cost is charged through
+   the provider's serial service queue. A replicated segment-tree node set
+   survives individual provider failures, so batches simply route around
+   dead providers; with no live provider at all the service is down. *)
 let spread t n =
-  let m = Array.length t.providers in
+  let live = Array.to_list t.providers |> List.filter (fun p -> p.malive) in
+  let m = List.length live in
+  if m = 0 then raise (Types.Provider_down "metadata service: no live provider");
+  let live = Array.of_list live in
   let base = n / m and extra = n mod m in
   let start = t.cursor in
-  t.cursor <- (t.cursor + 1) mod m;
+  t.cursor <- (t.cursor + 1) mod Array.length t.providers;
   List.filter_map
     (fun i ->
       let count = base + if i < extra then 1 else 0 in
-      if count = 0 then None else Some (t.providers.((start + i) mod m), count))
+      if count = 0 then None else Some (live.((start + i) mod m), count))
     (List.init m Fun.id)
 
 let run_batches t ~client ~towards_provider batches =

@@ -24,6 +24,17 @@ val create :
 
 val provider_count : t -> int
 
+val fail : t -> int -> unit
+(** Fail-stop metadata provider [i]: batches route around it (tree nodes
+    are replicated across the pool in the real system). *)
+
+val recover : t -> int -> unit
+(** Bring provider [i] back into rotation. *)
+
+val alive_count : t -> int
+(** Live providers. {!commit_nodes}/{!fetch_nodes} raise
+    {!Types.Provider_down} when this reaches zero. *)
+
 val commit_nodes : t -> from:Net.host -> int -> unit
 (** [commit_nodes t ~from n] ships [n] freshly created tree nodes from the
     client at [from], spread evenly over the providers and processed in

@@ -19,6 +19,8 @@ type params = {
   metadata_node_cost : float;  (** per-node service cost at a metadata provider *)
   publish_cost : float;  (** serialized cost of one version publication *)
   allocate_cost : float;  (** per-chunk cost at the provider manager *)
+  read_retries : int;  (** failover rounds over surviving replicas *)
+  retry_backoff : float;  (** base delay between failover rounds, doubled per round *)
 }
 
 let default_params =
@@ -32,6 +34,8 @@ let default_params =
     metadata_node_cost = 5e-5;
     publish_cost = 1e-3;
     allocate_cost = 2e-5;
+    read_retries = 3;
+    retry_backoff = 0.05;
   }
 
 exception Provider_down of string

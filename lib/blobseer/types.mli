@@ -19,6 +19,8 @@ type params = {
   metadata_node_cost : float;  (** per-node service cost at a metadata provider *)
   publish_cost : float;  (** serialized cost of one version publication *)
   allocate_cost : float;  (** per-chunk cost at the provider manager *)
+  read_retries : int;  (** failover rounds over surviving replicas *)
+  retry_backoff : float;  (** base delay between failover rounds, doubled per round *)
 }
 
 val default_params : params

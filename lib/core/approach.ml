@@ -144,34 +144,52 @@ let kill inst =
   | Mirror_stack m -> Mirror.drop_local_state m
   | Qcow2_stack q -> Qcow2.drop_local q
 
+(* Run [bring_up inst] and tear the instance down if it raises: a failed
+   attempt must release its local-disk reservation before any retry. *)
+let bring_up_or_kill inst bring_up =
+  (try bring_up inst with exn -> kill inst; raise exn);
+  inst
+
 let restart (cluster : Cluster.t) ~node ~id snapshot =
-  match snapshot with
-  | Blobcr_snapshot _ | Qcow2_snapshot _ ->
-      let kind =
-        match snapshot with Blobcr_snapshot _ -> Blobcr | _ -> Qcow2_disk
-      in
-      let stack = make_stack cluster kind ~node ~id ~base:(Some snapshot) in
-      let vm = make_vm cluster ~node ~device:(device_of_stack stack) ~id in
-      (* Reboot the guest OS from the disk snapshot, then mount the
-         checkpointed file system. *)
-      Vm.boot vm ~format_fs:false;
-      { id; kind; node; vm; stack; proxy = Ckpt_proxy.create cluster ~node; epoch = 0 }
-  | Full_snapshot { remote; snapshot_name } ->
-      let stack = make_stack cluster Qcow2_full ~node ~id ~base:(Some snapshot) in
-      let vm = make_vm cluster ~node ~device:(device_of_stack stack) ~id in
-      (* Fetch the complete VM state from PVFS and resume — no reboot. The
-         hypervisor streams the state in small records, paying the request
-         path on each (this is what makes full-snapshot restarts slow). *)
-      let state =
-        Qcow2.remote_vm_state_streamed remote ~from:node.Cluster.host ~snapshot_name
-          ~record:cluster.cal.Calibration.loadvm_record
-      in
-      Vm.restore_running vm;
-      List.iter
-        (fun (name, mem) -> ignore (Vm.register_process vm ~name ~mem))
-        (decode_vm_state state);
-      { id; kind = Qcow2_full; node; vm; stack; proxy = Ckpt_proxy.create cluster ~node;
-        epoch = 0 }
+  let attempt () =
+    match snapshot with
+    | Blobcr_snapshot _ | Qcow2_snapshot _ ->
+        let kind =
+          match snapshot with Blobcr_snapshot _ -> Blobcr | _ -> Qcow2_disk
+        in
+        let stack = make_stack cluster kind ~node ~id ~base:(Some snapshot) in
+        let vm = make_vm cluster ~node ~device:(device_of_stack stack) ~id in
+        bring_up_or_kill
+          { id; kind; node; vm; stack; proxy = Ckpt_proxy.create cluster ~node; epoch = 0 }
+          (fun inst ->
+            (* Reboot the guest OS from the disk snapshot, then mount the
+               checkpointed file system. *)
+            Vm.boot inst.vm ~format_fs:false)
+    | Full_snapshot { remote; snapshot_name } ->
+        let stack = make_stack cluster Qcow2_full ~node ~id ~base:(Some snapshot) in
+        let vm = make_vm cluster ~node ~device:(device_of_stack stack) ~id in
+        bring_up_or_kill
+          { id; kind = Qcow2_full; node; vm; stack; proxy = Ckpt_proxy.create cluster ~node;
+            epoch = 0 }
+          (fun inst ->
+            (* Fetch the complete VM state from PVFS and resume — no reboot.
+               The hypervisor streams the state in small records, paying the
+               request path on each (this is what makes full-snapshot
+               restarts slow). *)
+            let state =
+              Qcow2.remote_vm_state_streamed remote ~from:node.Cluster.host ~snapshot_name
+                ~record:cluster.cal.Calibration.loadvm_record
+            in
+            Vm.restore_running inst.vm;
+            List.iter
+              (fun (name, mem) -> ignore (Vm.register_process inst.vm ~name ~mem))
+              (decode_vm_state state))
+  in
+  (* Transient local-disk I/O errors while re-imaging the target node are
+     absorbed the way a hypervisor block driver would: tear the half-built
+     instance down and retry with bounded backoff. Crash-stops and data
+     loss still propagate to the caller. *)
+  Faults.with_retries cluster.engine ~label:(id ^ ".restart") attempt
 
 (* ------------------------------------------------------------------ *)
 (* Size accounting *)

@@ -7,10 +7,17 @@ type t = {
   pnode : Cluster.node;
   mutable served : int;
   mutable failed : int;
+  mutable transients : int;
 }
 
-let create cluster ~node = { cluster; pnode = node; served = 0; failed = 0 }
+let create cluster ~node = { cluster; pnode = node; served = 0; failed = 0; transients = 0 }
 let node t = t.pnode
+
+(* Transient local-disk errors during the snapshot are retried in place
+   (with the VM still suspended, so the snapshot stays consistent) rather
+   than surfaced as a failed checkpoint request. *)
+let snapshot_retries = 3
+let snapshot_backoff = 0.02
 
 let request_checkpoint t ~vm ~snapshot =
   (* Authentication: only VM instances hosted on this compute node may
@@ -19,11 +26,19 @@ let request_checkpoint t ~vm ~snapshot =
   (* Local REST round-trip. *)
   Engine.sleep t.cluster.Cluster.engine t.cluster.Cluster.cal.Calibration.proxy_request_cost;
   Vmsim.Vm.suspend vm;
-  let result =
+  let rec attempt n =
     try Ok (snapshot ()) with
     | Engine.Cancelled as exn -> raise exn
+    | Faults.Injected_error _ when n < snapshot_retries ->
+        t.transients <- t.transients + 1;
+        Trace.emit t.cluster.Cluster.engine
+          ~component:(Fmt.str "proxy@%s" (Netsim.Net.host_name t.pnode.Cluster.host))
+          "transient snapshot error, retry %d/%d" (n + 1) snapshot_retries;
+        Engine.sleep t.cluster.Cluster.engine (snapshot_backoff *. float_of_int (1 lsl n));
+        attempt (n + 1)
     | exn -> Error exn
   in
+  let result = attempt 0 in
   (* The proxy resumes the VM regardless of the outcome and notifies the
      guest of the result. *)
   Vmsim.Vm.resume vm;
@@ -40,3 +55,4 @@ let request_checkpoint t ~vm ~snapshot =
 
 let requests_served t = t.served
 let failures t = t.failed
+let transient_retries t = t.transients

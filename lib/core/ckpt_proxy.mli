@@ -18,7 +18,12 @@ val node : t -> Cluster.node
 
 val request_checkpoint : t -> vm:Vmsim.Vm.t -> snapshot:(unit -> 'a) -> 'a
 (** Full proxy cycle: authenticate, suspend, run [snapshot], resume.
-    Charges the local request round-trip. Must be called from a fiber. *)
+    Charges the local request round-trip. Must be called from a fiber.
+    Transient disk errors ({!Faults.Injected_error}) inside [snapshot]
+    are retried with exponential backoff while the VM stays suspended. *)
 
 val requests_served : t -> int
 val failures : t -> int
+
+val transient_retries : t -> int
+(** Snapshot attempts repeated after an injected transient error. *)

@@ -17,6 +17,9 @@ type t = {
   base_blob : Client.blob;
   base_version : int;
   base_raw : Pvfs.file;
+  supervisor_host : Net.host;
+  mutable failed_nodes : int list;
+  mutable crash_hooks : (int -> unit) list;
 }
 
 (* The base image content: a deterministic pattern standing in for the
@@ -69,6 +72,7 @@ let build ?(seed = 42) (cal : Calibration.t) =
   (* Upload the base image from a client host: once into the repository,
      once into PVFS. *)
   let client_host = Net.add_host net ~name:"cloud-client" in
+  let supervisor_host = Net.add_host net ~name:"supervisor" in
   let image = Payload.pattern ~seed:base_image_seed cal.image_capacity in
   let uploaded = ref None in
   let _ =
@@ -81,10 +85,28 @@ let build ?(seed = 42) (cal : Calibration.t) =
   in
   Engine.run engine;
   let base_blob, base_version, base_raw = Option.get !uploaded in
-  { engine; net; cal; nodes; service; pvfs; prefetch; base_blob; base_version; base_raw }
+  { engine; net; cal; nodes; service; pvfs; prefetch; base_blob; base_version; base_raw;
+    supervisor_host; failed_nodes = []; crash_hooks = [] }
 
 let node t i = t.nodes.(i)
 let node_count t = Array.length t.nodes
+let node_failed t i = List.mem i t.failed_nodes
+let on_node_crash t hook = t.crash_hooks <- hook :: t.crash_hooks
+
+(* Crash-stop of a whole compute node: the BlobSeer data provider living
+   on it fail-stops with its local storage (provider [i] runs on node [i]
+   by construction), and registered hooks run so owners of VMs placed
+   there can kill them. PVFS striped data is assumed to survive (the
+   paper's baselines keep their snapshots on a separate PVFS deployment);
+   this slightly favors the qcow2 baselines. Idempotent. *)
+let crash_node t i =
+  if i < 0 || i >= Array.length t.nodes then invalid_arg "Cluster.crash_node";
+  if not (node_failed t i) then begin
+    t.failed_nodes <- i :: t.failed_nodes;
+    Trace.emit t.engine ~component:"cluster" "node %d crashed (fail-stop)" i;
+    Blobseer.Data_provider.fail (Client.data_provider t.service i);
+    List.iter (fun hook -> hook i) t.crash_hooks
+  end
 
 let run t f =
   let result = ref None in

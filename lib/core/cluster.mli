@@ -27,6 +27,9 @@ type t = {
   base_blob : Client.blob;
   base_version : int;
   base_raw : Pvfs.file;
+  supervisor_host : Net.host;  (** where the supervisor service runs *)
+  mutable failed_nodes : int list;  (** crash-stopped compute nodes *)
+  mutable crash_hooks : (int -> unit) list;  (** run on each node crash *)
 }
 
 val build : ?seed:int -> Calibration.t -> t
@@ -36,6 +39,16 @@ val build : ?seed:int -> Calibration.t -> t
 
 val node : t -> int -> node
 val node_count : t -> int
+
+val crash_node : t -> int -> unit
+(** Crash-stop compute node [i]: its BlobSeer data provider fail-stops
+    (local chunks are lost with the machine) and every registered crash
+    hook runs, so VM owners can fail-stop instances placed there.
+    Idempotent; PVFS-striped data survives. *)
+
+val node_failed : t -> int -> bool
+val on_node_crash : t -> (int -> unit) -> unit
+(** Register a hook run with the node index on every {!crash_node}. *)
 
 val run : t -> (unit -> 'a) -> 'a
 (** [run t f] executes [f] inside a fresh fiber and drives the engine until

@@ -11,23 +11,68 @@
 
     A {e global restart} re-deploys every instance from its snapshot, in
     parallel, on a caller-chosen set of nodes (disjoint from the original
-    ones in the paper's experiments, to rule out caching effects). *)
+    ones in the paper's experiments, to rule out caching effects).
+
+    Both operations report {e partial} failure rather than aborting on the
+    first exception: each per-instance branch runs in its own fiber and a
+    branch that dies — a VM fail-stopping mid-dump unwinds its branch with
+    [Engine.Cancelled] — is recorded as a typed {!branch_error} while the
+    surviving branches run to completion. The supervisor uses this to retry
+    exactly the failed subset. *)
+
+type branch_error = {
+  index : int;  (** position in the instance list / plan *)
+  label : string;  (** instance id *)
+  stage : string;
+      (** where it failed: ["dump"] or ["snapshot"] for checkpoints,
+          ["restart"] or ["restore"] for restarts *)
+  error : exn;
+}
+
+type 'a partial = {
+  completed : (int * 'a) list;  (** successful branches, by input position *)
+  failed : branch_error list;
+}
+(** Outcome of a partially failed collective operation. *)
+
+exception Partial_failure of string
+(** Raised by the [_exn] wrappers when any branch failed. *)
+
+val pp_branch_error : Format.formatter -> branch_error -> unit
 
 val global_checkpoint :
   Cluster.t ->
   instances:Approach.instance list ->
   dump:(Approach.instance -> unit) ->
-  Approach.snapshot list
-(** Returns snapshots in instance order. Blocks until all are persistent. *)
+  (Approach.snapshot list, Approach.snapshot partial) result
+(** [Ok snapshots] in instance order when every branch succeeded,
+    [Error partial] otherwise. Blocks until every branch finished (or
+    failed); a branch stranded on a collective blocks the call — run it
+    in a cancellable fiber when failures are expected. *)
 
 val global_restart :
   Cluster.t ->
   plan:(Cluster.node * string * Approach.snapshot) list ->
   restore:(Approach.instance -> unit) ->
-  Approach.instance list
+  (Approach.instance list, Approach.instance partial) result
 (** [plan] gives, per instance: target node, instance id, snapshot.
     [restore] re-reads application state from the mounted file system
     (empty for qcow2-full resumes, which carry state in RAM). *)
+
+val global_checkpoint_exn :
+  Cluster.t ->
+  instances:Approach.instance list ->
+  dump:(Approach.instance -> unit) ->
+  Approach.snapshot list
+(** Like {!global_checkpoint} but raises {!Partial_failure} on any branch
+    failure — for fault-free experiment drivers. *)
+
+val global_restart_exn :
+  Cluster.t ->
+  plan:(Cluster.node * string * Approach.snapshot) list ->
+  restore:(Approach.instance -> unit) ->
+  Approach.instance list
+(** Like {!global_restart} but raises {!Partial_failure} on failure. *)
 
 val kill_all : Approach.instance list -> unit
 (** Simulated global failure: fail-stop every instance. *)

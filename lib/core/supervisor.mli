@@ -1,0 +1,109 @@
+(** Supervised execution with automatic failure recovery.
+
+    The supervisor turns the manual kill/restart choreography of the
+    fault-tolerance examples into library behaviour: it deploys a gang of
+    instances, drives a workload in fixed work units with periodic global
+    checkpoints, watches the gang through a heartbeat prober running on
+    the cluster's dedicated supervisor host, and on failure rolls the
+    whole gang back to the last globally consistent snapshot set and
+    re-deploys it on spare nodes.
+
+    Detection: an instance is declared dead after missing
+    [misses_allowed] consecutive heartbeats (a fail-stopped VM or a
+    crash-stopped node). The workload can also report the gang down
+    itself (a rank observing its VM die mid-iteration), which usually
+    beats the prober.
+
+    Recovery: the whole gang — survivors included — is fail-stopped,
+    because coordinated checkpoints are only consistent globally; then
+    every instance restarts from the last committed snapshot on live
+    nodes not already in use, retrying a partially failed restart on
+    fresh nodes up to [max_recovery_attempts] times before declaring the
+    remaining instances abandoned.
+
+    Progress accounting: time between the last committed checkpoint and a
+    detected failure is {e wasted} (recomputed after rollback); time
+    covered by a committed checkpoint is {e useful}; the
+    detection-to-resume interval is recorded as recovery latency. *)
+
+open Simcore
+
+type policy = {
+  heartbeat_period : float;  (** seconds between probe rounds *)
+  misses_allowed : int;  (** consecutive missed beats before declaring death *)
+  max_recovery_attempts : int;  (** restart rounds per recovery *)
+  checkpoint_interval : int;  (** work units between global checkpoints *)
+}
+
+val default_policy : policy
+(** 1 s heartbeats, 2 misses, 3 restart attempts, checkpoint every 4 units. *)
+
+type workload = {
+  setup : Approach.instance list -> unit;
+      (** (re)bind the application to a gang — fresh communicator, ranks *)
+  iterate : unit -> [ `Done | `Gang_down ];
+      (** run one work unit; [`Gang_down] when a rank saw its VM die *)
+  dump : Approach.instance -> unit;  (** guest-side state dump (collective) *)
+  restore : Approach.instance -> unit;  (** re-read dumped state after restart *)
+  resumed : int -> unit;  (** notify: state now reflects [n] completed units *)
+}
+
+type event =
+  | Deployed of { at : float; ids : string list }
+  | Checkpoint_committed of { at : float; units : int }
+  | Checkpoint_degraded of { at : float; units : int; reason : string }
+      (** a global checkpoint failed; the previous snapshot set remains
+          authoritative *)
+  | Failure_detected of { at : float; dead : string list }
+  | Recovered of { at : float; attempt : int; resumed_units : int }
+  | Abandoned of { at : float; ids : string list }
+
+type report = {
+  finished : bool;  (** all units completed *)
+  units_completed : int;
+  checkpoints : int;  (** committed global checkpoints *)
+  recoveries : int;
+  useful_time : float;
+  wasted_time : float;
+  recovery_latencies : float list;  (** detection → resumed, per recovery *)
+  checkpoint_time : float;  (** total time inside committed checkpoints *)
+  events : event list;  (** chronological *)
+}
+
+type t
+
+type Engine.audit_subject += Audit_supervisor of t
+
+val run :
+  Cluster.t ->
+  kind:Approach.kind ->
+  ?policy:policy ->
+  ?on_ready:(t -> unit) ->
+  id:string ->
+  gang:int ->
+  units:int ->
+  workload:workload ->
+  unit ->
+  report
+(** Deploy [gang] instances named [id].[k], run [units] work units under
+    supervision, return the final report. Takes a mandatory initial
+    checkpoint before the first unit (recovery always has a snapshot set)
+    and a final one after the last. [on_ready] fires after the initial
+    deploy + checkpoint — the place to start a fault injector. Must be
+    called from within {!Cluster.run}. *)
+
+val fault_handlers : t -> Faults.handlers
+(** Handlers wiring injector actions onto this cluster: host crashes
+    fail-stop compute nodes (and this supervisor's instances on them),
+    provider/metadata failures hit the BlobSeer services, transient disk
+    errors arm node-local disks, degradation/partitions hit the network.
+    Targets are taken modulo the respective population size. *)
+
+val report : t -> report
+val instances : t -> Approach.instance list
+val cluster : t -> Cluster.t
+
+val audit : t -> string list
+(** Invariant check used by the teardown audit: every instance ever
+    declared dead must have been restarted or accounted abandoned, and a
+    completed run must have either finished or abandoned instances. *)

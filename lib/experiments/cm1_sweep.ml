@@ -22,7 +22,7 @@ let run_point (scale : Scale.t) ~(combo : Combos.t) ~vms =
         | Combos.Full_vm -> invalid_arg "Cm1_sweep: qcow2-full is not evaluated on CM1"
       in
       let t0 = Cluster.now cluster in
-      let snapshots = Protocol.global_checkpoint cluster ~instances ~dump in
+      let snapshots = Protocol.global_checkpoint_exn cluster ~instances ~dump in
       let checkpoint_time = Cluster.now cluster -. t0 in
       let snapshot_bytes =
         Simcore.Stats.mean

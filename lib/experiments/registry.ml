@@ -94,6 +94,18 @@ let all =
           [ { name = "table1"; table = Figures.table1 scale ~progress () } ]);
     };
     {
+      id = "availability";
+      paper_ref = "Beyond the paper (Section 3.2 fault model)";
+      description =
+        "Effective utilization, wasted work and recovery latency for supervised CM1 \
+         under injected host/provider faults, MTBF x checkpoint-interval sweep";
+      run =
+        (fun scale ~progress ->
+          List.map
+            (fun (name, table) -> { name; table })
+            (Availability.tables scale ~progress ()));
+    };
+    {
       id = "abl-prefetch";
       paper_ref = "Ablation (Section 3.1.4)";
       description = "Restart time with adaptive prefetching enabled vs disabled";

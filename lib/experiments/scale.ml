@@ -11,6 +11,10 @@ type t = {
   cm1_vm_counts : int list;
   cm1_config : Workloads.Cm1.config;
   cm1_warmup_iterations : int;
+  availability_mtbfs : float list;
+  availability_intervals : int list;
+  availability_units : int;
+  availability_gang : int;
 }
 
 let paper =
@@ -32,6 +36,10 @@ let paper =
         summary_every = 5;
       };
     cm1_warmup_iterations = 20;
+    availability_mtbfs = [ 600.0; 1800.0; 3600.0 ];
+    availability_intervals = [ 2; 5; 10; 20 ];
+    availability_units = 40;
+    availability_gang = 4;
   }
 
 let quick =
@@ -52,6 +60,10 @@ let quick =
         summary_every = 2;
       };
     cm1_warmup_iterations = 4;
+    availability_mtbfs = [ 12.0; 60.0 ];
+    availability_intervals = [ 2; 4 ];
+    availability_units = 8;
+    availability_gang = 2;
   }
 
 let find = function

@@ -17,6 +17,10 @@ type t = {
   cm1_vm_counts : int list;  (** VMs (×4 processes) for Figure 6 *)
   cm1_config : Workloads.Cm1.config;
   cm1_warmup_iterations : int;
+  availability_mtbfs : float list;  (** per-run host MTBF values swept *)
+  availability_intervals : int list;  (** checkpoint intervals, in work units *)
+  availability_units : int;  (** work units per availability run *)
+  availability_gang : int;  (** instances per supervised gang *)
 }
 
 val paper : t

@@ -46,7 +46,7 @@ let run_point (scale : Scale.t) ~(combo : Combos.t) ~n ~buffer =
       (* Global checkpoint. *)
       let t0 = Cluster.now cluster in
       let snapshots =
-        Protocol.global_checkpoint cluster ~instances ~dump:(fun inst ->
+        Protocol.global_checkpoint_exn cluster ~instances ~dump:(fun inst ->
             Combos.dump combo (Hashtbl.find benches inst.Approach.id))
       in
       let checkpoint_time = Cluster.now cluster -. t0 in
@@ -59,7 +59,7 @@ let run_point (scale : Scale.t) ~(combo : Combos.t) ~n ~buffer =
       in
       let t0 = Cluster.now cluster in
       let _ =
-        Protocol.global_restart cluster ~plan ~restore:(fun inst ->
+        Protocol.global_restart_exn cluster ~plan ~restore:(fun inst ->
             ignore (Combos.restore combo inst))
       in
       let restart_time = Cluster.now cluster -. t0 in
@@ -98,7 +98,7 @@ let run_successive (scale : Scale.t) ~(combo : Combos.t) ~rounds ~buffer =
         Synthetic.refill bench;
         let t0 = Cluster.now cluster in
         let _ =
-          Protocol.global_checkpoint cluster ~instances ~dump:(fun _ ->
+          Protocol.global_checkpoint_exn cluster ~instances ~dump:(fun _ ->
               Combos.dump combo bench)
         in
         times := (Cluster.now cluster -. t0) :: !times;

@@ -1,6 +1,13 @@
 open Simcore
 open Netsim
 
+exception Draining
+
+let () =
+  Printexc.register_printer (function
+    | Draining -> Some "Comm.Draining: send attempted past the checkpoint marker"
+    | _ -> None)
+
 type endpoint = {
   comm : t;
   erank : int;
@@ -58,7 +65,7 @@ let queue t ~src ~dst =
       mb
 
 let send ep ~dst ~bytes =
-  if ep.draining then failwith "Comm.send: channel draining in progress";
+  if ep.draining then raise Draining;
   let t = ep.comm in
   let target = endpoint t dst in
   Vmsim.Vm.pause_point ep.evm;

@@ -15,6 +15,11 @@ open Netsim
 type t
 type endpoint
 
+exception Draining
+(** Raised by {!send} while a {!drain_channels} marker is active — the
+    coordinated protocol forbids sends past the marker. Typed so recovery
+    code can distinguish it from genuine failures. *)
+
 val create : Engine.t -> Net.t -> size:int -> t
 val size : t -> int
 
@@ -27,7 +32,7 @@ val vm : endpoint -> Vmsim.Vm.t
 
 val send : endpoint -> dst:int -> bytes:int -> unit
 (** Blocking send: transfers [bytes] to the destination rank's host and
-    enqueues the message. Raises [Failure] if draining is in progress
+    enqueues the message. Raises {!Draining} if draining is in progress
     (the protocol forbids sends past the marker). *)
 
 val recv : endpoint -> src:int -> int

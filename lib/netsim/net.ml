@@ -22,6 +22,10 @@ type t = {
   fabric : Rate_server.t option;
   mutable host_list : host list; (* newest first *)
   mutable next_id : int;
+  mutable degrade_factor : float;
+  mutable degrade_until : float;
+  mutable partition_side : (host -> bool) option;
+  mutable partition_until : float;
 }
 
 let default_config =
@@ -40,7 +44,17 @@ let create engine cfg =
       (fun rate -> Rate_server.create engine ~rate ~name:"fabric" ())
       cfg.fabric_bandwidth
   in
-  { engine; cfg; fabric; host_list = []; next_id = 0 }
+  {
+    engine;
+    cfg;
+    fabric;
+    host_list = [];
+    next_id = 0;
+    degrade_factor = 1.0;
+    degrade_until = 0.0;
+    partition_side = None;
+    partition_until = 0.0;
+  }
 
 let engine t = t.engine
 let config t = t.cfg
@@ -66,6 +80,46 @@ let hosts t = List.rev t.host_list
 let bytes_sent h = h.sent
 let bytes_received h = h.received
 
+(* ------------------------------------------------------------------ *)
+(* Injected link faults *)
+
+let degrade t ~factor ~until =
+  if factor < 1.0 then invalid_arg "Net.degrade: factor must be >= 1";
+  t.degrade_factor <- factor;
+  t.degrade_until <- until
+
+let degradation t =
+  if Engine.now t.engine < t.degrade_until then t.degrade_factor else 1.0
+
+let partition t ~side ~until =
+  t.partition_side <- Some side;
+  t.partition_until <- until
+
+let heal t = t.partition_side <- None
+
+let partitioned t a b =
+  match t.partition_side with
+  | Some side when Engine.now t.engine < t.partition_until -> side a <> side b
+  | _ -> false
+
+(* A transfer or message that would cross the cut stalls until the
+   partition heals — the deterministic model of packets timing out and
+   being retransmitted once connectivity returns. *)
+let rec wait_partition t a b =
+  if partitioned t a b then begin
+    let dt = t.partition_until -. Engine.now t.engine in
+    Engine.sleep t.engine (Float.max 1e-6 dt);
+    wait_partition t a b
+  end
+
+(* Degradation is modelled as extra sender-side serialization time per
+   segment: factor f makes the effective per-link bandwidth cfg.bandwidth/f
+   without perturbing the rate servers' shared-contention behaviour. *)
+let degrade_delay t seg =
+  let f = degradation t in
+  if f > 1.0 then
+    Engine.sleep t.engine (float_of_int seg /. t.cfg.bandwidth *. (f -. 1.0))
+
 type segment = Seg of int | Eof
 
 (* Segments are pushed through the source uplink, then handed to a forwarder
@@ -75,6 +129,7 @@ type segment = Seg of int | Eof
 let transfer t ~src ~dst bytes =
   if bytes < 0 then invalid_arg "Net.transfer: negative size";
   if src != dst && bytes > 0 then begin
+    wait_partition t src dst;
     Engine.sleep t.engine t.cfg.latency;
     let mb = Engine.Mailbox.create t.engine in
     let finished = Engine.Ivar.create t.engine in
@@ -99,6 +154,7 @@ let transfer t ~src ~dst bytes =
         while !remaining > 0 do
           let seg = min t.cfg.segment_size !remaining in
           Rate_server.process src.uplink seg;
+          degrade_delay t seg;
           src.sent <- src.sent + seg;
           Engine.Mailbox.send mb (Seg seg);
           remaining := !remaining - seg
@@ -107,4 +163,7 @@ let transfer t ~src ~dst bytes =
   end
 
 let message t ~src ~dst =
-  if src != dst then Engine.sleep t.engine t.cfg.latency
+  if src != dst then begin
+    wait_partition t src dst;
+    Engine.sleep t.engine t.cfg.latency
+  end

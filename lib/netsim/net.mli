@@ -47,3 +47,29 @@ val message : t -> src:host -> dst:host -> unit
 
 val bytes_sent : host -> int
 val bytes_received : host -> int
+
+(** {1 Injected link faults}
+
+    Hooks for the fault injector: both are deterministic functions of the
+    simulation clock, so a replayed run degrades and heals at exactly the
+    same instants. *)
+
+val degrade : t -> factor:float -> until:float -> unit
+(** Scale effective bandwidth down by [factor] (>= 1) until the absolute
+    simulation time [until]: every segment pays [factor - 1] extra
+    serialization delays on the sender side. A new call replaces the
+    previous degradation. *)
+
+val degradation : t -> float
+(** The factor currently in force (1.0 once expired). *)
+
+val partition : t -> side:(host -> bool) -> until:float -> unit
+(** Cut the network along [side] until absolute time [until]: transfers
+    and messages crossing the cut stall and complete after the heal.
+    Transfers already past their initial handshake are not interrupted. *)
+
+val heal : t -> unit
+(** Remove the partition ahead of its deadline. *)
+
+val partitioned : t -> host -> host -> bool
+(** Whether a message between the two hosts would currently stall. *)

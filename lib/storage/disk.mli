@@ -8,6 +8,11 @@ open Simcore
 
 type t
 
+exception Full of { disk : string; need : int; capacity : int }
+(** Raised when a write or reservation would exceed capacity: [need] is the
+    total the operation would have used. Typed so recovery code can match
+    on it instead of on [Failure] strings. *)
+
 val create :
   Engine.t ->
   ?rate:float ->
@@ -23,18 +28,28 @@ val create :
 val read : t -> ?stream:int -> int -> unit
 (** Block for the service time of reading [bytes]. [stream] identifies the
     logical access stream: consecutive requests from the same stream are
-    sequential; switching streams pays a seek. *)
+    sequential; switching streams pays a seek.
+    Raises {!Faults.Injected_error} while a transient fault is armed. *)
 
 val write : t -> ?stream:int -> int -> unit
 (** Block for the service time of writing [bytes]. Accounts the bytes
-    against capacity. Raises [Failure] when the disk is full. *)
+    against capacity. Raises {!Full} when the disk is full and
+    {!Faults.Injected_error} while a transient fault is armed. *)
 
 val free : t -> int -> unit
 (** Return previously written bytes to the free pool (deletion). *)
 
 val reserve : t -> int -> unit
 (** Account bytes against capacity without charging service time (e.g.
-    sparse-extension bookkeeping). Raises [Failure] when full. *)
+    sparse-extension bookkeeping). Raises {!Full} when full. *)
+
+val inject_transient : t -> ops:int -> unit
+(** Arm [ops] transient faults: each of the next [ops] read/write calls
+    raises {!Faults.Injected_error} before touching the media (no service
+    time, no state change). Fault-injection hook. *)
+
+val armed_faults : t -> int
+(** Transient faults still armed. *)
 
 val name : t -> string
 val capacity : t -> int

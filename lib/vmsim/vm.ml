@@ -163,7 +163,11 @@ let suspend t =
       Trace.emit t.engine ~component:t.vname "suspended";
       Engine.sleep t.engine 0.05
   | Suspended -> ()
-  | Created | Booting | Dead -> failwith (Fmt.str "Vm.suspend: %s not running" t.vname)
+  | Dead ->
+      (* Fail-stop mid-checkpoint: the caller's fiber belongs to a
+         cancelled gang, behave like any other blocking point. *)
+      raise Engine.Cancelled
+  | Created | Booting -> failwith (Fmt.str "Vm.suspend: %s not running" t.vname)
 
 let resume t =
   match t.vstate with
@@ -176,7 +180,8 @@ let resume t =
       | None -> ());
       Engine.sleep t.engine 0.05
   | Running -> ()
-  | Created | Booting | Dead -> failwith (Fmt.str "Vm.resume: %s not suspended" t.vname)
+  | Dead -> raise Engine.Cancelled
+  | Created | Booting -> failwith (Fmt.str "Vm.resume: %s not suspended" t.vname)
 
 let kill t =
   if t.vstate <> Dead then begin

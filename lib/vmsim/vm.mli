@@ -73,9 +73,13 @@ val fs : t -> Guest_fs.t
 (** Raises [Failure] before {!boot}. *)
 
 val suspend : t -> unit
-(** Freeze guest execution (fast hypervisor operation). Idempotent. *)
+(** Freeze guest execution (fast hypervisor operation). Idempotent.
+    Raises {!Simcore.Engine.Cancelled} if the VM died — the caller's
+    fiber is part of a cancelled gang and should unwind like any other
+    blocking point. *)
 
 val resume : t -> unit
+(** Raises {!Simcore.Engine.Cancelled} if the VM died while suspended. *)
 
 val kill : t -> unit
 (** Fail-stop: cancel every guest fiber; the VM never runs again. *)

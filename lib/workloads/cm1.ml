@@ -111,6 +111,54 @@ let iterate t n =
   Engine.all engine ~name:"cm1-iterate"
     (Array.to_list (Array.map run_rank t.ranks))
 
+(* Like {!iterate}, but survives gang failure: each rank body catches the
+   [Cancelled] its dead VM raises at the next pause point; the first rank
+   to notice cancels its siblings (they may be blocked on a receive from
+   the dead rank and would otherwise never wake), and the join reports
+   the gang down instead of killing the run. *)
+let iterate_result t n =
+  let engine = t.cluster.Cluster.engine in
+  let down = ref false in
+  let fibers = ref [] in
+  let body rs () =
+    try
+      for _ = 1 to n do
+        Vm.pause_point rs.inst.Approach.vm;
+        Engine.sleep engine t.cfg.compute_per_iteration;
+        let ns = neighbours t rs.rank in
+        List.iter (fun dst -> Comm.send rs.endpoint ~dst ~bytes:t.cfg.halo_bytes) ns;
+        List.iter (fun src -> ignore (Comm.recv rs.endpoint ~src)) ns;
+        rs.step <- rs.step + 1;
+        rs.content <-
+          Payload.pattern ~seed:(state_seed rs.rank rs.step) t.cfg.subdomain_state_bytes;
+        if rs.step mod t.cfg.summary_every = 0 then
+          Guest_fs.append_file
+            (Vm.fs rs.inst.Approach.vm)
+            ~path:(Fmt.str "/out/summary.%d" rs.rank)
+            (Payload.pattern ~seed:(state_seed rs.rank (-rs.step)) t.cfg.summary_bytes);
+        Comm.barrier rs.endpoint
+      done
+    with Engine.Cancelled ->
+      if not !down then begin
+        down := true;
+        List.iter Engine.Fiber.cancel !fibers
+      end
+  in
+  fibers :=
+    Array.to_list
+      (Array.map
+         (fun rs ->
+           Engine.Fiber.spawn engine ~name:(Fmt.str "cm1-iterate.%d" rs.rank) (body rs))
+         t.ranks);
+  List.iter (fun f -> ignore (Engine.Fiber.await f)) !fibers;
+  if !down then `Gang_down else `Done
+
+(* Reposition every rank's step counter — restart paths restore subdomain
+   {e content} from the checkpoint files but the iteration count lives in
+   the driver, so resuming from a snapshot must rewind it explicitly to
+   keep the state pattern deterministic. *)
+let set_steps t n = Array.iter (fun rs -> rs.step <- n) t.ranks
+
 let local_ranks t inst =
   Array.to_list t.ranks |> List.filter (fun rs -> rs.inst == inst)
 
@@ -154,3 +202,23 @@ let restore_blcr t inst =
 
 let subdomain_digests t inst =
   List.map (fun rs -> Payload.digest rs.content) (local_ranks t inst)
+
+(* Package CM1 as a supervised workload: one work unit = [iters_per_unit]
+   iterations, application-level dumps. The instance binding is rebuilt on
+   every (re)setup — a restart gang gets a fresh communicator — and resume
+   rewinds the step counters to the checkpointed unit. *)
+let supervised_workload (cluster : Cluster.t) cfg ~iters_per_unit =
+  if iters_per_unit < 1 then invalid_arg "Cm1.supervised_workload";
+  let current = ref None in
+  let get () =
+    match !current with
+    | Some t -> t
+    | None -> failwith "Cm1.supervised_workload: setup has not run"
+  in
+  {
+    Supervisor.setup = (fun instances -> current := Some (setup cluster ~instances cfg));
+    iterate = (fun () -> iterate_result (get ()) iters_per_unit);
+    dump = (fun inst -> dump_app (get ()) inst);
+    restore = (fun inst -> restore_app (get ()) inst);
+    resumed = (fun units -> set_steps (get ()) (units * iters_per_unit));
+  }

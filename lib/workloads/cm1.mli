@@ -41,6 +41,16 @@ val iterate : t -> int -> unit
 (** Run iterations: compute + halo exchange on every process in parallel,
     plus periodic summary output. *)
 
+val iterate_result : t -> int -> [ `Done | `Gang_down ]
+(** Like {!iterate}, but a rank whose VM fail-stops mid-run does not kill
+    the engine: its siblings are cancelled and the call reports
+    [`Gang_down] so a supervisor can recover. *)
+
+val set_steps : t -> int -> unit
+(** Rewind every rank's iteration counter to [n] — restart restores
+    subdomain content but the step count lives in the driver; resuming
+    from a checkpoint must reposition it to keep state deterministic. *)
+
 val dump_app : t -> Approach.instance -> unit
 (** CM1's own checkpointing: drain channels, then every local process
     writes its subdomain file; ends with a sync. Collective — the global
@@ -58,3 +68,8 @@ val restore_blcr : t -> Approach.instance -> unit
 
 val subdomain_digests : t -> Approach.instance -> int64 list
 (** Digests of the locally held subdomain states (restart verification). *)
+
+val supervised_workload : Cluster.t -> config -> iters_per_unit:int -> Supervisor.workload
+(** Package CM1 for {!Supervisor.run}: one work unit = [iters_per_unit]
+    iterations with application-level dumps; [setup] rebinds to each new
+    gang, [resumed n] rewinds to step [n * iters_per_unit]. *)

@@ -290,7 +290,7 @@ let test_global_checkpoint_restart_many () =
         in
         let by_instance = List.combine instances benches in
         let snapshots =
-          Protocol.global_checkpoint cluster ~instances ~dump:(fun inst ->
+          Protocol.global_checkpoint_exn cluster ~instances ~dump:(fun inst ->
               Synthetic.dump_app (List.assq inst by_instance))
         in
         Protocol.kill_all instances;
@@ -302,7 +302,7 @@ let test_global_checkpoint_restart_many () =
         in
         let restored = ref [] in
         let new_instances =
-          Protocol.global_restart cluster ~plan ~restore:(fun inst ->
+          Protocol.global_restart_exn cluster ~plan ~restore:(fun inst ->
               let bench = Synthetic.restore_app inst in
               restored := bench :: !restored)
         in
@@ -338,7 +338,7 @@ let test_cm1_iterates_and_survives_restart () =
         Cm1.iterate cm1 10;
         let before = List.concat_map (Cm1.subdomain_digests cm1) instances in
         let snapshots =
-          Protocol.global_checkpoint cluster ~instances ~dump:(Cm1.dump_app cm1)
+          Protocol.global_checkpoint_exn cluster ~instances ~dump:(Cm1.dump_app cm1)
         in
         Cm1.iterate cm1 7;
         Protocol.kill_all instances;
@@ -348,7 +348,7 @@ let test_cm1_iterates_and_survives_restart () =
             snapshots
         in
         let new_instances =
-          Protocol.global_restart cluster ~plan ~restore:(fun _ -> ())
+          Protocol.global_restart_exn cluster ~plan ~restore:(fun _ -> ())
         in
         (* Rebind the workload to the restarted instances and reload the
            subdomains from the snapshot. *)

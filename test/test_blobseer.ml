@@ -322,6 +322,45 @@ let test_blob_replication_survives_provider_loss () =
   in
   Alcotest.(check string) "readable after failure" (String.make 400 'r') recovered
 
+let test_blob_replication3_survives_two_losses () =
+  let rig = make_rig ~providers:4 ~replication:3 ~stripe:100 () in
+  let from = rig.client_host in
+  let recovered =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let v = Client.write blob ~from ~offset:0 (payload_str (String.make 400 's')) in
+        (* Two of four providers fail-stop; the third replica of every
+           chunk still answers, through as many failover rounds as the
+           replica order demands. *)
+        Data_provider.fail (Client.data_provider rig.service 0);
+        Data_provider.fail (Client.data_provider rig.service 1);
+        Payload.to_string (Client.read blob ~from ~version:v ~offset:0 ~len:400))
+  in
+  Alcotest.(check string) "readable after two failures" (String.make 400 's') recovered
+
+let test_provider_transient_disk_retried () =
+  (* Transient I/O errors on a provider's disk are absorbed by the
+     provider's bounded-retry discipline — no replica needed. *)
+  let rig = make_rig ~providers:2 ~replication:1 ~stripe:100 () in
+  let from = rig.client_host in
+  let content = String.make 150 't' in
+  let back, armed =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let v = Client.write blob ~from ~offset:0 (payload_str content) in
+        Array.iter
+          (fun p -> Disk.inject_transient (Data_provider.disk p) ~ops:1)
+          (Client.data_providers rig.service);
+        let back = Payload.to_string (Client.read blob ~from ~version:v ~offset:0 ~len:150) in
+        ( back,
+          Array.fold_left
+            (fun acc p -> acc + Disk.armed_faults (Data_provider.disk p))
+            0
+            (Client.data_providers rig.service) ))
+  in
+  Alcotest.(check string) "read through transient faults" content back;
+  Alcotest.(check int) "faults consumed by retries" 0 armed
+
 let test_blob_unreplicated_loss_raises () =
   let rig = make_rig ~providers:2 ~replication:1 ~stripe:100 () in
   let from = rig.client_host in
@@ -463,6 +502,10 @@ let () =
           Alcotest.test_case "version bytes" `Quick test_blob_version_bytes;
           Alcotest.test_case "replication survives provider loss" `Quick
             test_blob_replication_survives_provider_loss;
+          Alcotest.test_case "replication 3 survives two losses" `Quick
+            test_blob_replication3_survives_two_losses;
+          Alcotest.test_case "provider transient disk retried" `Quick
+            test_provider_transient_disk_retried;
           Alcotest.test_case "unreplicated loss raises" `Quick test_blob_unreplicated_loss_raises;
           Alcotest.test_case "concurrent writers merge" `Quick test_blob_concurrent_writers_merge;
           Alcotest.test_case "striping spreads load" `Quick test_blob_striping_spreads_load;

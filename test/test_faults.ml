@@ -1,0 +1,437 @@
+(* Tests for the fault-injection subsystem and the recovery machinery
+   built on it: injector determinism, typed transient disk errors and the
+   bounded-retry discipline, partial-failure reporting in the coordinated
+   protocol, supervised recovery of CM1 under injected faults, and the
+   availability sweep. *)
+
+open Simcore
+open Storage
+open Vmsim
+open Blobcr
+open Workloads
+
+(* Run every engine with teardown invariant audits armed (BLOBCR_AUDIT=1
+   in test/dune enables them; linking the auditor installs it). *)
+let () = Analysis.Invariants.install ()
+
+let run engine f =
+  let result = ref None in
+  let _ = Engine.Fiber.spawn engine ~name:"test-main" (fun () -> result := Some (f ())) in
+  while !result = None && Engine.step engine do
+    ()
+  done;
+  Option.get !result
+
+(* ------------------------------------------------------------------ *)
+(* Injector: scripts and determinism *)
+
+let profile_script ~seed =
+  let engine = Engine.create ~seed () in
+  Faults.of_profile
+    ~rng:(Rng.split (Engine.rng engine))
+    ~mtbf:5.0 ~horizon:60.0 ~hosts:4 ~providers:4 ()
+
+let test_profile_deterministic () =
+  let s1 = profile_script ~seed:13 and s2 = profile_script ~seed:13 in
+  Alcotest.(check bool) "same seed, same script" true (s1 = s2);
+  Alcotest.(check bool) "script non-empty" true (s1 <> [])
+
+let test_profile_respects_horizon () =
+  let s = profile_script ~seed:13 in
+  List.iter
+    (fun (e : Faults.event) ->
+      Alcotest.(check bool) "within horizon" true (e.at > 0.0 && e.at <= 60.0))
+    s;
+  let times = List.map (fun (e : Faults.event) -> e.at) s in
+  Alcotest.(check bool) "sorted by time" true (List.sort Float.compare times = times)
+
+let test_profile_weights () =
+  let engine = Engine.create ~seed:3 () in
+  let s =
+    Faults.of_profile
+      ~rng:(Rng.split (Engine.rng engine))
+      ~mtbf:2.0 ~horizon:60.0 ~hosts:4 ~providers:4 ~weights:(1, 0, 0, 0) ()
+  in
+  Alcotest.(check bool) "some events" true (List.length s > 5);
+  List.iter
+    (fun (e : Faults.event) ->
+      match e.Faults.action with
+      | Faults.Crash_host i -> Alcotest.(check bool) "target in range" true (i >= 0 && i < 4)
+      | a -> Alcotest.failf "unexpected action %a with crash-only weights" Faults.pp_action a)
+    s
+
+let applied_timeline ~seed =
+  let engine = Engine.create ~seed () in
+  let script = profile_script ~seed in
+  run engine (fun () ->
+      let inj = Faults.start engine ~script ~handlers:Faults.null_handlers in
+      Engine.sleep engine 100.0;
+      Faults.stop inj;
+      Faults.applied inj)
+
+let test_injector_replay_deterministic () =
+  let t1 = applied_timeline ~seed:7 and t2 = applied_timeline ~seed:7 in
+  Alcotest.(check bool) "non-empty" true (t1 <> []);
+  Alcotest.(check bool) "identical applied timeline" true (t1 = t2)
+
+let test_injector_stop_drops_pending () =
+  let engine = Engine.create () in
+  let hits = ref 0 in
+  let handlers = { Faults.null_handlers with crash_host = (fun _ -> incr hits) } in
+  let applied =
+    run engine (fun () ->
+        let script =
+          [
+            { Faults.at = 1.0; action = Faults.Crash_host 0 };
+            { Faults.at = 50.0; action = Faults.Crash_host 1 };
+          ]
+        in
+        let inj = Faults.start engine ~script ~handlers in
+        Engine.sleep engine 5.0;
+        Faults.stop inj;
+        Engine.sleep engine 100.0;
+        Faults.applied inj)
+  in
+  Alcotest.(check int) "only the first event fired" 1 !hits;
+  Alcotest.(check int) "applied reflects it" 1 (List.length applied)
+
+(* ------------------------------------------------------------------ *)
+(* Typed disk faults and bounded retry *)
+
+let test_disk_full_typed () =
+  let engine = Engine.create () in
+  let disk = Disk.create engine ~capacity:1000 ~name:"d0" () in
+  let caught =
+    run engine (fun () ->
+        Disk.write disk 800;
+        try
+          Disk.write disk 300;
+          None
+        with Disk.Full { disk = name; need; capacity } -> Some (name, need, capacity))
+  in
+  Alcotest.(check (option (triple string int int)))
+    "typed overflow" (Some ("d0", 1100, 1000)) caught
+
+let test_transient_disk_retries_absorb () =
+  let engine = Engine.create () in
+  let disk = Disk.create engine ~capacity:10_000 ~name:"d0" () in
+  let value =
+    run engine (fun () ->
+        Disk.inject_transient disk ~ops:2;
+        Faults.with_retries engine ~label:"read" (fun () ->
+            Disk.read disk 100;
+            "ok"))
+  in
+  Alcotest.(check string) "succeeded after retries" "ok" value;
+  Alcotest.(check int) "faults consumed" 0 (Disk.armed_faults disk)
+
+let test_transient_disk_retries_exhaust () =
+  let engine = Engine.create () in
+  let disk = Disk.create engine ~capacity:10_000 ~name:"d0" () in
+  let raised =
+    run engine (fun () ->
+        Disk.inject_transient disk ~ops:10;
+        try
+          Faults.with_retries engine ~retries:2 ~label:"read" (fun () -> Disk.read disk 100);
+          false
+        with Faults.Injected_error _ -> true)
+  in
+  Alcotest.(check bool) "typed error escapes after budget" true raised;
+  (* 1 initial attempt + 2 retries consumed exactly 3 armed faults. *)
+  Alcotest.(check int) "three attempts consumed" 7 (Disk.armed_faults disk)
+
+let quick = Calibration.quick_test
+let build () = Cluster.build ~seed:7 quick
+
+let test_ckpt_proxy_retries_transients () =
+  let cluster = build () in
+  let value, retries =
+    Cluster.run cluster (fun () ->
+        let inst =
+          Approach.deploy cluster Approach.Blobcr ~node:(Cluster.node cluster 0) ~id:"vm0"
+        in
+        let fails = ref 2 in
+        let value =
+          Ckpt_proxy.request_checkpoint inst.Approach.proxy ~vm:inst.Approach.vm
+            ~snapshot:(fun () ->
+              if !fails > 0 then begin
+                decr fails;
+                raise (Faults.Injected_error "synthetic snapshot fault")
+              end
+              else 42)
+        in
+        (value, Ckpt_proxy.transient_retries inst.Approach.proxy))
+  in
+  Alcotest.(check int) "snapshot value" 42 value;
+  Alcotest.(check int) "two transient retries" 2 retries
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: typed partial failure *)
+
+let deploy_pair cluster =
+  [
+    Approach.deploy cluster Approach.Blobcr ~node:(Cluster.node cluster 0) ~id:"a";
+    Approach.deploy cluster Approach.Blobcr ~node:(Cluster.node cluster 1) ~id:"b";
+  ]
+
+let test_protocol_partial_dump_failure () =
+  let cluster = build () in
+  let partial =
+    Cluster.run cluster (fun () ->
+        let insts = deploy_pair cluster in
+        let dump (inst : Approach.instance) =
+          if inst.Approach.id = "b" then raise (Faults.Injected_error "dump blew up")
+        in
+        match Protocol.global_checkpoint cluster ~instances:insts ~dump with
+        | Ok _ -> None
+        | Error p -> Some p)
+  in
+  match partial with
+  | None -> Alcotest.fail "expected a partial failure"
+  | Some p ->
+      Alcotest.(check int) "one branch completed" 1 (List.length p.Protocol.completed);
+      Alcotest.(check int) "surviving branch index" 0 (fst (List.hd p.Protocol.completed));
+      (match p.Protocol.failed with
+      | [ e ] ->
+          Alcotest.(check int) "failed index" 1 e.Protocol.index;
+          Alcotest.(check string) "failed label" "b" e.Protocol.label;
+          Alcotest.(check string) "failed stage" "dump" e.Protocol.stage;
+          Alcotest.(check bool) "typed error" true
+            (match e.Protocol.error with Faults.Injected_error _ -> true | _ -> false)
+      | _ -> Alcotest.fail "expected exactly one failed branch")
+
+let test_protocol_partial_snapshot_stage_on_death () =
+  (* A VM fail-stopping between the dump and the disk snapshot used to
+     crash the protocol on [Option.get]; now it surfaces as a typed
+     snapshot-stage branch error the supervisor can retry. *)
+  let cluster = build () in
+  let partial =
+    Cluster.run cluster (fun () ->
+        let insts = deploy_pair cluster in
+        let dump (inst : Approach.instance) =
+          if inst.Approach.id = "b" then Vm.kill inst.Approach.vm
+        in
+        match Protocol.global_checkpoint cluster ~instances:insts ~dump with
+        | Ok _ -> None
+        | Error p -> Some p)
+  in
+  match partial with
+  | None -> Alcotest.fail "expected a partial failure"
+  | Some p -> (
+      Alcotest.(check int) "one branch completed" 1 (List.length p.Protocol.completed);
+      match p.Protocol.failed with
+      | [ e ] ->
+          Alcotest.(check string) "snapshot stage" "snapshot" e.Protocol.stage;
+          Alcotest.(check string) "dead branch" "b" e.Protocol.label
+      | _ -> Alcotest.fail "expected exactly one failed branch")
+
+let test_protocol_partial_restart () =
+  let cluster = build () in
+  let partial =
+    Cluster.run cluster (fun () ->
+        let insts = deploy_pair cluster in
+        let snaps = List.map (Approach.request_checkpoint cluster) insts in
+        Protocol.kill_all insts;
+        let plan =
+          List.map2
+            (fun (inst : Approach.instance) snap ->
+              let node_index = if inst.Approach.id = "a" then 2 else 3 in
+              (Cluster.node cluster node_index, inst.Approach.id ^ ".r", snap))
+            insts snaps
+        in
+        let restore (inst : Approach.instance) =
+          if inst.Approach.id = "b.r" then raise (Faults.Injected_error "restore blew up")
+        in
+        match Protocol.global_restart cluster ~plan ~restore with
+        | Ok _ -> None
+        | Error p ->
+            (* Clean up the instances that did come up. *)
+            List.iter (fun (_, inst) -> Approach.kill inst) p.Protocol.completed;
+            Some p)
+  in
+  match partial with
+  | None -> Alcotest.fail "expected a partial failure"
+  | Some p -> (
+      Alcotest.(check int) "one branch completed" 1 (List.length p.Protocol.completed);
+      match p.Protocol.failed with
+      | [ e ] ->
+          Alcotest.(check string) "restore stage" "restore" e.Protocol.stage;
+          Alcotest.(check string) "failed label" "b.r" e.Protocol.label
+      | _ -> Alcotest.fail "expected exactly one failed branch")
+
+let test_protocol_exn_wrapper () =
+  let cluster = build () in
+  let raised =
+    Cluster.run cluster (fun () ->
+        let insts = deploy_pair cluster in
+        let dump (inst : Approach.instance) =
+          if inst.Approach.id = "a" then raise (Faults.Injected_error "boom")
+        in
+        try
+          ignore (Protocol.global_checkpoint_exn cluster ~instances:insts ~dump);
+          false
+        with Protocol.Partial_failure msg ->
+          let contains msg sub =
+            let n = String.length sub in
+            let rec scan i =
+              i + n <= String.length msg && (String.sub msg i n = sub || scan (i + 1))
+            in
+            scan 0
+          in
+          Alcotest.(check bool) "message names the stage" true (contains msg "dump");
+          true)
+  in
+  Alcotest.(check bool) "typed partial failure" true raised
+
+(* ------------------------------------------------------------------ *)
+(* Supervised chaos: CM1 recovers from a crash + provider loss, and the
+   recovered final state is byte-identical to a failure-free run. *)
+
+let chaos_config =
+  {
+    Cm1.default_config with
+    procs_per_vm = 2;
+    subdomain_state_bytes = Size.mib_n 1;
+    compute_per_iteration = 2.0;
+    summary_every = 2;
+  }
+
+let chaos_script =
+  [
+    { Faults.at = 18.0; action = Faults.Crash_host 0 };
+    { Faults.at = 19.2; action = Faults.Fail_provider 2 };
+  ]
+
+(* Digests of every dumped subdomain file across the final gang, keyed by
+   path: the restart-visible application state. *)
+let final_subdomain_digests sup =
+  List.concat_map
+    (fun (inst : Approach.instance) ->
+      let fs = Vm.fs inst.Approach.vm in
+      List.filter_map
+        (fun path ->
+          if String.starts_with ~prefix:"/ckpt/cm1/" path then
+            Some (path, Payload.digest (Guest_fs.read_file fs ~path))
+          else None)
+        (Guest_fs.list_files fs))
+    (Supervisor.instances sup)
+  |> List.sort compare
+
+let run_supervised ~script () =
+  let cal =
+    {
+      quick with
+      Calibration.blobseer = { quick.Calibration.blobseer with Blobseer.Types.replication = 2 };
+    }
+  in
+  let cluster = Cluster.build cal in
+  Cluster.run cluster (fun () ->
+      let workload = Cm1.supervised_workload cluster chaos_config ~iters_per_unit:1 in
+      let sup = ref None in
+      let injector = ref None in
+      let report =
+        Supervisor.run cluster ~kind:Approach.Blobcr
+          ~policy:{ Supervisor.default_policy with checkpoint_interval = 4 }
+          ~on_ready:(fun s ->
+            sup := Some s;
+            if script <> [] then
+              injector :=
+                Some
+                  (Faults.start cluster.Cluster.engine ~script
+                     ~handlers:(Supervisor.fault_handlers s)))
+          ~id:"cm1" ~gang:2 ~units:12 ~workload ()
+      in
+      (match !injector with Some inj -> Faults.stop inj | None -> ());
+      let sup = Option.get !sup in
+      (report, final_subdomain_digests sup, Supervisor.audit sup))
+
+let test_chaos_recovery_end_to_end () =
+  let report, digests, audit = run_supervised ~script:chaos_script () in
+  Alcotest.(check bool) "finished" true report.Supervisor.finished;
+  Alcotest.(check int) "all units" 12 report.Supervisor.units_completed;
+  Alcotest.(check int) "one recovery" 1 report.Supervisor.recoveries;
+  Alcotest.(check bool) "non-zero wasted work" true (report.Supervisor.wasted_time > 0.0);
+  Alcotest.(check int) "one latency sample" 1 (List.length report.Supervisor.recovery_latencies);
+  Alcotest.(check (list string)) "supervisor invariants clean" [] audit;
+  Alcotest.(check int) "all subdomains dumped" 4 (List.length digests);
+  (* The recovered run's final application state matches a failure-free
+     run byte for byte: rollback re-executed exactly the lost units. *)
+  let clean_report, clean_digests, clean_audit = run_supervised ~script:[] () in
+  Alcotest.(check bool) "clean run finished" true clean_report.Supervisor.finished;
+  Alcotest.(check int) "clean run recoveries" 0 clean_report.Supervisor.recoveries;
+  Alcotest.(check (list string)) "clean supervisor invariants" [] clean_audit;
+  Alcotest.(check bool) "final state byte-identical to failure-free run" true
+    (List.map snd digests = List.map snd clean_digests)
+
+let test_chaos_recovery_replay_deterministic () =
+  let capture () =
+    let (report, digests, _), trace = Trace.capture (fun () -> run_supervised ~script:chaos_script ()) in
+    ( (report.Supervisor.units_completed, report.Supervisor.recoveries,
+       report.Supervisor.checkpoints, report.Supervisor.wasted_time),
+      digests, trace )
+  in
+  let summary1, digests1, trace1 = capture () in
+  let summary2, digests2, trace2 = capture () in
+  Alcotest.(check bool) "same summary" true (summary1 = summary2);
+  Alcotest.(check bool) "same final state" true (digests1 = digests2);
+  Alcotest.(check bool) "same trace" true (trace1 = trace2)
+
+(* ------------------------------------------------------------------ *)
+(* Availability sweep smoke *)
+
+let test_availability_smoke () =
+  let scale =
+    {
+      (Option.get (Experiments.Scale.find "quick")) with
+      Experiments.Scale.availability_mtbfs = [ 12.0 ];
+      availability_intervals = [ 2 ];
+    }
+  in
+  let points = Experiments.Availability.sweep scale () in
+  Alcotest.(check int) "one cell per kind" 2 (List.length points);
+  List.iter
+    (fun (p : Experiments.Availability.point) ->
+      Alcotest.(check bool) "utilization in (0, 1]" true
+        (p.Experiments.Availability.utilization > 0.0 && p.utilization <= 1.0);
+      Alcotest.(check bool) "faults caused recoveries" true (p.recoveries > 0);
+      Alcotest.(check bool) "wasted work recorded" true (p.wasted > 0.0))
+    points
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "injector",
+        [
+          Alcotest.test_case "profile deterministic" `Quick test_profile_deterministic;
+          Alcotest.test_case "profile respects horizon" `Quick test_profile_respects_horizon;
+          Alcotest.test_case "profile weights" `Quick test_profile_weights;
+          Alcotest.test_case "replay deterministic" `Quick test_injector_replay_deterministic;
+          Alcotest.test_case "stop drops pending" `Quick test_injector_stop_drops_pending;
+        ] );
+      ( "transients",
+        [
+          Alcotest.test_case "disk full is typed" `Quick test_disk_full_typed;
+          Alcotest.test_case "retries absorb transients" `Quick
+            test_transient_disk_retries_absorb;
+          Alcotest.test_case "retries exhaust to typed error" `Quick
+            test_transient_disk_retries_exhaust;
+          Alcotest.test_case "ckpt proxy retries transients" `Quick
+            test_ckpt_proxy_retries_transients;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "partial dump failure" `Quick test_protocol_partial_dump_failure;
+          Alcotest.test_case "snapshot stage on mid-barrier death" `Quick
+            test_protocol_partial_snapshot_stage_on_death;
+          Alcotest.test_case "partial restart" `Quick test_protocol_partial_restart;
+          Alcotest.test_case "exn wrapper" `Quick test_protocol_exn_wrapper;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "chaos recovery end to end" `Quick test_chaos_recovery_end_to_end;
+          Alcotest.test_case "chaos replay deterministic" `Quick
+            test_chaos_recovery_replay_deterministic;
+        ] );
+      ( "availability",
+        [ Alcotest.test_case "sweep smoke" `Quick test_availability_smoke ] );
+    ]

@@ -140,7 +140,7 @@ let test_send_during_drain_rejected () =
                 Engine.Fiber.spawn engine (fun () -> Comm.drain_channels a)
               in
               Engine.yield engine;
-              (try Comm.send a ~dst:1 ~bytes:1 with Failure _ -> result := true);
+              (try Comm.send a ~dst:1 ~bytes:1 with Comm.Draining -> result := true);
               Comm.drain_channels b;
               Engine.Fiber.join fiber);
           ];

@@ -287,7 +287,7 @@ let test_disk_capacity_enforced () =
   let _ =
     Engine.Fiber.spawn e (fun () ->
         Disk.write d 80;
-        (try Disk.write d 30 with Failure _ -> overflowed := true);
+        (try Disk.write d 30 with Disk.Full _ -> overflowed := true);
         Disk.free d 50;
         Disk.write d 30)
   in

@@ -298,6 +298,67 @@ let test_prefetch_late_fetch_served_cached () =
   Engine.run engine;
   Alcotest.(check int) "one real fetch" 1 !fetches
 
+let test_prefetch_failed_fetch_retried_by_waiter () =
+  (* The fetching instance dies mid-read: its waiters must not be stuck
+     with the failure — the entry is dropped and the first waiter redoes
+     the fetch itself. *)
+  let engine = Engine.create () in
+  let net = Net.create engine { Net.default_config with latency = 0.0 } in
+  let provider = Net.add_host net ~name:"provider" in
+  let a = Net.add_host net ~name:"a" and b = Net.add_host net ~name:"b" in
+  let prefetch = Prefetch.create engine net () in
+  let attempts = ref 0 in
+  let fetch_fn () =
+    incr attempts;
+    Engine.sleep engine 0.5;
+    if !attempts = 1 then raise (Faults.Injected_error "fetcher died");
+    Payload.of_string "chunk"
+  in
+  let first_failed = ref false and waiter_got = ref "" in
+  ignore
+    (Engine.Fiber.spawn engine (fun () ->
+         try ignore (Prefetch.fetch prefetch ~self:a ~key:(0, 9) ~provider_host:provider ~fetch_fn)
+         with Faults.Injected_error _ -> first_failed := true));
+  ignore
+    (Engine.Fiber.spawn engine (fun () ->
+         Engine.sleep engine 0.1;
+         let p = Prefetch.fetch prefetch ~self:b ~key:(0, 9) ~provider_host:provider ~fetch_fn in
+         waiter_got := Payload.to_string p));
+  Engine.run engine;
+  Alcotest.(check bool) "original fetcher saw the error" true !first_failed;
+  Alcotest.(check string) "waiter retried and succeeded" "chunk" !waiter_got;
+  Alcotest.(check int) "two real attempts" 2 !attempts;
+  Alcotest.(check int) "both counted as distinct fetches" 2
+    (Prefetch.distinct_fetches prefetch)
+
+let test_prefetch_failed_entry_removed_for_late_callers () =
+  (* A failure with no waiters leaves no poisoned cache entry behind: a
+     later caller starts a fresh fetch. *)
+  let engine = Engine.create () in
+  let net = Net.create engine { Net.default_config with latency = 0.0 } in
+  let provider = Net.add_host net ~name:"provider" in
+  let a = Net.add_host net ~name:"a" in
+  let prefetch = Prefetch.create engine net () in
+  let attempts = ref 0 in
+  let fetch_fn () =
+    incr attempts;
+    if !attempts = 1 then raise (Faults.Injected_error "fetcher died");
+    Payload.of_string "fresh"
+  in
+  let got = ref "" in
+  ignore
+    (Engine.Fiber.spawn engine (fun () ->
+         (try
+            ignore
+              (Prefetch.fetch prefetch ~self:a ~key:(2, 2) ~provider_host:provider ~fetch_fn)
+          with Faults.Injected_error _ -> ());
+         Engine.sleep engine 1.0;
+         let p = Prefetch.fetch prefetch ~self:a ~key:(2, 2) ~provider_host:provider ~fetch_fn in
+         got := Payload.to_string p));
+  Engine.run engine;
+  Alcotest.(check string) "second call refetches" "fresh" !got;
+  Alcotest.(check int) "fresh fetch after failure" 2 !attempts
+
 (* ------------------------------------------------------------------ *)
 (* Mirror *)
 
@@ -498,6 +559,10 @@ let () =
             test_prefetch_coalesces_concurrent_fetches;
           Alcotest.test_case "late fetch served cached" `Quick
             test_prefetch_late_fetch_served_cached;
+          Alcotest.test_case "failed fetch retried by waiter" `Quick
+            test_prefetch_failed_fetch_retried_by_waiter;
+          Alcotest.test_case "failed entry removed for late callers" `Quick
+            test_prefetch_failed_entry_removed_for_late_callers;
         ] );
       ( "mirror",
         [
