@@ -3,6 +3,7 @@
      blobcr_lint lint [--root DIR] [DIR...]     source lint (determinism hazards)
      blobcr_lint invariants                     structural audits over a live scenario
      blobcr_lint determinism --exp fig2a        replay-divergence check
+     blobcr_lint durability                     corruption-chaos durability invariant
      blobcr_lint all                            everything; exit 0 = clean *)
 
 open Cmdliner
@@ -171,6 +172,72 @@ let determinism_cmd =
     Term.(const run_determinism $ scale_term $ seed_term $ exp_term)
 
 (* ------------------------------------------------------------------ *)
+(* durability: corruption chaos must end in a byte-identical restart or a
+   typed, classified error — never an untyped [Failure _]/[Not_found]
+   escape — and the scrub/repair log must replay identically. *)
+
+let run_durability (_, scale) seed =
+  Invariants.install ();
+  let scale = { scale with Experiments.Scale.seed } in
+  let failures = ref [] in
+  let fail fmt = Fmt.kstr (fun s -> failures := s :: !failures) fmt in
+  (* Chaos run: silent corruption + crash mid-COMMIT + host crash. Either
+     the run completes — in which case its final application state must be
+     byte-identical to a fault-free run — or it surfaces a typed error. *)
+  let run label script =
+    match Experiments.Durability.chaos_run scale ?script () with
+    | chaos ->
+        if chaos.Experiments.Durability.audit <> [] then
+          fail "%s: supervisor accounting violated: %s" label
+            (String.concat "; " chaos.Experiments.Durability.audit);
+        Some chaos
+    | exception e ->
+        (match Blobcr.Protocol.error_class e with
+        | `Transient | `Unavailable | `Service_crash | `Cancelled ->
+            Fmt.pr "%s: failed with typed error %a (acceptable)@." label
+              Blobcr.Protocol.pp_error_class (Blobcr.Protocol.error_class e)
+        | `Fatal -> fail "%s: untyped escape: %s" label (Printexc.to_string e));
+        None
+  in
+  (match (run "chaos" None, run "fault-free" (Some (fun _ -> []))) with
+  | Some chaos, Some clean ->
+      if not chaos.Experiments.Durability.report.Blobcr.Supervisor.finished then
+        fail "chaos run neither finished nor raised a typed error";
+      if
+        chaos.Experiments.Durability.report.Blobcr.Supervisor.finished
+        && List.map snd chaos.Experiments.Durability.digests
+           <> List.map snd clean.Experiments.Durability.digests
+      then fail "restart state diverged from the fault-free run (not byte-identical)";
+      Fmt.pr
+        "chaos: finished=%b recoveries=%d repairs=%d failovers=%d — state matches \
+         fault-free run@."
+        chaos.Experiments.Durability.report.Blobcr.Supervisor.finished
+        chaos.Experiments.Durability.report.Blobcr.Supervisor.recoveries
+        chaos.Experiments.Durability.scrub_stats.Blobseer.Scrubber.repairs
+        chaos.Experiments.Durability.integrity_failures
+  | _ -> ());
+  (* Replay determinism of the scrub/repair log. *)
+  let replay = Determinism.check_scrub_replay ~scale ~seed () in
+  Fmt.pr "@[<v>%a@]@." Determinism.pp_report replay;
+  if not (Determinism.identical replay) then fail "scrub/repair log is not replay-identical";
+  match List.rev !failures with
+  | [] ->
+      Fmt.pr "durability: clean@.";
+      0
+  | fs ->
+      List.iter (Fmt.pr "durability: %s@.") fs;
+      Fmt.pr "durability: %d failure(s)@." (List.length fs);
+      1
+
+let durability_cmd =
+  Cmd.v
+    (Cmd.info "durability"
+       ~doc:
+         "Corruption chaos: every supervised restart must restore byte-identical state or \
+          fail with a typed error, and the scrub/repair log must replay identically.")
+    Term.(const run_durability $ scale_term $ seed_term)
+
+(* ------------------------------------------------------------------ *)
 (* all *)
 
 let run_all root seed =
@@ -184,7 +251,10 @@ let run_all root seed =
     stage "determinism" (fun () ->
         run_determinism ("quick", Experiments.Scale.quick) seed "fig5a")
   in
-  if lint = 0 && inv = 0 && det = 0 then begin
+  let dur =
+    stage "durability" (fun () -> run_durability ("quick", Experiments.Scale.quick) seed)
+  in
+  if lint = 0 && inv = 0 && det = 0 && dur = 0 then begin
     Fmt.pr "--- all clean ---@.";
     0
   end
@@ -192,10 +262,13 @@ let run_all root seed =
 
 let all_cmd =
   Cmd.v
-    (Cmd.info "all" ~doc:"Run lint, invariants and determinism; exit 0 when all clean.")
+    (Cmd.info "all"
+       ~doc:"Run lint, invariants, determinism and durability; exit 0 when all clean.")
     Term.(const run_all $ root_term $ seed_term)
 
 let () =
   let doc = "BlobCR determinism lint, invariant audit and replay checking" in
   let info = Cmd.info "blobcr_lint" ~doc ~version:"1.0.0" in
-  exit (Cmd.eval' (Cmd.group info [ lint_cmd; invariants_cmd; determinism_cmd; all_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ lint_cmd; invariants_cmd; determinism_cmd; durability_cmd; all_cmd ]))

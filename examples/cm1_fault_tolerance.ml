@@ -83,7 +83,15 @@ let () =
               Fmt.pr "[t=%7.2fs] recovery #%d complete: resumed from %d units@." at attempt
                 resumed_units
           | Supervisor.Abandoned { at; ids } ->
-              Fmt.pr "[t=%7.2fs] abandoned: %s@." at (String.concat ", " ids))
+              Fmt.pr "[t=%7.2fs] abandoned: %s@." at (String.concat ", " ids)
+          | Supervisor.Journal_recovered { at; intents } ->
+              Fmt.pr "[t=%7.2fs] journal recovery: %d intent(s) rolled back@." at intents
+          | Supervisor.Scrubbed { at; repaired; unrepairable } ->
+              Fmt.pr "[t=%7.2fs] scrub: %d repaired, %d unrepairable@." at repaired
+                unrepairable
+          | Supervisor.Rollback_demoted { at; from_units; to_units } ->
+              Fmt.pr "[t=%7.2fs] rollback target demoted: %d -> %d units@." at from_units
+                to_units)
         report.Supervisor.events;
       say "simulation %s: %d/%d units, %d checkpoints, %d recoveries"
         (if report.Supervisor.finished then "complete" else "ABANDONED")

@@ -66,7 +66,7 @@ let () =
 
       Fmt.pr "@.== Garbage collection ==@.";
       let before = Blobseer.Client.repository_bytes cluster.Cluster.service in
-      let report = Gc.collect cluster.Cluster.service ~keep_last:1 in
+      let report = Gc.collect cluster.Cluster.service ~keep_last:1 () in
       let after = Blobseer.Client.repository_bytes cluster.Cluster.service in
       say "dropped %d obsolete versions, deleted %d chunks" report.Gc.versions_dropped
         report.Gc.chunks_deleted;

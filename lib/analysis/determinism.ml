@@ -52,6 +52,23 @@ let check_experiment ~exp ~scale ~seed =
   compare_runs ~name:exp.Experiments.Registry.id ~seed (fun () ->
       render_outputs (exp.Experiments.Registry.run scale ~progress:(fun _ -> ())))
 
+(* Scrub-replay determinism: the durability chaos run (silent corruption +
+   mid-COMMIT crash + host crash, with a background scrubber) must produce
+   the identical scrub/repair event log on every replay — repairs are part
+   of the recovery path, so a nondeterministic repair order would make
+   restarts unreproducible. The rendered "output" is the scrub log itself;
+   the full engine trace is diffed as usual. *)
+let check_scrub_replay ?(scale = Experiments.Scale.quick) ~seed () =
+  let scale = { scale with Experiments.Scale.seed } in
+  compare_runs ~name:"scrub-replay" ~seed (fun () ->
+      let chaos = Experiments.Durability.chaos_run scale () in
+      Experiments.Durability.render_scrub_log chaos
+      ^ Fmt.str "\nfinished=%b recoveries=%d repairs=%d repair_bytes=%d"
+          chaos.Experiments.Durability.report.Blobcr.Supervisor.finished
+          chaos.Experiments.Durability.report.Blobcr.Supervisor.recoveries
+          chaos.Experiments.Durability.scrub_stats.Blobseer.Scrubber.repairs
+          chaos.Experiments.Durability.scrub_stats.Blobseer.Scrubber.repair_bytes)
+
 let pp_report ppf r =
   let a, b = r.lines in
   if identical r then

@@ -36,4 +36,11 @@ val check_experiment :
 (** Run a registry experiment twice at [scale] with the engine seed forced
     to [seed] and compare traces and rendered output tables. *)
 
+val check_scrub_replay : ?scale:Experiments.Scale.t -> seed:int -> unit -> report
+(** Run the durability chaos scenario ({!Experiments.Durability.chaos_run}:
+    silent corruption, a mid-COMMIT service crash and a host crash, with a
+    background scrubber) twice under the same seed and require the
+    scrub/repair event logs — and the engine traces — to be byte-identical.
+    Default scale is [quick]. *)
+
 val pp_report : Format.formatter -> report -> unit

@@ -163,6 +163,71 @@ let audit_mirror m =
     (Mirror.dirty_view m)
 
 (* ------------------------------------------------------------------ *)
+(* Deployment durability audit: replicas of a chunk must sit on pairwise
+   distinct hosts (a single machine crash may never eat every copy), the
+   checksum recorded provider-side at write time must agree with the
+   descriptor's digest for every reachable replica (the end-to-end
+   integrity contract — note we compare recorded metadata, not payload
+   bytes, so deliberately corrupted test state does not trip teardown),
+   and both metadata-plane journals must be quiescent: a pending intent
+   at teardown is a half-published commit nobody recovered. *)
+
+let audit_client c =
+  let subject = "blobseer" in
+  let vm = Client.version_manager c in
+  let site_violations = ref [] in
+  let seen_descs : (Types.chunk_desc, unit) Hashtbl.t = Hashtbl.create 256 in
+  Version_manager.iter_live_trees vm (fun ~blob ~version tree ->
+      Segment_tree.fold_set
+        (fun index (desc : Types.chunk_desc) () ->
+          if not (Hashtbl.mem seen_descs desc) then begin
+            Hashtbl.replace seen_descs desc ();
+            let where = Fmt.str "blob %d v%d chunk %d" blob version index in
+            let hosts =
+              List.map
+                (fun (r : Types.replica) ->
+                  Netsim.Net.host_id (Data_provider.host (Client.data_provider c r.provider)))
+                desc.replicas
+            in
+            if List.length (List.sort_uniq compare hosts) <> List.length hosts then
+              site_violations :=
+                v subject "replicas-distinct-hosts" "%s: replicas share a host (providers %a)"
+                  where
+                  Fmt.(list ~sep:comma int)
+                  (List.map (fun (r : Types.replica) -> r.provider) desc.replicas)
+                :: !site_violations;
+            List.iter
+              (fun (r : Types.replica) ->
+                let p = Client.data_provider c r.provider in
+                if
+                  Data_provider.is_alive p
+                  && Storage.Content_store.mem (Data_provider.store p) r.chunk
+                  && Storage.Content_store.recorded_digest (Data_provider.store p) r.chunk
+                     <> desc.digest
+                then
+                  site_violations :=
+                    v subject "checksum-metadata" "%s: provider %d recorded digest %Lx, descriptor %Lx"
+                      where r.provider
+                      (Storage.Content_store.recorded_digest (Data_provider.store p) r.chunk)
+                      desc.digest
+                    :: !site_violations)
+              desc.replicas
+          end)
+        tree ());
+  let journal =
+    (let n = Version_manager.journal_pending vm in
+     if n <> 0 then
+       [ v subject "journal-quiescent" "version manager journal holds %d pending intent(s)" n ]
+     else [])
+    @
+    let n = Metadata_service.journal_pending (Client.metadata_service c) in
+    if n <> 0 then
+      [ v subject "journal-quiescent" "metadata journal holds %d pending intent(s)" n ]
+    else []
+  in
+  List.rev !site_violations @ journal
+
+(* ------------------------------------------------------------------ *)
 (* Supervisor accounting audit: every instance the supervisor ever
    declared dead must have been rolled back and restarted, or explicitly
    abandoned — a silently dropped instance means the recovery loop lost
@@ -180,6 +245,7 @@ let audit_subject = function
   | Qcow2.Audit_image q -> Some ("qcow2:" ^ Qcow2.name q, audit_qcow2 q)
   | Mirror.Audit_mirror m -> Some ("mirror:" ^ Mirror.name m, audit_mirror m)
   | Version_manager.Audit_version_manager vm -> Some ("version-manager", audit_version_manager vm)
+  | Client.Audit_client c -> Some ("blobseer", audit_client c)
   | Blobcr.Supervisor.Audit_supervisor sup -> Some ("supervisor", audit_supervisor sup)
   | _ -> None
 

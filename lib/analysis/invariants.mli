@@ -39,6 +39,15 @@ val audit_version_manager : Version_manager.t -> violation list
 val audit_mirror : Mirror.t -> violation list
 (** COW audit: dirty ⊆ present. *)
 
+val audit_client : Client.t -> violation list
+(** Durability audit over a BlobSeer deployment: replicas of every live
+    chunk descriptor sit on pairwise distinct hosts; the digest recorded
+    provider-side at write time matches the descriptor's for every live,
+    present replica (metadata agreement — payloads are deliberately not
+    re-hashed, so injected corruption awaiting scrub does not fail
+    teardown); and the version-manager and metadata journals hold no
+    pending intents. *)
+
 val audit_supervisor : Blobcr.Supervisor.t -> violation list
 (** Recovery accounting: every declared-dead instance was restarted or
     abandoned, and a finished run is consistent. *)

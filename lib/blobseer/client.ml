@@ -8,9 +8,12 @@ type t = {
   vm : Version_manager.t;
   pm : Provider_manager.t;
   md : Metadata_service.t;
+  mutable integrity_failures : int;
 }
 
 type blob = { service : t; info : Version_manager.blob_info }
+
+type Engine.audit_subject += Audit_client of t
 
 let deploy engine net ?(params = Types.default_params) ~version_manager_host
     ~provider_manager_host ~metadata_hosts ~data_providers () =
@@ -36,7 +39,9 @@ let deploy engine net ?(params = Types.default_params) ~version_manager_host
            ~request_overhead:params.request_overhead
            ~name:(Fmt.str "provider.%d" i) ()))
     data_providers;
-  { engine; net; params; vm; pm; md }
+  let t = { engine; net; params; vm; pm; md; integrity_failures = 0 } in
+  Engine.register_audit_subject engine (Audit_client t);
+  t
 
 let engine t = t.engine
 let net t = t.net
@@ -46,6 +51,8 @@ let data_provider t i = Provider_manager.provider t.pm i
 let data_providers t = Provider_manager.providers t.pm
 let version_manager t = t.vm
 let metadata_service t = t.md
+let provider_manager t = t.pm
+let integrity_failures t = t.integrity_failures
 
 let repository_bytes t =
   Array.fold_left
@@ -113,7 +120,17 @@ let read_chunk_payload b ~from (desc : Types.chunk_desc) =
   let try_replica (r : Types.replica) =
     let provider = data_provider t r.provider in
     match Data_provider.read_chunk provider ~to_:from r.chunk with
-    | payload -> Some payload
+    | payload ->
+        (* End-to-end integrity: verify against the digest the writer put
+           in the descriptor. A mismatch is a silently corrupted replica —
+           treated exactly like a dead one: skip and fail over. *)
+        if Payload.digest payload = desc.digest then Some payload
+        else begin
+          t.integrity_failures <- t.integrity_failures + 1;
+          Trace.emit t.engine ~component:"blobseer.client"
+            "read failover: checksum mismatch at %s" (Data_provider.name provider);
+          None
+        end
     | exception (Types.Provider_down _ | Faults.Injected_error _ | Not_found) ->
         Trace.emit t.engine ~component:"blobseer.client" "read failover: replica at %s failed"
           (Data_provider.name provider);
@@ -213,6 +230,7 @@ let write_multi b ~from ?base runs =
     let count = List.length chunk_ids in
     let placements =
       Provider_manager.allocate t.pm ~from ~count ~replication:t.params.replication
+        ~allow_degraded:t.params.allow_degraded_writes ()
     in
     let content_for i =
       let extent = chunk_extent b i in
@@ -236,7 +254,8 @@ let write_multi b ~from ?base runs =
       let replicas =
         Parallel.map_windowed t.engine ~window:(List.length placement) store placement
       in
-      Hashtbl.replace descs i { Types.size = Payload.length content; replicas }
+      Hashtbl.replace descs i
+        { Types.size = Payload.length content; digest = Payload.digest content; replicas }
     in
     Parallel.windowed t.engine ~window:t.params.write_window
       (List.map2 write_chunk chunk_ids placements);

@@ -42,6 +42,16 @@ val data_provider : t -> int -> Data_provider.t
 val data_providers : t -> Data_provider.t array
 val version_manager : t -> Version_manager.t
 val metadata_service : t -> Metadata_service.t
+val provider_manager : t -> Provider_manager.t
+
+val integrity_failures : t -> int
+(** Chunk reads whose payload digest did not match the descriptor's —
+    silently corrupted replicas detected (and failed over) by clients of
+    this deployment. *)
+
+type Engine.audit_subject += Audit_client of t
+(** Registered at {!deploy}; lets [Analysis.Invariants] audit replica
+    placement, checksum metadata and journal quiescence at teardown. *)
 
 val repository_bytes : t -> int
 (** Physical bytes held across all data providers — the storage-space

@@ -76,6 +76,25 @@ let read_chunk t ~to_ chunk =
   Net.transfer t.net ~src:t.phost ~dst:to_ (Payload.length payload);
   payload
 
+(* Silent corruption: flip bytes of the stored copy in place. The digest
+   recorded at write time is left untouched, so readers and the scrubber
+   detect the damage by recomputing. [salt] seeds the replacement pattern so
+   distinct corruption events produce distinct (but deterministic) garbage. *)
+let corrupt_chunk t ~salt chunk =
+  if t.alive && Content_store.mem t.pstore chunk then begin
+    let len = Payload.length (Content_store.get t.pstore chunk) in
+    let garbage = Payload.pattern ~seed:(Int64.of_int (0x5EED_0000 + salt)) (max len 1) in
+    Content_store.corrupt t.pstore chunk (Payload.sub garbage ~pos:0 ~len);
+    true
+  end
+  else false
+
+let verify_chunk t chunk =
+  t.alive
+  && Content_store.mem t.pstore chunk
+  && Payload.digest (Content_store.get t.pstore chunk)
+     = Content_store.recorded_digest t.pstore chunk
+
 let delete_chunk t chunk =
   if t.alive && Content_store.mem t.pstore chunk then begin
     let bytes = Payload.length (Content_store.get t.pstore chunk) in

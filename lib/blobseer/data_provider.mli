@@ -40,6 +40,18 @@ val read_chunk : t -> to_:Net.host -> Content_store.chunk_id -> Payload.t
 (** Fetch a chunk back to [to_]. Raises {!Types.Provider_down} if dead, and
     [Not_found] if the chunk id is unknown. *)
 
+val corrupt_chunk : t -> salt:int -> Content_store.chunk_id -> bool
+(** Silently overwrite the stored copy with deterministic garbage derived
+    from [salt], leaving the recorded digest stale. Returns [false] (no-op)
+    if the provider is dead or the chunk unknown. Costs nothing: it models
+    media corruption, not an operation. *)
+
+val verify_chunk : t -> Content_store.chunk_id -> bool
+(** Local integrity check: recompute the stored payload's digest and compare
+    to the one recorded at write time. [false] for dead providers and
+    unknown chunks. Costs nothing (used by audits and the scrubber's local
+    pass; network-visible verification happens in the client). *)
+
 val delete_chunk : t -> Content_store.chunk_id -> unit
 (** Drop one reference; frees disk space when the chunk dies. No service
     cost is charged (reclamation is a background activity). *)

@@ -10,6 +10,9 @@ type t = {
   node_bytes : int;
   mutable cursor : int;
   mutable stored : int;
+  journal : int Journal.t; (* intent = node count of an in-flight commit *)
+  mutable armed_crash : bool;
+  mutable recovered : int;
 }
 
 let create engine net ~hosts ?(node_bytes = Types.default_params.metadata_node_bytes)
@@ -31,6 +34,9 @@ let create engine net ~hosts ?(node_bytes = Types.default_params.metadata_node_b
     node_bytes;
     cursor = 0;
     stored = 0;
+    journal = Journal.create ~name:"metadata" ();
+    armed_crash = false;
+    recovered = 0;
   }
 
 let provider_count t = Array.length t.providers
@@ -80,12 +86,40 @@ let run_batches t ~client ~towards_provider batches =
   in
   Engine.all t.engine ~name:"metadata.batch" (List.map task batches)
 
+(* Node commits journal an intent first: a crash while the batches are in
+   flight leaves a pending intent and no [stored] bump, and
+   [recover_journal] rolls it back so the commit can be retried whole. *)
 let commit_nodes t ~from n =
   if n < 0 then invalid_arg "Metadata_service.commit_nodes";
   if n > 0 then begin
-    run_batches t ~client:from ~towards_provider:true (spread t n);
-    t.stored <- t.stored + n
+    let jid = Journal.append t.journal n in
+    if t.armed_crash then begin
+      t.armed_crash <- false;
+      raise (Types.Service_crashed "metadata service")
+    end;
+    match run_batches t ~client:from ~towards_provider:true (spread t n) with
+    | () ->
+        t.stored <- t.stored + n;
+        Journal.commit t.journal jid
+    | exception e ->
+        (* The service survived but the batch run failed client-visibly
+           (e.g. no live metadata provider): abort our own intent so the
+           journal stays quiescent; the client may retry the whole commit. *)
+        Journal.abort t.journal jid;
+        raise e
   end
+
+let arm_crash t = t.armed_crash <- true
+
+let recover_journal t =
+  List.iter
+    (fun (jid, _n) ->
+      Journal.abort t.journal jid;
+      t.recovered <- t.recovered + 1)
+    (Journal.pending t.journal)
+
+let journal_pending t = Journal.pending_count t.journal
+let recovered_intents t = t.recovered
 
 let fetch_nodes t ~to_ n =
   if n < 0 then invalid_arg "Metadata_service.fetch_nodes";

@@ -38,7 +38,25 @@ val alive_count : t -> int
 val commit_nodes : t -> from:Net.host -> int -> unit
 (** [commit_nodes t ~from n] ships [n] freshly created tree nodes from the
     client at [from], spread evenly over the providers and processed in
-    parallel. Blocks until all batches are acknowledged. *)
+    parallel. Blocks until all batches are acknowledged. The commit is
+    journaled: an intent is logged before any batch ships and committed
+    after the last acknowledgement, so a crash mid-commit is recoverable
+    via {!recover_journal}. *)
+
+val arm_crash : t -> unit
+(** One-shot: the next {!commit_nodes} crashes with
+    {!Types.Service_crashed} after journaling its intent and before
+    applying anything. *)
+
+val recover_journal : t -> unit
+(** Roll back every pending commit intent (nothing was applied for them).
+    Idempotent. *)
+
+val journal_pending : t -> int
+(** In-flight commit intents; 0 when quiescent (audited at teardown). *)
+
+val recovered_intents : t -> int
+(** Total intents rolled back by {!recover_journal}. *)
 
 val fetch_nodes : t -> to_:Net.host -> int -> unit
 (** Symmetric read path: retrieve [n] nodes to the client. *)

@@ -9,6 +9,7 @@ type t = {
   mutable provider_list : Data_provider.t list; (* newest first *)
   mutable table : Data_provider.t array;
   mutable cursor : int;
+  mutable degraded_allocs : int;
 }
 
 let create engine net ~host ?(allocate_cost = Types.default_params.allocate_cost) () =
@@ -20,6 +21,7 @@ let create engine net ~host ?(allocate_cost = Types.default_params.allocate_cost
     provider_list = [];
     table = [||];
     cursor = 0;
+    degraded_allocs = 0;
   }
 
 let register t provider =
@@ -38,33 +40,51 @@ let index_of t provider =
   in
   find 0
 
-let allocate t ~from ~count ~replication =
+let host_of t i = Net.host_id (Data_provider.host t.table.(i))
+
+(* Number of distinct hosts backed by at least one live provider — the real
+   fault-isolation bound for replica placement. Counting live *providers*
+   here was the original bug: two providers on one host count as one failure
+   domain, and a crash of that host must not be able to take every copy. *)
+let live_distinct_hosts t =
+  let seen = Hashtbl.create 16 in
+  Array.iteri
+    (fun i p -> if Data_provider.is_alive p then Hashtbl.replace seen (host_of t i) ())
+    t.table;
+  Hashtbl.length seen
+
+let allocate t ~from ~count ~replication ?(allow_degraded = false) () =
   if count < 0 || replication < 1 then invalid_arg "Provider_manager.allocate";
   Net.message t.net ~src:from ~dst:t.host;
   Rate_server.process_many t.server ~ops:count 0;
   let n = Array.length t.table in
-  let live = Array.to_list t.table |> List.filter Data_provider.is_alive |> List.length in
-  if live < replication then raise (Types.Provider_down "not enough live providers");
-  let next_live () =
-    let rec go tries =
-      if tries > n then raise (Types.Provider_down "no live provider")
+  let hosts = live_distinct_hosts t in
+  if hosts = 0 then raise (Types.Provider_down "no live provider");
+  if hosts < replication && not allow_degraded then
+    raise (Types.Provider_down "not enough live failure domains");
+  let want = min replication hosts in
+  (* One bounded sweep of the table per chunk: round-robin from the cursor,
+     skipping dead providers and hosts already holding a copy. Since
+     [want <= hosts], a full sweep always finds [want] distinct hosts. *)
+  let placement_for_chunk () =
+    let rec pick acc used k inspected =
+      if k = 0 || inspected >= n then List.rev acc
       else begin
         let i = t.cursor in
         t.cursor <- (t.cursor + 1) mod n;
-        if Data_provider.is_alive t.table.(i) then i else go (tries + 1)
+        let h = host_of t i in
+        if Data_provider.is_alive t.table.(i) && not (List.mem h used) then
+          pick (i :: acc) (h :: used) (k - 1) (inspected + 1)
+        else pick acc used k (inspected + 1)
       end
     in
-    go 0
-  in
-  let placement_for_chunk () =
-    let rec pick acc k =
-      if k = 0 then List.rev acc
-      else
-        let i = next_live () in
-        if List.mem i acc then pick acc k else pick (i :: acc) (k - 1)
-    in
-    pick [] replication
+    let placement = pick [] [] want 0 in
+    if placement = [] then raise (Types.Provider_down "no live provider");
+    if List.length placement < replication then t.degraded_allocs <- t.degraded_allocs + 1;
+    placement
   in
   let placements = List.init count (fun _ -> placement_for_chunk ()) in
   Net.message t.net ~src:t.host ~dst:from;
   placements
+
+let degraded_allocations t = t.degraded_allocs

@@ -21,9 +21,27 @@ val provider : t -> int -> Data_provider.t
 
 val index_of : t -> Data_provider.t -> int
 
-val allocate : t -> from:Net.host -> count:int -> replication:int -> int list list
-(** [allocate t ~from ~count ~replication] returns, for each of [count]
-    chunks, the indices of [replication] distinct live providers to write
-    to. Blocks for the control round-trip and per-chunk allocation cost.
-    Raises {!Types.Provider_down} when fewer than [replication] providers
-    are alive. *)
+val allocate :
+  t ->
+  from:Net.host ->
+  count:int ->
+  replication:int ->
+  ?allow_degraded:bool ->
+  unit ->
+  int list list
+(** [allocate t ~from ~count ~replication ()] returns, for each of [count]
+    chunks, the indices of [replication] live providers on pairwise
+    {e distinct hosts} (so no single machine crash can take every copy).
+    Blocks for the control round-trip and per-chunk allocation cost.
+
+    When fewer than [replication] distinct hosts are live: raises
+    {!Types.Provider_down} by default; with [~allow_degraded:true] instead
+    places one copy per live host (counted in {!degraded_allocations}),
+    leaving the shortfall to the scrubber. Raises {!Types.Provider_down}
+    when no provider is live at all. *)
+
+val live_distinct_hosts : t -> int
+(** Distinct hosts with at least one live provider. *)
+
+val degraded_allocations : t -> int
+(** Chunks placed with fewer than the requested number of replicas. *)

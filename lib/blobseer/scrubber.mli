@@ -1,0 +1,100 @@
+(** Background scrub & repair: the repository's self-healing loop.
+
+    A scrubber walks every live (blob, version) segment tree, verifies each
+    chunk's replica set against the digest the writer recorded in the
+    descriptor, and repairs what it finds:
+
+    - {e corrupt} copies (payload digest ≠ recorded digest, or recorded ≠
+      descriptor digest) are deleted and replaced;
+    - {e missing} copies (provider dead, or chunk lost with its machine)
+      are re-replicated from a surviving good copy onto live providers on
+      hosts that hold no copy yet.
+
+    Repairs follow a quorum-write policy: the new replica set is published
+    (an in-place, journaled descriptor swap — no new version number) only
+    when good + freshly written copies reach the quorum (default
+    ⌈(replication+1)/2⌉); otherwise the chunk is counted a quorum failure
+    and retried next pass. A chunk with {e zero} good copies is
+    unrepairable — its (blob, version) is reported so the supervisor can
+    pick an older rollback target.
+
+    Structurally shared leaves are repaired once per pass (memoized by
+    descriptor identity) and every referencing site is rewritten to the
+    same new descriptor, so sharing survives repair.
+
+    All scheduling is deterministic: same seed and same fault script give
+    the same scrub/repair event log. *)
+
+open Netsim
+
+type t
+
+type config = {
+  interval : float;  (** seconds between background passes *)
+  quorum : int option;  (** copies required to publish a repair; default majority *)
+}
+
+val default_config : config
+(** 5 s interval, majority quorum. *)
+
+type event =
+  | Scan_started of { at : float; pass : int }
+  | Repaired of {
+      at : float;
+      blob : int;
+      version : int;
+      index : int;
+      bytes : int;  (** logical chunk size *)
+      added : int;  (** fresh copies written *)
+      dropped : int;  (** dead/corrupt replicas removed from the descriptor *)
+    }
+  | Quorum_failed of { at : float; blob : int; version : int; index : int; good : int }
+  | Unrepairable of { at : float; blob : int; version : int; index : int }
+  | Scan_finished of {
+      at : float;
+      pass : int;
+      checked : int;
+      repaired : int;
+      unrepairable : int;
+    }
+
+val pp_event : Format.formatter -> event -> unit
+
+type stats = {
+  passes : int;
+  chunks_checked : int;  (** sites visited across all passes *)
+  repairs : int;  (** descriptors rewritten with a healthy replica set *)
+  repair_bytes : int;  (** bytes re-replicated (repair traffic) *)
+  quorum_failures : int;
+  unrepairable : int;
+}
+
+val create : Client.t -> home:Net.host -> ?config:config -> unit -> t
+(** [home] is the host the scrubber runs on; metadata commits for repaired
+    descriptors are charged from it. *)
+
+val scan : t -> unit
+(** One synchronous scrub pass. Blocks for the simulated cost of repair
+    copies and metadata commits (verification itself is provider-local and
+    free). Safe to call while the background fiber is stopped or between
+    its passes. *)
+
+val start : t -> unit
+(** Spawn the background fiber: one {!scan} every [config.interval]
+    seconds. No-op if already running. *)
+
+val stop : t -> unit
+(** Cancel the background fiber (a pass in progress unwinds). *)
+
+val version_ok : t -> blob:int -> version:int -> bool
+(** [false] iff the most recent pass found an unrepairable (or
+    quorum-failed, or unpublishable) chunk in this snapshot — the
+    supervisor's rollback-target filter. *)
+
+val pins : t -> (int * int) list
+(** (blob, version) pairs currently under repair; the GC must not prune
+    them mid-pass. Empty between passes. *)
+
+val stats : t -> stats
+val events : t -> event list
+(** Chronological scrub/repair log — the replay-determinism subject. *)

@@ -5,8 +5,10 @@
 type replica = { provider : int; chunk : Storage.Content_store.chunk_id }
 
 (** Descriptor stored in segment-tree leaves: where the chunk for this
-    stripe lives and how many bytes of it are meaningful. *)
-type chunk_desc = { size : int; replicas : replica list }
+    stripe lives, how many bytes of it are meaningful, and the content
+    digest computed by the writer — the end-to-end integrity reference
+    every reader and the scrubber verify replicas against. *)
+type chunk_desc = { size : int; digest : int64; replicas : replica list }
 
 (** Tunable service parameters. Costs are in seconds, sizes in bytes. *)
 type params = {
@@ -21,6 +23,9 @@ type params = {
   allocate_cost : float;  (** per-chunk cost at the provider manager *)
   read_retries : int;  (** failover rounds over surviving replicas *)
   retry_backoff : float;  (** base delay between failover rounds, doubled per round *)
+  allow_degraded_writes : bool;
+      (** place fewer than [replication] copies when live distinct hosts run
+          short, leaving repair to the scrubber, instead of failing the write *)
 }
 
 let default_params =
@@ -36,8 +41,14 @@ let default_params =
     allocate_cost = 2e-5;
     read_retries = 3;
     retry_backoff = 0.05;
+    allow_degraded_writes = true;
   }
 
 exception Provider_down of string
 (** Raised when an operation needs a data provider whose machine failed and
     no live replica remains. *)
+
+exception Service_crashed of string
+(** Raised when a metadata-plane service (version manager, metadata
+    provider) crashed mid-operation; the caller must run journal recovery
+    ([restart]) before retrying. *)

@@ -4,9 +4,11 @@ type replica = { provider : int; chunk : Storage.Content_store.chunk_id }
 (** One stored copy of a chunk: which data provider holds it, under which
     content-store id. *)
 
-type chunk_desc = { size : int; replicas : replica list }
+type chunk_desc = { size : int; digest : int64; replicas : replica list }
 (** Descriptor stored in segment-tree leaves: where the chunk for this
-    stripe lives and how many bytes of it are meaningful. *)
+    stripe lives, how many bytes of it are meaningful, and the writer-side
+    {!Simcore.Payload.digest} of the content — the end-to-end integrity
+    reference readers and the scrubber verify replicas against. *)
 
 (** Tunable service parameters. Costs are in seconds, sizes in bytes. *)
 type params = {
@@ -21,6 +23,9 @@ type params = {
   allocate_cost : float;  (** per-chunk cost at the provider manager *)
   read_retries : int;  (** failover rounds over surviving replicas *)
   retry_backoff : float;  (** base delay between failover rounds, doubled per round *)
+  allow_degraded_writes : bool;
+      (** place fewer than [replication] copies when live distinct hosts run
+          short, leaving repair to the scrubber, instead of failing the write *)
 }
 
 val default_params : params
@@ -28,3 +33,8 @@ val default_params : params
 exception Provider_down of string
 (** Raised when an operation needs a data provider whose machine failed and
     no live replica remains. *)
+
+exception Service_crashed of string
+(** Raised when a metadata-plane service (version manager, metadata
+    provider) crashed mid-operation; the caller must run journal recovery
+    ([restart]) before retrying. *)

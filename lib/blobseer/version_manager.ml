@@ -10,6 +10,17 @@ type blob_state = {
   mutable latest : int;
 }
 
+(* Intent records journaled before any state mutation: a crash between the
+   journal append and the final commit leaves a pending intent that
+   [restart] rolls back, so observers see the old state or the new one —
+   never a half-published version. *)
+type intent =
+  | Publish of { blob : int; version : int }
+  | Clone of { src_blob : int; version : int; new_blob : int }
+  | Repair of { blob : int; version : int; index : int }
+
+type crash_point = Before_apply | Mid_apply
+
 type t = {
   engine : Engine.t;
   net : Net.t;
@@ -17,6 +28,10 @@ type t = {
   server : Rate_server.t;
   blobs : (int, blob_state) Hashtbl.t;
   mutable next_blob : int;
+  journal : intent Journal.t;
+  mutable alive : bool;
+  mutable armed : crash_point option;
+  mutable recovered : int;
 }
 
 type Engine.audit_subject += Audit_version_manager of t
@@ -30,6 +45,10 @@ let create engine net ~host ?(publish_cost = Types.default_params.publish_cost) 
       server = Rate_server.create engine ~rate:1e12 ~per_op:publish_cost ~name:"vmanager" ();
       blobs = Hashtbl.create 64;
       next_blob = 0;
+      journal = Journal.create ~name:"vmanager" ();
+      alive = true;
+      armed = None;
+      recovered = 0;
     }
   in
   Engine.register_audit_subject engine (Audit_version_manager t);
@@ -37,8 +56,22 @@ let create engine net ~host ?(publish_cost = Types.default_params.publish_cost) 
 
 let chunk_count ~capacity ~stripe_size = Size.div_ceil capacity stripe_size
 
+let is_alive t = t.alive
+let arm_crash t point = t.armed <- Some point
+
+let maybe_crash t point =
+  match t.armed with
+  | Some p when p = point ->
+      t.armed <- None;
+      t.alive <- false;
+      raise (Types.Service_crashed "vmanager")
+  | _ -> ()
+
+let check_alive t = if not t.alive then raise (Types.Service_crashed "vmanager")
+
 let rpc t ~from f =
   Net.message t.net ~src:from ~dst:t.host;
+  check_alive t;
   let result = f () in
   Net.message t.net ~src:t.host ~dst:from;
   result
@@ -88,8 +121,12 @@ let publish t ~from ~blob ~base tree =
           merge_onto ~latest_tree ~base_tree ~new_tree:tree
       in
       let version = st.latest + 1 in
+      let jid = Journal.append t.journal (Publish { blob; version }) in
+      maybe_crash t Before_apply;
       Hashtbl.replace st.versions version tree;
+      maybe_crash t Mid_apply;
       st.latest <- version;
+      Journal.commit t.journal jid;
       version)
 
 let clone t ~from ~blob ~version =
@@ -97,7 +134,56 @@ let clone t ~from ~blob ~version =
       Rate_server.process t.server 0;
       let st = state t blob in
       let snapshot = Hashtbl.find st.versions version in
-      register_blob t ~capacity:st.info.capacity ~stripe_size:st.info.stripe_size snapshot)
+      let jid =
+        Journal.append t.journal (Clone { src_blob = blob; version; new_blob = t.next_blob })
+      in
+      maybe_crash t Before_apply;
+      let info =
+        register_blob t ~capacity:st.info.capacity ~stripe_size:st.info.stripe_size snapshot
+      in
+      maybe_crash t Mid_apply;
+      Journal.commit t.journal jid;
+      info)
+
+(* Scrubber repair: swap the chunk descriptor of one leaf of one published
+   version in place, without minting a new version number. Journaled like a
+   publication; returns the count of fresh tree nodes so the caller can
+   charge the metadata commit. *)
+let replace_desc t ~blob ~version ~index desc =
+  check_alive t;
+  let st = state t blob in
+  let tree = Hashtbl.find st.versions version in
+  let jid = Journal.append t.journal (Repair { blob; version; index }) in
+  let tree', created = Segment_tree.set_range tree ~start:index [| Some desc |] in
+  Hashtbl.replace st.versions version tree';
+  Journal.commit t.journal jid;
+  created
+
+(* Roll a pending intent back to the pre-mutation state. A pending Publish
+   may or may not have inserted the version root, but can never have bumped
+   [latest] (the bump precedes the journal commit immediately); likewise a
+   pending Clone may have registered the new blob. Repair's apply step is a
+   single atomic leaf swap, so a pending Repair did not mutate. *)
+let rollback t = function
+  | Publish { blob; version } -> (
+      match Hashtbl.find_opt t.blobs blob with
+      | Some st -> if st.latest < version then Hashtbl.remove st.versions version
+      | None -> ())
+  | Clone { new_blob; _ } -> Hashtbl.remove t.blobs new_blob
+  | Repair _ -> ()
+
+let restart t =
+  List.iter
+    (fun (jid, intent) ->
+      rollback t intent;
+      Journal.abort t.journal jid;
+      t.recovered <- t.recovered + 1)
+    (Journal.pending t.journal);
+  t.armed <- None;
+  t.alive <- true
+
+let journal_pending t = Journal.pending_count t.journal
+let recovered_intents t = t.recovered
 
 let drop_version t ~blob ~version =
   let st = state t blob in

@@ -18,6 +18,10 @@ type tree = Types.chunk_desc Segment_tree.t
 
 type blob_info = { blob_id : int; capacity : int; stripe_size : int }
 
+type crash_point =
+  | Before_apply  (** intent journaled, no state touched yet *)
+  | Mid_apply  (** version root inserted, [latest] not yet bumped *)
+
 val create : Engine.t -> Net.t -> host:Net.host -> ?publish_cost:float -> unit -> t
 
 val create_blob : t -> from:Net.host -> capacity:int -> stripe_size:int -> blob_info
@@ -56,6 +60,37 @@ val iter_live_trees : t -> (blob:int -> version:int -> tree -> unit) -> unit
 
 val chunk_count : capacity:int -> stripe_size:int -> int
 (** Number of segment-tree leaves a blob of this shape addresses. *)
+
+(** {1 Crash consistency}
+
+    Every publication, clone and repair journals an intent before mutating
+    state and commits it after. {!arm_crash} plants a one-shot crash at the
+    given point of the next mutation: the service raises
+    {!Types.Service_crashed} and stops serving until {!restart} rolls the
+    pending intent back — after which the old state is intact and the
+    operation can be retried. *)
+
+val is_alive : t -> bool
+val arm_crash : t -> crash_point -> unit
+
+val restart : t -> unit
+(** Journal recovery: roll back every pending intent (removing any
+    half-inserted version root or half-registered clone), then resume
+    serving. Idempotent. *)
+
+val replace_desc : t -> blob:int -> version:int -> index:int -> Types.chunk_desc -> int
+(** Scrubber repair path: journaled in-place swap of one leaf's chunk
+    descriptor in one published version — no new version number is minted.
+    Returns the number of fresh tree nodes created (for the caller's
+    metadata commit). Raises {!Types.Service_crashed} if the service is
+    down. *)
+
+val journal_pending : t -> int
+(** Intents journaled but neither committed nor rolled back; 0 whenever the
+    service is quiescent (audited at teardown). *)
+
+val recovered_intents : t -> int
+(** Total intents rolled back by {!restart} over the service's lifetime. *)
 
 (** {1 Audit views}
 

@@ -21,10 +21,14 @@ let live_chunk_refs service =
         tree ());
   refs
 
-let collect service ~keep_last =
+let collect service ?(pins = []) ~keep_last () =
   if keep_last < 1 then invalid_arg "Gc.collect: keep_last must be >= 1";
   let vm = Client.version_manager service in
-  (* Retention: drop everything but the newest versions of each blob. *)
+  (* Retention: drop everything but the newest versions of each blob —
+     except pinned (blob, version) pairs. Pins close the GC/rollback race:
+     the supervisor pins its committed snapshot sets (it may still roll
+     back to them after a fault) and the scrubber pins versions it is
+     mid-repair on, so neither can be pruned out from under them. *)
   let dropped = ref 0 in
   List.iter
     (fun blob ->
@@ -32,7 +36,7 @@ let collect service ~keep_last =
       let keep_from = List.length versions - keep_last in
       List.iteri
         (fun i version ->
-          if i < keep_from then begin
+          if i < keep_from && not (List.mem (blob, version) pins) then begin
             Version_manager.drop_version vm ~blob ~version;
             incr dropped
           end)

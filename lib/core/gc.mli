@@ -16,9 +16,13 @@ type report = {
   bytes_reclaimed : int;
 }
 
-val collect : Client.t -> keep_last:int -> report
+val collect : Client.t -> ?pins:(int * int) list -> keep_last:int -> unit -> report
 (** Requires [keep_last >= 1]. Runs as a background activity: no simulated
-    time is charged. *)
+    time is charged. [pins] are (blob, version) pairs retention must never
+    drop, whatever their age: the supervisor's live rollback targets
+    ({!Supervisor.rollback_pins}) and versions the scrubber is repairing
+    ({!Blobseer.Scrubber.pins}). Without pins, a collection racing a
+    rollback could prune the very snapshot the supervisor needs next. *)
 
 val live_chunk_refs : Client.t -> (int * int, int) Hashtbl.t
 (** For diagnostics and tests: map from physical chunk identity

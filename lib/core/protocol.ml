@@ -15,6 +15,27 @@ let pp_branch_error ppf e =
   Fmt.pf ppf "branch %d (%s) failed during %s: %s" e.index e.label e.stage
     (Printexc.to_string e.error)
 
+type error_class = [ `Transient | `Unavailable | `Service_crash | `Cancelled | `Fatal ]
+
+(* Recovery dispatch is driven by exception *type*, never by message
+   strings: each class names the remedy, and anything unrecognized is fatal
+   by design (fail loudly rather than retry blindly). *)
+let error_class : exn -> error_class = function
+  | Faults.Injected_error _ | Storage.Disk.Full _ -> `Transient
+  | Blobseer.Types.Provider_down _ -> `Unavailable
+  | Blobseer.Types.Service_crashed _ -> `Service_crash
+  | Engine.Cancelled -> `Cancelled
+  | _ -> `Fatal
+
+let pp_error_class ppf (c : error_class) =
+  Fmt.string ppf
+    (match c with
+    | `Transient -> "transient"
+    | `Unavailable -> "unavailable"
+    | `Service_crash -> "service-crash"
+    | `Cancelled -> "cancelled"
+    | `Fatal -> "fatal")
+
 (* Internal: tags an exception with the protocol stage it escaped from. *)
 exception Staged of string * exn
 

@@ -40,6 +40,18 @@ exception Partial_failure of string
 
 val pp_branch_error : Format.formatter -> branch_error -> unit
 
+(** How a failed branch should be handled. Classification is by exception
+    type — never by matching [Failure] message strings. *)
+type error_class =
+  [ `Transient  (** injected I/O error / disk full: retry in place *)
+  | `Unavailable  (** replicas/providers gone: fail over or degrade *)
+  | `Service_crash  (** metadata-plane crash: run journal recovery, retry *)
+  | `Cancelled  (** the branch's VM/fiber was torn down *)
+  | `Fatal  (** a bug, not a fault — propagate *) ]
+
+val error_class : exn -> error_class
+val pp_error_class : Format.formatter -> error_class -> unit
+
 val global_checkpoint :
   Cluster.t ->
   instances:Approach.instance list ->

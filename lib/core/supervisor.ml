@@ -29,6 +29,9 @@ type event =
   | Failure_detected of { at : float; dead : string list }
   | Recovered of { at : float; attempt : int; resumed_units : int }
   | Abandoned of { at : float; ids : string list }
+  | Journal_recovered of { at : float; intents : int }
+  | Scrubbed of { at : float; repaired : int; unrepairable : int }
+  | Rollback_demoted of { at : float; from_units : int; to_units : int }
 
 type report = {
   finished : bool;
@@ -52,6 +55,9 @@ type t = {
   mutable instances : Approach.instance list;
   mutable snapshots : Approach.snapshot list;
   mutable snapshot_units : int;
+  mutable snapshots_prev : Approach.snapshot list;
+  mutable snapshot_units_prev : int;
+  mutable scrubber : Scrubber.t option;
   mutable units_done : int;
   mutable checkpoints : int;
   mutable recoveries : int;
@@ -121,6 +127,22 @@ let fault_handlers t =
         Net.partition cluster.Cluster.net
           ~side:(fun h -> List.exists (fun g -> g == h) hosts)
           ~until:(now t +. duration));
+    (* Resolve the abstract chunk ordinal against what the provider
+       actually stores right now (sorted ids, mod count), so scripts stay
+       valid whatever the repository holds at injection time. *)
+    silent_corruption =
+      (fun ~provider ~chunk ->
+        let p = Client.data_provider cluster.Cluster.service (provider mod nodes) in
+        match Content_store.ids (Data_provider.store p) with
+        | [] -> ()
+        | ids ->
+            let target = List.nth ids (chunk mod List.length ids) in
+            ignore (Data_provider.corrupt_chunk p ~salt:(provider + chunk) target));
+    crash_commit =
+      (fun ~point ->
+        Version_manager.arm_crash
+          (Client.version_manager cluster.Cluster.service)
+          (if point = 0 then Version_manager.Before_apply else Version_manager.Mid_apply));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -149,6 +171,10 @@ let rec take n = function
 (* Checkpointing *)
 
 let commit_checkpoint t snaps =
+  (* Keep the previous committed set: if the scrubber later finds the new
+     one unrestorable, recovery demotes to this one. *)
+  t.snapshots_prev <- t.snapshots;
+  t.snapshot_units_prev <- t.snapshot_units;
   t.snapshots <- snaps;
   t.snapshot_units <- t.units_done;
   t.checkpoints <- t.checkpoints + 1;
@@ -161,6 +187,33 @@ let commit_checkpoint t snaps =
 let degrade_checkpoint t reason =
   record t (Checkpoint_degraded { at = now t; units = t.units_done; reason });
   trace t (Fmt.str "checkpoint degraded (%s); keeping snapshot at %d units" reason t.snapshot_units)
+
+(* A metadata-plane crash (version manager or metadata service died
+   mid-COMMIT/CLONE) is repaired before any snapshot retry: journal
+   recovery rolls the half-applied publication back, after which the
+   mirror still holds its dirty set and the commit can be redone whole. *)
+let recover_services t partial =
+  let crashed =
+    List.exists
+      (fun (e : Protocol.branch_error) -> Protocol.error_class e.error = `Service_crash)
+      partial.Protocol.failed
+  in
+  if crashed then begin
+    let service = t.cluster.Cluster.service in
+    let vm = Client.version_manager service in
+    let md = Client.metadata_service service in
+    let before =
+      Version_manager.recovered_intents vm + Metadata_service.recovered_intents md
+    in
+    Version_manager.restart vm;
+    Metadata_service.recover_journal md;
+    let intents =
+      Version_manager.recovered_intents vm + Metadata_service.recovered_intents md - before
+    in
+    record t (Journal_recovered { at = now t; intents });
+    trace t (Fmt.str "journal recovery: %d pending intent(s) rolled back" intents)
+  end;
+  crashed
 
 (* A failed snapshot stage can be retried per instance — the guest dumps
    already landed in the file system, only the disk-snapshot step is
@@ -181,6 +234,7 @@ let take_checkpoint t =
       in
       if not snapshot_only then degrade_checkpoint t "dump stage failed"
       else begin
+        ignore (recover_services t partial);
         let retried =
           List.filter_map
             (fun (e : Protocol.branch_error) ->
@@ -347,6 +401,56 @@ let recover t ~dead ~detected_at =
   Protocol.kill_all t.instances;
   t.instances <- [];
   t.recoveries <- t.recoveries + 1;
+  (* The metadata plane must be serving before any restart reads snapshot
+     trees: a crash mid-COMMIT leaves the version manager down with a
+     pending intent until journal recovery rolls it back. *)
+  let service = t.cluster.Cluster.service in
+  if not (Version_manager.is_alive (Client.version_manager service)) then begin
+    let vm = Client.version_manager service in
+    let md = Client.metadata_service service in
+    let before =
+      Version_manager.recovered_intents vm + Metadata_service.recovered_intents md
+    in
+    Version_manager.restart vm;
+    Metadata_service.recover_journal md;
+    let intents =
+      Version_manager.recovered_intents vm + Metadata_service.recovered_intents md - before
+    in
+    record t (Journal_recovered { at = now t; intents });
+    trace t (Fmt.str "journal recovery before restart: %d intent(s) rolled back" intents)
+  end;
+  (* Scrub before choosing the rollback target: the crash may have taken
+     replicas (or silently corrupted them) out of the newest snapshot set.
+     Repairs run now; if a snapshot still has a chunk with zero good
+     copies, demote to the previous committed set. *)
+  (match t.scrubber with
+  | None -> ()
+  | Some scrub ->
+      let before = Scrubber.stats scrub in
+      Scrubber.scan scrub;
+      let after = Scrubber.stats scrub in
+      record t
+        (Scrubbed
+           {
+             at = now t;
+             repaired = after.Scrubber.repairs - before.Scrubber.repairs;
+             unrepairable = after.Scrubber.unrepairable - before.Scrubber.unrepairable;
+           });
+      let snapshot_ok = function
+        | Approach.Blobcr_snapshot { image; version } ->
+            Scrubber.version_ok scrub ~blob:(Client.blob_id image) ~version
+        | Approach.Qcow2_snapshot _ | Approach.Full_snapshot _ -> true
+      in
+      if not (List.for_all snapshot_ok t.snapshots) && t.snapshots_prev <> [] then begin
+        record t
+          (Rollback_demoted
+             { at = now t; from_units = t.snapshot_units; to_units = t.snapshot_units_prev });
+        trace t
+          (Fmt.str "rollback target demoted: snapshot at %d units unrestorable, using %d"
+             t.snapshot_units t.snapshot_units_prev);
+        t.snapshots <- t.snapshots_prev;
+        t.snapshot_units <- t.snapshot_units_prev
+      end);
   match restart_gang t with
   | Error _pending ->
       t.abandoned <- old_ids @ t.abandoned;
@@ -413,6 +517,23 @@ let report t =
 
 let instances t = t.instances
 let cluster t = t.cluster
+let scrubber t = t.scrubber
+
+(* (blob, version) pairs the GC must not prune: both committed snapshot
+   sets (current and the demotion fallback) plus whatever the scrubber is
+   mid-repair on. *)
+let rollback_pins t =
+  let of_snap = function
+    | Approach.Blobcr_snapshot { image; version } -> Some (Client.blob_id image, version)
+    | Approach.Qcow2_snapshot _ | Approach.Full_snapshot _ -> None
+  in
+  let scrub_pins = match t.scrubber with Some s -> Scrubber.pins s | None -> [] in
+  List.sort_uniq
+    (fun (b1, v1) (b2, v2) ->
+      match Int.compare b1 b2 with 0 -> Int.compare v1 v2 | c -> c)
+    (List.filter_map of_snap t.snapshots
+    @ List.filter_map of_snap t.snapshots_prev
+    @ scrub_pins)
 
 let audit t =
   let unaccounted =
@@ -426,7 +547,8 @@ let audit t =
        [ "run ended without finishing and without abandoning instances" ]
      else [])
 
-let run cluster ~kind ?(policy = default_policy) ?on_ready ~id ~gang ~units ~workload () =
+let run cluster ~kind ?(policy = default_policy) ?scrub ?on_ready ~id ~gang ~units ~workload
+    () =
   if gang < 1 then invalid_arg "Supervisor.run: gang must be >= 1";
   if units < 1 then invalid_arg "Supervisor.run: units must be >= 1";
   if policy.checkpoint_interval < 1 then
@@ -443,6 +565,9 @@ let run cluster ~kind ?(policy = default_policy) ?on_ready ~id ~gang ~units ~wor
       instances = [];
       snapshots = [];
       snapshot_units = 0;
+      snapshots_prev = [];
+      snapshot_units_prev = 0;
+      scrubber = None;
       units_done = 0;
       checkpoints = 0;
       recoveries = 0;
@@ -484,7 +609,17 @@ let run cluster ~kind ?(policy = default_policy) ?on_ready ~id ~gang ~units ~wor
   t.segment_start <- now t;
   take_checkpoint t;
   if t.snapshots = [] then failwith "Supervisor.run: initial checkpoint failed";
+  (match scrub with
+  | None -> ()
+  | Some config ->
+      let s =
+        Scrubber.create cluster.Cluster.service ~home:cluster.Cluster.supervisor_host
+          ~config ()
+      in
+      Scrubber.start s;
+      t.scrubber <- Some s);
   (match on_ready with Some f -> f t | None -> ());
   supervise t;
+  (match t.scrubber with Some s -> Scrubber.stop s | None -> ());
   t.done_ <- true;
   report t

@@ -57,6 +57,14 @@ type event =
   | Failure_detected of { at : float; dead : string list }
   | Recovered of { at : float; attempt : int; resumed_units : int }
   | Abandoned of { at : float; ids : string list }
+  | Journal_recovered of { at : float; intents : int }
+      (** metadata-plane journal recovery rolled back half-applied
+          publications before a retry or restart *)
+  | Scrubbed of { at : float; repaired : int; unrepairable : int }
+      (** recovery-time scrub pass over the repository *)
+  | Rollback_demoted of { at : float; from_units : int; to_units : int }
+      (** newest snapshot set found unrestorable; falling back to the
+          previous one *)
 
 type report = {
   finished : bool;  (** all units completed *)
@@ -78,6 +86,7 @@ val run :
   Cluster.t ->
   kind:Approach.kind ->
   ?policy:policy ->
+  ?scrub:Blobseer.Scrubber.config ->
   ?on_ready:(t -> unit) ->
   id:string ->
   gang:int ->
@@ -90,7 +99,13 @@ val run :
     checkpoint before the first unit (recovery always has a snapshot set)
     and a final one after the last. [on_ready] fires after the initial
     deploy + checkpoint — the place to start a fault injector. Must be
-    called from within {!Cluster.run}. *)
+    called from within {!Cluster.run}.
+
+    With [scrub], a background {!Blobseer.Scrubber} runs on the supervisor
+    host for the duration of the run, and every recovery scrubs the
+    repository before picking its rollback target: repairs run first, and
+    a snapshot set that still contains an unrepairable chunk is demoted to
+    the previous committed set ({!event.Rollback_demoted}). *)
 
 val fault_handlers : t -> Faults.handlers
 (** Handlers wiring injector actions onto this cluster: host crashes
@@ -102,6 +117,15 @@ val fault_handlers : t -> Faults.handlers
 val report : t -> report
 val instances : t -> Approach.instance list
 val cluster : t -> Cluster.t
+
+val scrubber : t -> Blobseer.Scrubber.t option
+(** The background scrubber, when [run] was given a [scrub] config. *)
+
+val rollback_pins : t -> (int * int) list
+(** (blob, version) pairs the supervisor may still restart from — both
+    committed snapshot sets — plus versions the scrubber is mid-repair on.
+    Pass to {!Gc.collect} as [pins] so collection cannot prune a needed
+    rollback target (the GC/rollback race). *)
 
 val audit : t -> string list
 (** Invariant check used by the teardown audit: every instance ever

@@ -1,0 +1,216 @@
+open Simcore
+open Blobcr
+open Workloads
+
+(* ------------------------------------------------------------------ *)
+(* Shared chaos harness: a supervised CM1 gang with a background scrubber
+   runs to completion while a fault script corrupts replicas, crashes the
+   version manager mid-COMMIT and crash-stops hosts. Returns everything
+   the callers assert on: the supervisor report, the restart-visible
+   application state (digests of every dumped subdomain file), the scrub
+   log and the client's integrity-failover count. *)
+
+type chaos = {
+  report : Supervisor.report;
+  digests : (string * int64) list;  (** dumped subdomain files, sorted by path *)
+  audit : string list;
+  scrub_stats : Blobseer.Scrubber.stats;
+  scrub_events : Blobseer.Scrubber.event list;
+  integrity_failures : int;
+  injected : Faults.event list;
+}
+
+(* The acceptance scenario: one replica silently corrupted, the version
+   manager crashed mid-apply of its next COMMIT, then a whole machine
+   crash-stopped — restart must ride journal recovery, checksum failover
+   and scrub repair. *)
+let acceptance_script =
+  [
+    { Faults.at = 8.5; action = Faults.Silent_corruption { provider = 1; chunk = 5 } };
+    { Faults.at = 9.0; action = Faults.Crash_commit { point = 1 } };
+    { Faults.at = 18.0; action = Faults.Crash_host 0 };
+  ]
+
+let final_subdomain_digests sup =
+  List.concat_map
+    (fun (inst : Approach.instance) ->
+      let fs = Vmsim.Vm.fs inst.Approach.vm in
+      List.filter_map
+        (fun path ->
+          if String.starts_with ~prefix:"/ckpt/cm1/" path then
+            Some (path, Payload.digest (Vmsim.Guest_fs.read_file fs ~path))
+          else None)
+        (Vmsim.Guest_fs.list_files fs))
+    (Supervisor.instances sup)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let chaos_run (scale : Scale.t) ?script ?(replication = 2)
+    ?(scrub = { Blobseer.Scrubber.interval = 4.0; quorum = None }) ?(gang = 2) ?(units = 12)
+    () =
+  let cal =
+    {
+      scale.Scale.cal with
+      Calibration.blobseer =
+        { scale.Scale.cal.Calibration.blobseer with Blobseer.Types.replication };
+    }
+  in
+  let cluster = Cluster.build ~seed:scale.Scale.seed cal in
+  Cluster.run cluster (fun () ->
+      let workload = Cm1.supervised_workload cluster scale.Scale.cm1_config ~iters_per_unit:1 in
+      let injector = ref None and sup = ref None in
+      let report =
+        Supervisor.run cluster ~kind:Approach.Blobcr ~scrub
+          ~on_ready:(fun s ->
+            sup := Some s;
+            let script =
+              match script with Some f -> f cluster | None -> acceptance_script
+            in
+            injector :=
+              Some
+                (Faults.start cluster.Cluster.engine ~script
+                   ~handlers:(Supervisor.fault_handlers s)))
+          ~id:"dur" ~gang ~units ~workload ()
+      in
+      let injected =
+        match !injector with
+        | Some inj ->
+            Faults.stop inj;
+            Faults.applied inj
+        | None -> []
+      in
+      let sup = Option.get !sup in
+      let scrubber = Option.get (Supervisor.scrubber sup) in
+      {
+        report;
+        digests = final_subdomain_digests sup;
+        audit = Supervisor.audit sup;
+        scrub_stats = Blobseer.Scrubber.stats scrubber;
+        scrub_events = Blobseer.Scrubber.events scrubber;
+        integrity_failures = Blobseer.Client.integrity_failures cluster.Cluster.service;
+        injected;
+      })
+
+let render_scrub_log chaos =
+  String.concat "\n" (List.map (Fmt.str "%a" Blobseer.Scrubber.pp_event) chaos.scrub_events)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep: corruption intensity x replication x scrub interval. *)
+
+type point = {
+  corrupt_weight : int;
+  replication : int;
+  scrub_interval : float;
+  finished : bool;
+  recoveries : int;
+  corruptions : int;  (** silent-corruption events actually applied *)
+  integrity_failovers : int;
+  repairs : int;
+  repair_bytes : int;
+  unrepairable : int;
+  checkpoint_cost : float;
+}
+
+let run_point (scale : Scale.t) ?(progress = fun _ -> ()) ~corrupt_weight ~replication
+    ~scrub_interval () =
+  let horizon =
+    (float_of_int scale.Scale.durability_units
+    *. scale.Scale.cm1_config.Cm1.compute_per_iteration *. 3.0)
+    +. 90.0
+  in
+  (* Host crashes force restarts; corruption eats replicas underneath
+     them. No transient/degrade noise: the sweep isolates the durability
+     path. *)
+  let profile cluster =
+    let rng = Rng.split (Engine.rng cluster.Cluster.engine) in
+    Faults.of_profile ~rng ~mtbf:scale.Scale.durability_mtbf ~horizon
+      ~hosts:(Cluster.node_count cluster)
+      ~providers:(Cluster.node_count cluster)
+      ~weights:(3, 1, 0, 0) ~corrupt_weight ()
+  in
+  let chaos =
+    chaos_run scale ~script:profile ~replication
+      ~scrub:{ Blobseer.Scrubber.interval = scrub_interval; quorum = None }
+      ~gang:scale.Scale.durability_gang ~units:scale.Scale.durability_units ()
+  in
+  let corruptions =
+    List.length
+      (List.filter
+         (fun (e : Faults.event) ->
+           match e.Faults.action with Faults.Silent_corruption _ -> true | _ -> false)
+         chaos.injected)
+  in
+  progress
+    (Fmt.str "  %d fault(s) (%d corruption(s)), %d recover(ies), %d repair(s), finished=%b"
+       (List.length chaos.injected) corruptions chaos.report.Supervisor.recoveries
+       chaos.scrub_stats.Blobseer.Scrubber.repairs chaos.report.Supervisor.finished);
+  {
+    corrupt_weight;
+    replication;
+    scrub_interval;
+    finished = chaos.report.Supervisor.finished;
+    recoveries = chaos.report.Supervisor.recoveries;
+    corruptions;
+    integrity_failovers = chaos.integrity_failures;
+    repairs = chaos.scrub_stats.Blobseer.Scrubber.repairs;
+    repair_bytes = chaos.scrub_stats.Blobseer.Scrubber.repair_bytes;
+    unrepairable = chaos.scrub_stats.Blobseer.Scrubber.unrepairable;
+    checkpoint_cost =
+      (if chaos.report.Supervisor.checkpoints > 0 then
+         chaos.report.Supervisor.checkpoint_time
+         /. float_of_int chaos.report.Supervisor.checkpoints
+       else 0.0);
+  }
+
+let sweep (scale : Scale.t) ?(progress = fun _ -> ()) () =
+  List.concat_map
+    (fun replication ->
+      List.concat_map
+        (fun scrub_interval ->
+          List.map
+            (fun corrupt_weight ->
+              progress
+                (Fmt.str "durability: r=%d scrub=%gs corrupt-weight=%d" replication
+                   scrub_interval corrupt_weight);
+              run_point scale ~progress ~corrupt_weight ~replication ~scrub_interval ())
+            scale.Scale.durability_corrupt_weights)
+        scale.Scale.durability_scrub_intervals)
+    scale.Scale.durability_replications
+
+let series_label r interval = Fmt.str "r=%d scrub=%gs" r interval
+
+let per_series points f =
+  List.filter_map
+    (fun (r, interval) ->
+      match
+        List.filter (fun p -> p.replication = r && p.scrub_interval = interval) points
+      with
+      | [] -> None
+      | ps ->
+          let s = Stats.series (series_label r interval) in
+          List.iter (fun p -> Stats.add s ~x:(float_of_int p.corrupt_weight) ~y:(f p)) ps;
+          Some s)
+    (List.sort_uniq
+       (fun (r1, i1) (r2, i2) ->
+         match Int.compare r1 r2 with 0 -> Float.compare i1 i2 | c -> c)
+       (List.map (fun p -> (p.replication, p.scrub_interval)) points))
+
+let tables (scale : Scale.t) ?progress () =
+  let points = sweep scale ?progress () in
+  [
+    ( "durability",
+      Stats.table ~title:"Restart success under silent corruption (1 = run completed)"
+        ~x_label:"corrupt-weight" ~y_label:"success"
+        (per_series points (fun p -> if p.finished then 1.0 else 0.0)) );
+    ( "durability-repair",
+      Stats.table ~title:"Scrub repair traffic (bytes re-replicated)"
+        ~x_label:"corrupt-weight" ~y_label:"bytes"
+        (per_series points (fun p -> float_of_int p.repair_bytes)) );
+    ( "durability-failover",
+      Stats.table ~title:"Client checksum failovers (corrupt replicas detected on read)"
+        ~x_label:"corrupt-weight" ~y_label:"failovers"
+        (per_series points (fun p -> float_of_int p.integrity_failovers)) );
+    ( "durability-overhead",
+      Stats.table ~title:"Mean committed checkpoint duration under scrub load"
+        ~x_label:"corrupt-weight" ~y_label:"seconds"
+        (per_series points (fun p -> p.checkpoint_cost)) );
+  ]

@@ -1,0 +1,87 @@
+(** Durability sweep: silent corruption × replication × scrub interval.
+
+    Exercises the repository's whole self-healing story end to end: a
+    supervised CM1 gang runs with a background {!Blobseer.Scrubber} while a
+    deterministic injector silently corrupts stored replicas, crashes the
+    version manager mid-COMMIT and crash-stops hosts. Clients detect
+    corrupt replicas by checksum on read and fail over; the scrubber
+    detects and repairs them in place; journal recovery rolls half-applied
+    publications back before any restart. Reported per
+    (corrupt-weight, replication, scrub-interval) cell: restart success,
+    repair traffic, checksum failovers and checkpoint overhead.
+
+    The {!chaos_run} harness is shared with the replay-determinism check
+    ({!Analysis.Determinism}), the [blobcr_lint durability] invariant and
+    the fault-injection tests. *)
+
+open Blobcr
+
+type chaos = {
+  report : Supervisor.report;
+  digests : (string * int64) list;
+      (** digest of every dumped subdomain file across the final gang,
+          keyed and sorted by guest path — the restart-visible application
+          state (byte-identical iff these match) *)
+  audit : string list;  (** supervisor accounting violations (empty = clean) *)
+  scrub_stats : Blobseer.Scrubber.stats;
+  scrub_events : Blobseer.Scrubber.event list;  (** chronological scrub log *)
+  integrity_failures : int;  (** client checksum-mismatch failovers *)
+  injected : Faults.event list;  (** faults actually applied, in order *)
+}
+
+val acceptance_script : Faults.script
+(** Silent corruption at t=8.5, version-manager crash armed mid-apply of
+    the next COMMIT at t=9, host 0 crash-stopped at t=18. *)
+
+val final_subdomain_digests : Supervisor.t -> (string * int64) list
+
+val chaos_run :
+  Scale.t ->
+  ?script:(Cluster.t -> Faults.script) ->
+  ?replication:int ->
+  ?scrub:Blobseer.Scrubber.config ->
+  ?gang:int ->
+  ?units:int ->
+  unit ->
+  chaos
+(** One supervised chaos run on a fresh cluster seeded from the scale.
+    [script] builds the fault script once the cluster exists (default:
+    {!acceptance_script}); [replication] overrides the calibration's chunk
+    replication (default 2); [scrub] is the background scrubber config
+    (default: 4 s passes, majority quorum). Same scale and script ⇒ same
+    outcome, byte for byte. *)
+
+val render_scrub_log : chaos -> string
+(** The scrub event log as one line per event — the replay-determinism
+    subject. *)
+
+type point = {
+  corrupt_weight : int;
+  replication : int;
+  scrub_interval : float;
+  finished : bool;
+  recoveries : int;
+  corruptions : int;
+  integrity_failovers : int;
+  repairs : int;
+  repair_bytes : int;
+  unrepairable : int;
+  checkpoint_cost : float;
+}
+
+val run_point :
+  Scale.t ->
+  ?progress:(string -> unit) ->
+  corrupt_weight:int ->
+  replication:int ->
+  scrub_interval:float ->
+  unit ->
+  point
+
+val sweep : Scale.t -> ?progress:(string -> unit) -> unit -> point list
+
+val tables : Scale.t -> ?progress:(string -> unit) -> unit -> (string * Simcore.Stats.table) list
+(** Named result tables: ["durability"] (restart success),
+    ["durability-repair"] (repair traffic), ["durability-failover"]
+    (client checksum failovers), ["durability-overhead"] (mean committed
+    checkpoint duration). *)

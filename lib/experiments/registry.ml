@@ -106,6 +106,19 @@ let all =
             (Availability.tables scale ~progress ()));
     };
     {
+      id = "durability";
+      paper_ref = "Beyond the paper (Section 3.1.1 replication + durability)";
+      description =
+        "Restart success, scrub repair traffic and checkpoint overhead for supervised CM1 \
+         under silent replica corruption, corruption-weight x replication x scrub-interval \
+         sweep";
+      run =
+        (fun scale ~progress ->
+          List.map
+            (fun (name, table) -> { name; table })
+            (Durability.tables scale ~progress ()));
+    };
+    {
       id = "abl-prefetch";
       paper_ref = "Ablation (Section 3.1.4)";
       description = "Restart time with adaptive prefetching enabled vs disabled";

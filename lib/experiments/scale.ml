@@ -15,6 +15,12 @@ type t = {
   availability_intervals : int list;
   availability_units : int;
   availability_gang : int;
+  durability_corrupt_weights : int list;
+  durability_replications : int list;
+  durability_scrub_intervals : float list;
+  durability_mtbf : float;
+  durability_units : int;
+  durability_gang : int;
 }
 
 let paper =
@@ -40,6 +46,12 @@ let paper =
     availability_intervals = [ 2; 5; 10; 20 ];
     availability_units = 40;
     availability_gang = 4;
+    durability_corrupt_weights = [ 0; 2; 6 ];
+    durability_replications = [ 2; 3 ];
+    durability_scrub_intervals = [ 5.0; 20.0 ];
+    durability_mtbf = 900.0;
+    durability_units = 24;
+    durability_gang = 4;
   }
 
 let quick =
@@ -64,6 +76,12 @@ let quick =
     availability_intervals = [ 2; 4 ];
     availability_units = 8;
     availability_gang = 2;
+    durability_corrupt_weights = [ 0; 4 ];
+    durability_replications = [ 2 ];
+    durability_scrub_intervals = [ 4.0 ];
+    durability_mtbf = 15.0;
+    durability_units = 8;
+    durability_gang = 2;
   }
 
 let find = function

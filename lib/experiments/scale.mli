@@ -21,6 +21,14 @@ type t = {
   availability_intervals : int list;  (** checkpoint intervals, in work units *)
   availability_units : int;  (** work units per availability run *)
   availability_gang : int;  (** instances per supervised gang *)
+  durability_corrupt_weights : int list;
+      (** corruption intensity axis: relative weight of silent-corruption
+          events in the fault profile (0 = none) *)
+  durability_replications : int list;  (** chunk replication degrees swept *)
+  durability_scrub_intervals : float list;  (** background scrub periods, seconds *)
+  durability_mtbf : float;  (** fault inter-arrival mean for durability runs *)
+  durability_units : int;  (** work units per durability run *)
+  durability_gang : int;  (** instances per durability gang *)
 }
 
 val paper : t

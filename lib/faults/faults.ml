@@ -14,6 +14,8 @@ type action =
   | Transient_disk of { target : int; ops : int }
   | Degrade_links of { factor : float; duration : float }
   | Partition of { group : int list; duration : float }
+  | Silent_corruption of { provider : int; chunk : int }
+  | Crash_commit of { point : int }
 
 type event = { at : float; action : action }
 type script = event list
@@ -27,6 +29,9 @@ let pp_action ppf = function
       Fmt.pf ppf "degrade-links x%.2f for %.1fs" factor duration
   | Partition { group; duration } ->
       Fmt.pf ppf "partition {%a} for %.1fs" Fmt.(list ~sep:comma int) group duration
+  | Silent_corruption { provider; chunk } ->
+      Fmt.pf ppf "silent-corruption provider %d chunk %d" provider chunk
+  | Crash_commit { point } -> Fmt.pf ppf "crash-commit point %d" point
 
 let pp_event ppf e = Fmt.pf ppf "t=%.3f %a" e.at pp_action e.action
 
@@ -34,12 +39,12 @@ let pp_event ppf e = Fmt.pf ppf "t=%.3f %a" e.at pp_action e.action
 (* Profile-driven script generation *)
 
 let of_profile ~rng ~mtbf ?(start = 0.0) ~horizon ~hosts ~providers
-    ?(weights = (5, 3, 2, 1)) ?(transient_ops = 3) ?(degrade_factor = 4.0)
-    ?(degrade_duration = 10.0) () =
+    ?(weights = (5, 3, 2, 1)) ?(corrupt_weight = 0) ?(transient_ops = 3)
+    ?(degrade_factor = 4.0) ?(degrade_duration = 10.0) () =
   if mtbf <= 0.0 then invalid_arg "Faults.of_profile: mtbf must be positive";
   if hosts < 1 then invalid_arg "Faults.of_profile: hosts must be positive";
   let wc, wp, wt, wd = weights in
-  let total = wc + wp + wt + wd in
+  let total = wc + wp + wt + wd + corrupt_weight in
   if total <= 0 then invalid_arg "Faults.of_profile: weights sum to zero";
   let pick_action () =
     let roll = Rng.int rng total in
@@ -48,7 +53,14 @@ let of_profile ~rng ~mtbf ?(start = 0.0) ~horizon ~hosts ~providers
       Fail_provider (Rng.int rng (max 1 providers))
     else if roll < wc + wp + wt then
       Transient_disk { target = Rng.int rng hosts; ops = 1 + Rng.int rng transient_ops }
-    else Degrade_links { factor = degrade_factor; duration = degrade_duration }
+    else if roll < wc + wp + wt + wd then
+      Degrade_links { factor = degrade_factor; duration = degrade_duration }
+    else
+      (* [chunk] is an abstract ordinal the handler resolves against the
+         provider's stored-chunk list (mod its length), so the script stays
+         meaningful whatever the store holds at injection time. *)
+      Silent_corruption
+        { provider = Rng.int rng (max 1 providers); chunk = Rng.int rng 1024 }
   in
   let rec go t acc =
     let t = t +. Rng.exponential rng mtbf in
@@ -67,6 +79,8 @@ type handlers = {
   transient_disk : target:int -> ops:int -> unit;
   degrade_links : factor:float -> duration:float -> unit;
   partition : group:int list -> duration:float -> unit;
+  silent_corruption : provider:int -> chunk:int -> unit;
+  crash_commit : point:int -> unit;
 }
 
 let null_handlers =
@@ -77,6 +91,8 @@ let null_handlers =
     transient_disk = (fun ~target:_ ~ops:_ -> ());
     degrade_links = (fun ~factor:_ ~duration:_ -> ());
     partition = (fun ~group:_ ~duration:_ -> ());
+    silent_corruption = (fun ~provider:_ ~chunk:_ -> ());
+    crash_commit = (fun ~point:_ -> ());
   }
 
 type t = {
@@ -92,6 +108,8 @@ let apply handlers = function
   | Transient_disk { target; ops } -> handlers.transient_disk ~target ~ops
   | Degrade_links { factor; duration } -> handlers.degrade_links ~factor ~duration
   | Partition { group; duration } -> handlers.partition ~group ~duration
+  | Silent_corruption { provider; chunk } -> handlers.silent_corruption ~provider ~chunk
+  | Crash_commit { point } -> handlers.crash_commit ~point
 
 let start engine ~script ~handlers =
   (* Stable sort keeps script order for events at equal times. *)

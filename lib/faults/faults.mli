@@ -30,6 +30,13 @@ type action =
       (** scale effective network bandwidth down by [factor] (>= 1) *)
   | Partition of { group : int list; duration : float }
       (** cut the group's hosts off from the rest until healed *)
+  | Silent_corruption of { provider : int; chunk : int }
+      (** flip bytes of one stored replica without any error signal; [chunk]
+          is an ordinal the handler resolves against the provider's stored
+          chunks (mod count), so scripts stay valid whatever is stored *)
+  | Crash_commit of { point : int }
+      (** crash the version manager at crash point [point] (0 = before any
+          state mutation, 1 = mid-apply) of its next publication/clone *)
 
 type event = { at : float; action : action }
 (** [at] is relative to injector start (seconds). *)
@@ -47,6 +54,7 @@ val of_profile :
   hosts:int ->
   providers:int ->
   ?weights:int * int * int * int ->
+  ?corrupt_weight:int ->
   ?transient_ops:int ->
   ?degrade_factor:float ->
   ?degrade_duration:float ->
@@ -55,8 +63,9 @@ val of_profile :
 (** Generate a failure timeline: inter-arrival times are exponential with
     mean [mtbf], starting at [start] (default 0) and stopping at [horizon].
     Each event picks its class by the [weights] quadruple
-    [(crash, provider, transient, degrade)] (default [(5, 3, 2, 1)]) and a
-    uniform target below [hosts] / [providers]. All randomness is drawn
+    [(crash, provider, transient, degrade)] (default [(5, 3, 2, 1)]),
+    extended by [corrupt_weight] (default 0) for {!Silent_corruption}, and
+    a uniform target below [hosts] / [providers]. All randomness is drawn
     from [rng]: the same generator state yields the same script. *)
 
 (** Callbacks through which events reach the simulated platform. Handlers
@@ -69,6 +78,8 @@ type handlers = {
   transient_disk : target:int -> ops:int -> unit;
   degrade_links : factor:float -> duration:float -> unit;
   partition : group:int list -> duration:float -> unit;
+  silent_corruption : provider:int -> chunk:int -> unit;
+  crash_commit : point:int -> unit;
 }
 
 val null_handlers : handlers

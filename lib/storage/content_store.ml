@@ -1,7 +1,11 @@
 open Simcore
 
 type chunk_id = int
-type entry = { payload : Payload.t; mutable refs : int }
+
+(* [digest] is recorded once at [put] time and deliberately NOT refreshed by
+   [corrupt]: it models the checksum the provider wrote alongside the chunk,
+   which silent media corruption does not update. *)
+type entry = { mutable payload : Payload.t; digest : int64; mutable refs : int }
 
 type t = {
   table : (chunk_id, entry) Hashtbl.t;
@@ -14,7 +18,7 @@ let create () = { table = Hashtbl.create 1024; next_id = 0; total_bytes = 0 }
 let put t payload =
   let id = t.next_id in
   t.next_id <- t.next_id + 1;
-  Hashtbl.replace t.table id { payload; refs = 1 };
+  Hashtbl.replace t.table id { payload; digest = Payload.digest payload; refs = 1 };
   t.total_bytes <- t.total_bytes + Payload.length payload;
   id
 
@@ -35,6 +39,15 @@ let decr_ref t id =
   end
 
 let refs t id = match Hashtbl.find_opt t.table id with Some e -> e.refs | None -> 0
+
+let recorded_digest t id =
+  let entry = Hashtbl.find t.table id in
+  entry.digest
+
+let corrupt t id payload =
+  let entry = Hashtbl.find t.table id in
+  t.total_bytes <- t.total_bytes - Payload.length entry.payload + Payload.length payload;
+  entry.payload <- payload
 
 let ids t = Hashtbl.fold (fun id _ acc -> id :: acc) t.table [] |> List.sort compare
 let mem t id = Hashtbl.mem t.table id

@@ -26,6 +26,17 @@ val decr_ref : t -> chunk_id -> unit
 val refs : t -> chunk_id -> int
 (** 0 for dead/unknown chunks. *)
 
+val recorded_digest : t -> chunk_id -> int64
+(** The {!Simcore.Payload.digest} recorded when the chunk was stored. Silent
+    corruption ({!corrupt}) mutates the payload but not this record, so a
+    scrub comparing the two detects the damage. Raises [Not_found] for
+    dead/unknown ids. *)
+
+val corrupt : t -> chunk_id -> Payload.t -> unit
+(** Replace the stored payload in place, keeping the originally recorded
+    digest — models silent media corruption. Raises [Not_found] for
+    dead/unknown ids. *)
+
 val mem : t -> chunk_id -> bool
 
 (** Live chunk ids, ascending (GC sweep enumeration). *)

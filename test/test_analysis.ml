@@ -258,6 +258,12 @@ let test_registry_experiment_deterministic () =
         (Fmt.str "fig5a quick deterministic: %a" Determinism.pp_report report)
         true (Determinism.identical report)
 
+let test_scrub_replay_deterministic () =
+  let report = Determinism.check_scrub_replay ~seed:11 () in
+  Alcotest.(check bool)
+    (Fmt.str "scrub replay deterministic: %a" Determinism.pp_report report)
+    true (Determinism.identical report)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -291,5 +297,7 @@ let () =
             test_compare_runs_catches_nondeterminism;
           Alcotest.test_case "fig5a quick run is deterministic" `Slow
             test_registry_experiment_deterministic;
+          Alcotest.test_case "scrub/repair log replays identically" `Slow
+            test_scrub_replay_deterministic;
         ] );
     ]

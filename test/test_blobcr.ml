@@ -415,7 +415,7 @@ let test_gc_reclaims_obsolete_snapshots () =
           last := Some (Approach.request_checkpoint cluster inst)
         done;
         let before = Blobseer.Client.repository_bytes cluster.Cluster.service in
-        let report = Gc.collect cluster.Cluster.service ~keep_last:1 in
+        let report = Gc.collect cluster.Cluster.service ~keep_last:1 () in
         let after = Blobseer.Client.repository_bytes cluster.Cluster.service in
         (* The newest snapshot must remain fully readable. *)
         let readable =
@@ -443,7 +443,7 @@ let test_gc_keeps_shared_base_chunks () =
         let bench = Synthetic.start inst ~buffer_bytes:mib in
         Synthetic.dump_app bench;
         let snapshot = Approach.request_checkpoint cluster inst in
-        ignore (Gc.collect cluster.Cluster.service ~keep_last:1);
+        ignore (Gc.collect cluster.Cluster.service ~keep_last:1 ());
         Approach.kill inst;
         (* Restart still works: base-image chunks shared with the snapshot
            must have survived the sweep. *)
@@ -453,6 +453,43 @@ let test_gc_keeps_shared_base_chunks () =
         Vm.state inst'.Approach.vm = Vm.Running)
   in
   Alcotest.(check bool) "restart after gc" true boots_after_gc
+
+let test_gc_pins_protect_rollback_target () =
+  let cluster = build () in
+  let report, pinned_bytes, surviving_versions =
+    Cluster.run cluster (fun () ->
+        let inst = fresh_instance cluster Approach.Blobcr ~node_index:0 ~id:"vm0" in
+        let bench = Synthetic.start inst ~buffer_bytes:(2 * mib) in
+        let snaps = ref [] in
+        for _ = 1 to 4 do
+          Synthetic.refill bench;
+          Synthetic.dump_app ~retain:1 bench;
+          snaps := Approach.request_checkpoint cluster inst :: !snaps
+        done;
+        match List.rev !snaps with
+        | Approach.Blobcr_snapshot { image; version = oldest } :: _ ->
+            let blob = Blobseer.Client.blob_id image in
+            (* Pin the oldest snapshot — the rollback target a concurrent
+               recovery may be about to restore — then collect keeping only
+               the newest version. Without the pin this version would be
+               retention's first casualty. *)
+            let report =
+              Gc.collect cluster.Cluster.service ~pins:[ (blob, oldest) ] ~keep_last:1 ()
+            in
+            let p =
+              Blobseer.Client.read image ~from:(Cluster.node cluster 1).Cluster.host
+                ~version:oldest ~offset:0 ~len:(1 * mib)
+            in
+            let vm = Blobseer.Client.version_manager cluster.Cluster.service in
+            (report, Payload.length p, Blobseer.Version_manager.versions vm ~blob)
+        | _ -> Alcotest.fail "expected blobcr snapshots")
+  in
+  (* Intermediate (unpinned, non-newest) versions still get reclaimed. *)
+  Alcotest.(check bool) "unpinned versions dropped" true (report.Gc.versions_dropped >= 2);
+  Alcotest.(check int) "pinned version fully readable" (1 * mib) pinned_bytes;
+  Alcotest.(check bool)
+    "pinned version retained in version manager" true
+    (List.length surviving_versions >= 2)
 
 (* ------------------------------------------------------------------ *)
 (* Determinism *)
@@ -552,6 +589,8 @@ let () =
           Alcotest.test_case "reclaims obsolete snapshots" `Quick
             test_gc_reclaims_obsolete_snapshots;
           Alcotest.test_case "keeps shared base chunks" `Quick test_gc_keeps_shared_base_chunks;
+          Alcotest.test_case "pins protect rollback target" `Quick
+            test_gc_pins_protect_rollback_target;
         ] );
       ( "determinism",
         [

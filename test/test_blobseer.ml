@@ -85,6 +85,63 @@ let test_tree_get_range () =
     "range" [| None; Some 2; Some 3; None |]
     (Segment_tree.get_range t1 ~start:1 ~len:4)
 
+let test_tree_zero_length_write () =
+  let t = Segment_tree.create ~chunks:6 in
+  let t1, _ = Segment_tree.set_range t ~start:1 [| Some 10 |] in
+  (* Zero-length writes are no-ops at any in-range start, including one
+     past the last leaf, and allocate nothing. *)
+  List.iter
+    (fun start ->
+      let t2, created = Segment_tree.set_range t1 ~start [||] in
+      Alcotest.(check int) (Fmt.str "no nodes at %d" start) 0 created;
+      Alcotest.(check (list (pair int int)))
+        (Fmt.str "identical leaves at %d" start)
+        (leaves_list t1) (leaves_list t2))
+    [ 0; 3; 6 ];
+  Alcotest.check_raises "zero-length write past EOF rejected"
+    (Invalid_argument "Segment_tree.set_range") (fun () ->
+      ignore (Segment_tree.set_range t1 ~start:7 [||]))
+
+let test_tree_write_straddles_subtree_boundary () =
+  (* chunks = 8: the root splits at leaf 4; a write covering [3..6) crosses
+     it and must rebuild paths in both halves while leaving the outer
+     leaves shared with the old version. *)
+  let t = Segment_tree.create ~chunks:8 in
+  let v1, _ = Segment_tree.set_range t ~start:0 (Array.init 8 (fun i -> Some i)) in
+  let v2, _ = Segment_tree.set_range v1 ~start:3 [| Some 30; Some 40; Some 50 |] in
+  Alcotest.(check (array (option int)))
+    "straddling write applied"
+    [| Some 0; Some 1; Some 2; Some 30; Some 40; Some 50; Some 6; Some 7 |]
+    (Segment_tree.get_range v2 ~start:0 ~len:8);
+  Alcotest.(check (array (option int)))
+    "old version immutable"
+    (Array.init 8 (fun i -> Some i))
+    (Segment_tree.get_range v1 ~start:0 ~len:8);
+  Alcotest.(check (list (triple int (option int) (option int))))
+    "diff sees exactly the straddling range"
+    [ (3, Some 3, Some 30); (4, Some 4, Some 40); (5, Some 5, Some 50) ]
+    (Segment_tree.diff_leaves v1 v2);
+  Alcotest.(check bool) "untouched subtrees shared" true
+    (Segment_tree.shared_nodes v1 v2 > 0)
+
+let test_tree_lookup_past_eof () =
+  (* A non-power-of-two tree pads its space internally; lookups must still
+     be bounded by the declared chunk count, not the padded one. *)
+  let t = Segment_tree.create ~chunks:5 in
+  let t1, _ = Segment_tree.set_range t ~start:0 (Array.make 5 (Some 1)) in
+  Alcotest.check_raises "get past EOF" (Invalid_argument "Segment_tree.get: index out of range")
+    (fun () -> ignore (Segment_tree.get t1 5));
+  Alcotest.check_raises "get far past EOF"
+    (Invalid_argument "Segment_tree.get: index out of range") (fun () ->
+      ignore (Segment_tree.get t1 7));
+  Alcotest.check_raises "get_range past EOF" (Invalid_argument "Segment_tree.get_range")
+    (fun () -> ignore (Segment_tree.get_range t1 ~start:4 ~len:2));
+  Alcotest.check_raises "set_range past EOF" (Invalid_argument "Segment_tree.set_range")
+    (fun () -> ignore (Segment_tree.set_range t1 ~start:4 [| Some 9; Some 9 |]));
+  Alcotest.(check (array (option int)))
+    "empty range at EOF is fine" [||]
+    (Segment_tree.get_range t1 ~start:5 ~len:0)
+
 (* Property: a segment tree behaves like an array, and old versions are
    immutable under any sequence of range updates. *)
 let prop_tree_matches_array =
@@ -469,6 +526,409 @@ let prop_blob_matches_reference =
           let back = Client.read blob ~from ~version:latest ~offset:0 ~len:1000 in
           Payload.to_string back = Bytes.to_string reference))
 
+(* ------------------------------------------------------------------ *)
+(* Replica placement: failure domains *)
+
+(* A rig where several providers share each physical host — the situation
+   in which naive round-robin would happily co-locate two replicas of the
+   same chunk. *)
+let make_colocated_rig ?(hosts = 2) ?(providers_per_host = 2) ?(replication = 2)
+    ?(allow_degraded = true) ?(stripe = 100) () =
+  let engine = Engine.create () in
+  let net = Net.create engine { Net.default_config with latency = 1e-4 } in
+  let vm_host = Net.add_host net ~name:"vmanager" in
+  let pm_host = Net.add_host net ~name:"pmanager" in
+  let md_hosts = [ Net.add_host net ~name:"meta0" ] in
+  let data =
+    List.concat
+      (List.init hosts (fun h ->
+           let host = Net.add_host net ~name:(Fmt.str "machine%d" h) in
+           List.init providers_per_host (fun k ->
+               (host, Disk.create engine ~name:(Fmt.str "disk%d.%d" h k) ()))))
+  in
+  let client_host = Net.add_host net ~name:"client" in
+  let params =
+    {
+      Types.default_params with
+      stripe_size = stripe;
+      replication;
+      allow_degraded_writes = allow_degraded;
+    }
+  in
+  let service =
+    Client.deploy engine net ~params ~version_manager_host:vm_host
+      ~provider_manager_host:pm_host ~metadata_hosts:md_hosts ~data_providers:data ()
+  in
+  { engine; net; service; client_host }
+
+let replica_hosts service (desc : Types.chunk_desc) =
+  List.map
+    (fun (r : Types.replica) ->
+      Net.host_id (Data_provider.host (Client.data_provider service r.provider)))
+    desc.replicas
+
+let live_descs service blob =
+  let tree = Client.tree blob ~version:(Version_manager.peek_latest
+                                          (Client.version_manager service)
+                                          (Client.blob_id blob)) in
+  Segment_tree.fold_set (fun i d acc -> (i, d) :: acc) tree [] |> List.rev
+
+let test_placement_never_colocates_replicas () =
+  (* 2 machines x 2 providers, replication 2: every chunk must land on both
+     machines, never twice on one — even though 4 providers are live. *)
+  let rig = make_colocated_rig () in
+  let from = rig.client_host in
+  let descs =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let _ = Client.write blob ~from ~offset:0 (payload_str (String.make 1000 'p')) in
+        live_descs rig.service blob)
+  in
+  Alcotest.(check int) "ten chunks" 10 (List.length descs);
+  List.iter
+    (fun (i, desc) ->
+      let hosts = replica_hosts rig.service desc in
+      Alcotest.(check int) (Fmt.str "chunk %d has 2 replicas" i) 2 (List.length hosts);
+      Alcotest.(check bool)
+        (Fmt.str "chunk %d replicas on distinct machines" i)
+        true
+        (List.length (List.sort_uniq compare hosts) = 2))
+    descs
+
+let test_placement_degraded_when_hosts_short () =
+  (* Both providers of machine 1 fail: only one failure domain remains, so
+     replication-2 writes place a single copy and are counted degraded. *)
+  let rig = make_colocated_rig () in
+  let from = rig.client_host in
+  let descs, degraded =
+    run_rig rig (fun () ->
+        Data_provider.fail (Client.data_provider rig.service 2);
+        Data_provider.fail (Client.data_provider rig.service 3);
+        let blob = Client.create_blob rig.service ~from ~capacity:500 in
+        let _ = Client.write blob ~from ~offset:0 (payload_str (String.make 500 'd')) in
+        (live_descs rig.service blob,
+         Provider_manager.degraded_allocations (Client.provider_manager rig.service)))
+  in
+  Alcotest.(check bool) "degraded allocations counted" true (degraded >= 5);
+  List.iter
+    (fun (i, (desc : Types.chunk_desc)) ->
+      Alcotest.(check int) (Fmt.str "chunk %d single copy" i) 1 (List.length desc.replicas))
+    descs
+
+let test_placement_strict_raises_when_hosts_short () =
+  let rig = make_colocated_rig ~allow_degraded:false () in
+  let from = rig.client_host in
+  let raised =
+    run_rig rig (fun () ->
+        Data_provider.fail (Client.data_provider rig.service 2);
+        Data_provider.fail (Client.data_provider rig.service 3);
+        let blob = Client.create_blob rig.service ~from ~capacity:500 in
+        try
+          ignore (Client.write blob ~from ~offset:0 (payload_str (String.make 500 'x')));
+          false
+        with Types.Provider_down _ -> true)
+  in
+  Alcotest.(check bool) "strict placement refuses degraded write" true raised
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end chunk integrity *)
+
+let first_desc service blob = snd (List.hd (live_descs service blob))
+
+let test_read_checksum_failover () =
+  let rig = make_rig ~providers:3 ~replication:2 ~stripe:100 () in
+  let from = rig.client_host in
+  let content = String.make 300 'i' in
+  let back, failures =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let v = Client.write blob ~from ~offset:0 (payload_str content) in
+        (* Silently corrupt the primary copy of the first chunk: the read
+           must detect the digest mismatch and fail over to the replica. *)
+        let desc = first_desc rig.service blob in
+        let r = List.hd desc.Types.replicas in
+        Alcotest.(check bool) "corruption landed" true
+          (Data_provider.corrupt_chunk
+             (Client.data_provider rig.service r.Types.provider)
+             ~salt:7 r.Types.chunk);
+        let back = Payload.to_string (Client.read blob ~from ~version:v ~offset:0 ~len:300) in
+        (back, Client.integrity_failures rig.service))
+  in
+  Alcotest.(check string) "payload intact despite corrupt primary" content back;
+  Alcotest.(check bool) "failover counted" true (failures >= 1)
+
+let test_read_all_copies_corrupt_raises () =
+  let rig = make_rig ~providers:3 ~replication:2 ~stripe:100 () in
+  let from = rig.client_host in
+  let raised =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let v = Client.write blob ~from ~offset:0 (payload_str (String.make 100 'c')) in
+        let desc = first_desc rig.service blob in
+        List.iter
+          (fun (r : Types.replica) ->
+            ignore
+              (Data_provider.corrupt_chunk
+                 (Client.data_provider rig.service r.provider)
+                 ~salt:9 r.chunk))
+          desc.Types.replicas;
+        (* Every copy fails verification: a corrupt replica is a failed
+           replica, so the read ends in the same typed error as total
+           replica loss — never silently returned garbage. *)
+        try
+          ignore (Client.read blob ~from ~version:v ~offset:0 ~len:100);
+          false
+        with Types.Provider_down _ -> true)
+  in
+  Alcotest.(check bool) "typed failure, no garbage" true raised
+
+(* ------------------------------------------------------------------ *)
+(* Journaled publication: crash points and recovery *)
+
+let test_publish_crash_before_apply_rolls_back () =
+  let rig = make_rig ~stripe:100 () in
+  let from = rig.client_host in
+  let ok =
+    run_rig rig (fun () ->
+        let vm = Client.version_manager rig.service in
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let v1 = Client.write blob ~from ~offset:0 (payload_str (String.make 100 'a')) in
+        Version_manager.arm_crash vm Version_manager.Before_apply;
+        let crashed =
+          try
+            ignore (Client.write blob ~from ~offset:0 (payload_str (String.make 100 'b')));
+            false
+          with Types.Service_crashed _ -> true
+        in
+        Alcotest.(check bool) "publish crashed" true crashed;
+        Alcotest.(check bool) "service down" false (Version_manager.is_alive vm);
+        Alcotest.(check int) "intent pending" 1 (Version_manager.journal_pending vm);
+        Version_manager.restart vm;
+        Alcotest.(check int) "journal quiescent" 0 (Version_manager.journal_pending vm);
+        Alcotest.(check int) "one intent recovered" 1 (Version_manager.recovered_intents vm);
+        (* Nothing half-published: latest still v1, and a fresh write gets
+           the next version as if the crashed attempt never happened. *)
+        Alcotest.(check int) "latest unchanged" v1 (Client.latest_version blob ~from);
+        let v2 = Client.write blob ~from ~offset:0 (payload_str (String.make 100 'c')) in
+        Alcotest.(check int) "dense versions" (v1 + 1) v2;
+        Payload.to_string (Client.read blob ~from ~version:v2 ~offset:0 ~len:100)
+        = String.make 100 'c')
+  in
+  Alcotest.(check bool) "retry publishes cleanly" true ok
+
+let test_publish_crash_mid_apply_rolls_back () =
+  let rig = make_rig ~stripe:100 () in
+  let from = rig.client_host in
+  let ok =
+    run_rig rig (fun () ->
+        let vm = Client.version_manager rig.service in
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let v1 = Client.write blob ~from ~offset:0 (payload_str (String.make 100 'a')) in
+        let crashed =
+          Version_manager.arm_crash vm Version_manager.Mid_apply;
+          try
+            ignore (Client.write blob ~from ~offset:0 (payload_str (String.make 100 'b')));
+            false
+          with Types.Service_crashed _ -> true
+        in
+        Alcotest.(check bool) "publish crashed mid-apply" true crashed;
+        Version_manager.restart vm;
+        (* The half-inserted version was rolled back: reading the version
+           after latest must fail, and the version list stays dense. *)
+        Alcotest.(check int) "latest unchanged" v1 (Client.latest_version blob ~from);
+        Alcotest.(check (list int))
+          "no orphan version"
+          (List.init (v1 + 1) Fun.id)
+          (Version_manager.versions vm ~blob:(Client.blob_id blob));
+        let v2 = Client.write blob ~from ~offset:0 (payload_str (String.make 100 'c')) in
+        Payload.to_string (Client.read blob ~from ~version:v2 ~offset:0 ~len:100)
+        = String.make 100 'c')
+  in
+  Alcotest.(check bool) "recovered and republished" true ok
+
+let test_clone_crash_rolls_back () =
+  let rig = make_rig ~stripe:100 () in
+  let from = rig.client_host in
+  let ok =
+    run_rig rig (fun () ->
+        let vm = Client.version_manager rig.service in
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let v1 = Client.write blob ~from ~offset:0 (payload_str (String.make 100 'a')) in
+        let blobs_before = List.length (Version_manager.blob_ids vm) in
+        Version_manager.arm_crash vm Version_manager.Mid_apply;
+        let crashed =
+          try
+            ignore (Client.clone blob ~from ~version:v1);
+            false
+          with Types.Service_crashed _ -> true
+        in
+        Alcotest.(check bool) "clone crashed" true crashed;
+        Version_manager.restart vm;
+        Alcotest.(check int) "no half-registered blob" blobs_before
+          (List.length (Version_manager.blob_ids vm));
+        (* Retried clone works and reads the snapshot back (the fork
+           rebases the snapshot as its own version 0). *)
+        let fork = Client.clone blob ~from ~version:v1 in
+        Payload.to_string (Client.read fork ~from ~version:0 ~offset:0 ~len:100)
+        = String.make 100 'a')
+  in
+  Alcotest.(check bool) "clone retried after recovery" true ok
+
+let test_metadata_crash_recovery () =
+  let rig = make_rig ~stripe:100 () in
+  let from = rig.client_host in
+  let ok =
+    run_rig rig (fun () ->
+        let md = Client.metadata_service rig.service in
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let v1 = Client.write blob ~from ~offset:0 (payload_str (String.make 100 'a')) in
+        Metadata_service.arm_crash md;
+        let crashed =
+          try
+            ignore (Client.write blob ~from ~offset:0 (payload_str (String.make 100 'b')));
+            false
+          with Types.Service_crashed _ -> true
+        in
+        Alcotest.(check bool) "metadata commit crashed" true crashed;
+        Alcotest.(check int) "intent pending" 1 (Metadata_service.journal_pending md);
+        Metadata_service.recover_journal md;
+        Alcotest.(check int) "journal quiescent" 0 (Metadata_service.journal_pending md);
+        (* The version was never published — latest is still v1 — and the
+           repository keeps serving. *)
+        Alcotest.(check int) "latest unchanged" v1 (Client.latest_version blob ~from);
+        let v2 = Client.write blob ~from ~offset:0 (payload_str (String.make 100 'c')) in
+        Payload.to_string (Client.read blob ~from ~version:v2 ~offset:0 ~len:100)
+        = String.make 100 'c')
+  in
+  Alcotest.(check bool) "metadata recovered" true ok
+
+(* ------------------------------------------------------------------ *)
+(* Scrub & repair *)
+
+let all_replicas_verify service blob =
+  List.for_all
+    (fun (_, (desc : Types.chunk_desc)) ->
+      List.for_all
+        (fun (r : Types.replica) ->
+          Data_provider.verify_chunk (Client.data_provider service r.provider) r.chunk)
+        desc.replicas)
+    (live_descs service blob)
+
+let test_scrubber_repairs_corrupt_replica () =
+  let rig = make_rig ~providers:3 ~replication:2 ~stripe:100 () in
+  let from = rig.client_host in
+  let content = String.make 300 's' in
+  let repaired_ok =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let v = Client.write blob ~from ~offset:0 (payload_str content) in
+        let desc = first_desc rig.service blob in
+        let r = List.hd desc.Types.replicas in
+        ignore
+          (Data_provider.corrupt_chunk
+             (Client.data_provider rig.service r.Types.provider)
+             ~salt:3 r.Types.chunk);
+        let scrub = Scrubber.create rig.service ~home:rig.client_host () in
+        Scrubber.scan scrub;
+        let stats = Scrubber.stats scrub in
+        Alcotest.(check int) "one repair" 1 stats.Scrubber.repairs;
+        Alcotest.(check int) "repair traffic = one chunk" 100 stats.Scrubber.repair_bytes;
+        Alcotest.(check int) "nothing unrepairable" 0 stats.Scrubber.unrepairable;
+        Alcotest.(check bool) "version restorable" true
+          (Scrubber.version_ok scrub ~blob:(Client.blob_id blob) ~version:v);
+        Alcotest.(check bool) "pins released between passes" true (Scrubber.pins scrub = []);
+        (* After repair every copy verifies locally and the read sees the
+           original bytes without needing a failover. *)
+        Alcotest.(check bool) "all replicas verify" true (all_replicas_verify rig.service blob);
+        let back = Payload.to_string (Client.read blob ~from ~version:v ~offset:0 ~len:300) in
+        Alcotest.(check int) "no failover needed" 0 (Client.integrity_failures rig.service);
+        back = content)
+  in
+  Alcotest.(check bool) "repaired in place" true repaired_ok
+
+let test_scrubber_re_replicates_lost_copies () =
+  let rig = make_rig ~providers:4 ~replication:2 ~stripe:100 () in
+  let from = rig.client_host in
+  let ok =
+    run_rig rig (fun () ->
+        let blob = Client.create_blob rig.service ~from ~capacity:1000 in
+        let v = Client.write blob ~from ~offset:0 (payload_str (String.make 800 'l')) in
+        (* A machine dies with its provider: every chunk it held is now
+           under-replicated until the scrubber re-replicates. *)
+        Data_provider.fail (Client.data_provider rig.service 0);
+        let scrub = Scrubber.create rig.service ~home:rig.client_host () in
+        Scrubber.scan scrub;
+        let stats = Scrubber.stats scrub in
+        Alcotest.(check bool) "some chunks re-replicated" true (stats.Scrubber.repairs > 0);
+        (* Every descriptor now references live, distinct-host, verifying
+           replicas at full replication. *)
+        List.iter
+          (fun (i, (desc : Types.chunk_desc)) ->
+            Alcotest.(check int) (Fmt.str "chunk %d back to 2 copies" i) 2
+              (List.length desc.replicas);
+            let hosts = replica_hosts rig.service desc in
+            Alcotest.(check bool) (Fmt.str "chunk %d distinct hosts" i) true
+              (List.length (List.sort_uniq compare hosts) = 2);
+            List.iter
+              (fun (r : Types.replica) ->
+                Alcotest.(check bool) (Fmt.str "chunk %d replica alive" i) true
+                  (Data_provider.is_alive (Client.data_provider rig.service r.provider)))
+              desc.replicas)
+          (live_descs rig.service blob);
+        Payload.to_string (Client.read blob ~from ~version:v ~offset:0 ~len:800)
+        = String.make 800 'l')
+  in
+  Alcotest.(check bool) "healed to full replication" true ok
+
+let test_scrubber_unrepairable_reported () =
+  let rig = make_rig ~providers:3 ~replication:1 ~stripe:100 () in
+  let from = rig.client_host in
+  run_rig rig (fun () ->
+      let blob = Client.create_blob rig.service ~from ~capacity:300 in
+      let v = Client.write blob ~from ~offset:0 (payload_str (String.make 100 'u')) in
+      let desc = first_desc rig.service blob in
+      let r = List.hd desc.Types.replicas in
+      ignore
+        (Data_provider.corrupt_chunk
+           (Client.data_provider rig.service r.Types.provider)
+           ~salt:5 r.Types.chunk);
+      let scrub = Scrubber.create rig.service ~home:rig.client_host () in
+      Scrubber.scan scrub;
+      let stats = Scrubber.stats scrub in
+      Alcotest.(check int) "unrepairable chunk counted" 1 stats.Scrubber.unrepairable;
+      Alcotest.(check int) "no repair possible" 0 stats.Scrubber.repairs;
+      Alcotest.(check bool) "version flagged unrestorable" false
+        (Scrubber.version_ok scrub ~blob:(Client.blob_id blob) ~version:v);
+      Alcotest.(check bool) "unrepairable event logged" true
+        (List.exists
+           (function Scrubber.Unrepairable _ -> true | _ -> false)
+           (Scrubber.events scrub)))
+
+let test_scrubber_quorum_failure_defers_repair () =
+  (* Replication 3 on 3 machines with one dead: 2 good copies remain and no
+     spare failure domain exists, so a quorum of 3 cannot be met — the
+     chunk stays degraded and is retried, not force-published. *)
+  let rig = make_rig ~providers:3 ~replication:3 ~stripe:100 () in
+  let from = rig.client_host in
+  run_rig rig (fun () ->
+      let blob = Client.create_blob rig.service ~from ~capacity:300 in
+      let v = Client.write blob ~from ~offset:0 (payload_str (String.make 100 'q')) in
+      Data_provider.fail (Client.data_provider rig.service 0);
+      let scrub =
+        Scrubber.create rig.service ~home:rig.client_host
+          ~config:{ Scrubber.interval = 5.0; quorum = Some 3 } ()
+      in
+      Scrubber.scan scrub;
+      let stats = Scrubber.stats scrub in
+      Alcotest.(check bool) "quorum failures counted" true (stats.Scrubber.quorum_failures > 0);
+      Alcotest.(check int) "nothing published" 0 stats.Scrubber.repairs;
+      Alcotest.(check bool) "version held back from rollback" false
+        (Scrubber.version_ok scrub ~blob:(Client.blob_id blob) ~version:v);
+      (* The surviving copies still serve reads. *)
+      Alcotest.(check bool) "data still readable" true
+        (Payload.to_string (Client.read blob ~from ~version:v ~offset:0 ~len:100)
+        = String.make 100 'q'))
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests
 
 let () =
@@ -485,6 +945,10 @@ let () =
           Alcotest.test_case "noop set shares all" `Quick test_tree_noop_set_shares_all;
           Alcotest.test_case "diff leaves" `Quick test_tree_diff_leaves;
           Alcotest.test_case "get_range" `Quick test_tree_get_range;
+          Alcotest.test_case "zero-length writes" `Quick test_tree_zero_length_write;
+          Alcotest.test_case "write straddles subtree boundary" `Quick
+            test_tree_write_straddles_subtree_boundary;
+          Alcotest.test_case "lookups past EOF" `Quick test_tree_lookup_past_eof;
         ]
         @ qsuite [ prop_tree_matches_array ] );
       ( "client",
@@ -514,4 +978,38 @@ let () =
           Alcotest.test_case "open blob by id" `Quick test_open_blob_by_id;
         ]
         @ qsuite [ prop_blob_matches_reference ] );
+      ( "placement",
+        [
+          Alcotest.test_case "never co-locates replicas" `Quick
+            test_placement_never_colocates_replicas;
+          Alcotest.test_case "degraded when hosts short" `Quick
+            test_placement_degraded_when_hosts_short;
+          Alcotest.test_case "strict mode raises when hosts short" `Quick
+            test_placement_strict_raises_when_hosts_short;
+        ] );
+      ( "integrity",
+        [
+          Alcotest.test_case "checksum mismatch fails over" `Quick test_read_checksum_failover;
+          Alcotest.test_case "all copies corrupt raises typed error" `Quick
+            test_read_all_copies_corrupt_raises;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "publish crash before apply" `Quick
+            test_publish_crash_before_apply_rolls_back;
+          Alcotest.test_case "publish crash mid apply" `Quick
+            test_publish_crash_mid_apply_rolls_back;
+          Alcotest.test_case "clone crash rolls back" `Quick test_clone_crash_rolls_back;
+          Alcotest.test_case "metadata crash recovery" `Quick test_metadata_crash_recovery;
+        ] );
+      ( "scrubber",
+        [
+          Alcotest.test_case "repairs corrupt replica" `Quick
+            test_scrubber_repairs_corrupt_replica;
+          Alcotest.test_case "re-replicates lost copies" `Quick
+            test_scrubber_re_replicates_lost_copies;
+          Alcotest.test_case "unrepairable reported" `Quick test_scrubber_unrepairable_reported;
+          Alcotest.test_case "quorum failure defers repair" `Quick
+            test_scrubber_quorum_failure_defers_repair;
+        ] );
     ]

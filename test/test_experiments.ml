@@ -133,6 +133,27 @@ let test_registry_runs_everything () =
             outputs)
     [ "fig4"; "table1" ]
 
+let test_durability_sweep_smoke () =
+  (* One cell per (corrupt-weight, replication, scrub-interval) at quick
+     scale: the corruption-free cell must finish and never trip a checksum
+     failover; the corrupting cell must actually inject corruption. *)
+  let points = Durability.sweep scale () in
+  Alcotest.(check int) "cells"
+    (List.length scale.Scale.durability_corrupt_weights
+    * List.length scale.Scale.durability_replications
+    * List.length scale.Scale.durability_scrub_intervals)
+    (List.length points);
+  let clean = List.find (fun p -> p.Durability.corrupt_weight = 0) points in
+  Alcotest.(check bool) "corruption-free cell finished" true clean.Durability.finished;
+  Alcotest.(check int) "no corruption, no checksum failovers" 0
+    clean.Durability.integrity_failovers;
+  List.iter
+    (fun (p : Durability.point) ->
+      Alcotest.(check bool) "checkpoint cost positive" true (p.Durability.checkpoint_cost > 0.0);
+      if p.Durability.corrupt_weight > 0 then
+        Alcotest.(check bool) "corruption injected" true (p.Durability.corruptions > 0))
+    points
+
 let test_sweep_is_deterministic () =
   let p1 =
     Synthetic_sweep.run_point scale ~combo:(combo "BlobCR-app") ~n:2
@@ -171,6 +192,8 @@ let () =
         ] );
       ( "table1-shapes",
         [ Alcotest.test_case "blcr dumps bigger than app" `Slow test_cm1_blcr_bigger_than_app ] );
+      ( "durability",
+        [ Alcotest.test_case "sweep smoke" `Slow test_durability_sweep_smoke ] );
       ( "harness",
         [
           Alcotest.test_case "registry runs" `Slow test_registry_runs_everything;

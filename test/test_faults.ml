@@ -377,6 +377,56 @@ let test_chaos_recovery_replay_deterministic () =
   Alcotest.(check bool) "same trace" true (trace1 = trace2)
 
 (* ------------------------------------------------------------------ *)
+(* Durability acceptance: a crash injected mid-COMMIT plus one silently
+   corrupted replica; the supervised restart must restore byte-identical
+   application state via journal recovery, checksum failover and scrub
+   repair — deterministically under a fixed seed. *)
+
+let durability_scale = { Experiments.Scale.quick with Experiments.Scale.seed = 42 }
+
+let test_durability_chaos_acceptance () =
+  let chaos = Experiments.Durability.chaos_run durability_scale () in
+  let report = chaos.Experiments.Durability.report in
+  Alcotest.(check bool) "finished" true report.Supervisor.finished;
+  Alcotest.(check bool) "recovered at least once" true (report.Supervisor.recoveries >= 1);
+  let journal_intents =
+    List.fold_left
+      (fun acc -> function
+        | Supervisor.Journal_recovered { intents; _ } -> acc + intents
+        | _ -> acc)
+      0 report.Supervisor.events
+  in
+  Alcotest.(check bool) "journal recovery rolled back a pending intent" true
+    (journal_intents >= 1);
+  Alcotest.(check bool) "scrubber repaired corrupted or lost replicas" true
+    (chaos.Experiments.Durability.scrub_stats.Blobseer.Scrubber.repairs > 0);
+  Alcotest.(check (list string)) "supervisor invariants clean" []
+    chaos.Experiments.Durability.audit;
+  (* Byte-identical to a fault-free run of the same workload: recovery
+     re-executed exactly the lost units on exactly the rolled-back state. *)
+  let clean = Experiments.Durability.chaos_run durability_scale ~script:(fun _ -> []) () in
+  Alcotest.(check bool) "clean run finished" true
+    clean.Experiments.Durability.report.Supervisor.finished;
+  Alcotest.(check bool) "final state byte-identical to fault-free run" true
+    (List.map snd chaos.Experiments.Durability.digests
+    = List.map snd clean.Experiments.Durability.digests)
+
+let test_durability_chaos_replay_deterministic () =
+  let capture () =
+    let chaos, trace =
+      Trace.capture (fun () -> Experiments.Durability.chaos_run durability_scale ())
+    in
+    ( Experiments.Durability.render_scrub_log chaos,
+      List.map snd chaos.Experiments.Durability.digests,
+      trace )
+  in
+  let log1, digests1, trace1 = capture () in
+  let log2, digests2, trace2 = capture () in
+  Alcotest.(check string) "same scrub/repair log" log1 log2;
+  Alcotest.(check bool) "same final state" true (digests1 = digests2);
+  Alcotest.(check bool) "same trace" true (trace1 = trace2)
+
+(* ------------------------------------------------------------------ *)
 (* Availability sweep smoke *)
 
 let test_availability_smoke () =
@@ -429,6 +479,10 @@ let () =
       ( "supervisor",
         [
           Alcotest.test_case "chaos recovery end to end" `Quick test_chaos_recovery_end_to_end;
+          Alcotest.test_case "durability chaos acceptance" `Quick
+            test_durability_chaos_acceptance;
+          Alcotest.test_case "durability replay deterministic" `Quick
+            test_durability_chaos_replay_deterministic;
           Alcotest.test_case "chaos replay deterministic" `Quick
             test_chaos_recovery_replay_deterministic;
         ] );
