@@ -35,6 +35,33 @@ let run_experiment scale csv_dir id =
       (* lint: allow wall-clock — bench measures real elapsed time *)
       Printf.printf "(experiment wall time: %.1fs)\n\n%!" (Unix.gettimeofday () -. t0)
 
+(* The dedup experiment additionally persists its raw points as
+   BENCH_dedup.json at the repo root, so the numbers (bytes shipped,
+   repository growth, commit latency, dup-heavy vs unique) are tracked
+   alongside the code. *)
+let run_dedup scale scale_name csv_dir =
+  let e = Option.get (Experiments.Registry.find "dedup") in
+  Printf.printf "### %s — %s\n    %s\n\n%!" e.Experiments.Registry.id
+    e.Experiments.Registry.paper_ref e.Experiments.Registry.description;
+  let t0 = Unix.gettimeofday () in (* lint: allow wall-clock — bench measures real elapsed time *)
+  let points = Experiments.Dedup_bench.run scale ~progress () in
+  List.iter
+    (fun (name, table) ->
+      print_string (Stats.render table);
+      print_newline ();
+      match csv_dir with
+      | Some dir ->
+          let path = Stats.write_csv ~dir ~name table in
+          Printf.printf "(csv written to %s)\n\n%!" path
+      | None -> ())
+    (Experiments.Dedup_bench.tables_of points);
+  let oc = open_out "BENCH_dedup.json" in
+  output_string oc (Experiments.Dedup_bench.json_of ~scale_name points);
+  close_out oc;
+  Printf.printf "(points written to BENCH_dedup.json)\n";
+  (* lint: allow wall-clock — bench measures real elapsed time *)
+  Printf.printf "(experiment wall time: %.1fs)\n\n%!" (Unix.gettimeofday () -. t0)
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core data structures *)
 
@@ -135,27 +162,33 @@ let micro () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec parse scale csv ids = function
+  let rec parse named csv ids = function
     | "--scale" :: s :: rest -> (
         match Experiments.Scale.find s with
-        | Some scale -> parse scale csv ids rest
+        | Some scale -> parse (s, scale) csv ids rest
         | None ->
             Printf.eprintf "unknown scale %S (paper|quick)\n" s;
             exit 2)
-    | "--csv" :: dir :: rest -> parse scale (Some dir) ids rest
-    | id :: rest -> parse scale csv (id :: ids) rest
-    | [] -> (scale, csv, List.rev ids)
+    | "--csv" :: dir :: rest -> parse named (Some dir) ids rest
+    | id :: rest -> parse named csv (id :: ids) rest
+    | [] -> (named, csv, List.rev ids)
   in
-  let scale, csv_dir, ids = parse Experiments.Scale.paper None [] args in
+  let (scale_name, scale), csv_dir, ids =
+    parse ("paper", Experiments.Scale.paper) None [] args
+  in
   let experiment_ids = [ "fig2a"; "fig2b"; "fig4"; "fig5a"; "fig6"; "table1" ] in
   let ablation_ids = [ "abl-prefetch"; "abl-stripe"; "abl-replication"; "abl-incremental" ] in
   let expand = function "ablations" -> ablation_ids | id -> [ id ] in
   let ids = List.concat_map expand ids in
+  let run_one = function
+    | "dedup" -> run_dedup scale scale_name csv_dir
+    | "micro" -> micro ()
+    | id -> run_experiment scale csv_dir id
+  in
   match ids with
   | [] ->
       (* Full regeneration: fig2a/fig2b emit fig3a/fig3b too, fig5a emits
          fig5b, so the six runs below cover all nine paper artifacts. *)
       List.iter (run_experiment scale csv_dir) experiment_ids;
       micro ()
-  | [ "micro" ] -> micro ()
-  | ids -> List.iter (run_experiment scale csv_dir) ids
+  | ids -> List.iter run_one ids

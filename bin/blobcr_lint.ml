@@ -249,7 +249,9 @@ let run_all root seed =
   let inv = stage "invariants" (fun () -> run_invariants ()) in
   let det =
     stage "determinism" (fun () ->
-        run_determinism ("quick", Experiments.Scale.quick) seed "fig5a")
+        let fig = run_determinism ("quick", Experiments.Scale.quick) seed "fig5a" in
+        let ded = run_determinism ("quick", Experiments.Scale.quick) seed "dedup" in
+        if fig = 0 && ded = 0 then 0 else 1)
   in
   let dur =
     stage "durability" (fun () -> run_durability ("quick", Experiments.Scale.quick) seed)

@@ -177,9 +177,19 @@ let audit_client c =
   let vm = Client.version_manager c in
   let site_violations = ref [] in
   let seen_descs : (Types.chunk_desc, unit) Hashtbl.t = Hashtbl.create 256 in
+  (* Live logical references per content digest: distinct descriptor
+     serials, counted across every live tree — the ground truth the dedup
+     index's refcounts are audited against. *)
+  let live_refs : (int64, int) Hashtbl.t = Hashtbl.create 256 in
+  let seen_serials : (int64 * int, unit) Hashtbl.t = Hashtbl.create 256 in
   Version_manager.iter_live_trees vm (fun ~blob ~version tree ->
       Segment_tree.fold_set
         (fun index (desc : Types.chunk_desc) () ->
+          if not (Hashtbl.mem seen_serials (desc.digest, desc.serial)) then begin
+            Hashtbl.replace seen_serials (desc.digest, desc.serial) ();
+            Hashtbl.replace live_refs desc.digest
+              (1 + Option.value ~default:0 (Hashtbl.find_opt live_refs desc.digest))
+          end;
           if not (Hashtbl.mem seen_descs desc) then begin
             Hashtbl.replace seen_descs desc ();
             let where = Fmt.str "blob %d v%d chunk %d" blob version index in
@@ -214,6 +224,22 @@ let audit_client c =
               desc.replicas
           end)
         tree ());
+  (* Dedup refcount parity: each index entry's logical refcount must
+     equal the number of distinct descriptor serials carrying its digest
+     across the live trees (0 for an entry registered by a write whose
+     publication never landed). Maintained by publication-time increments
+     and GC reconciliation; drift means references leaked or were lost. *)
+  let dedup_violations =
+    List.filter_map
+      (fun (digest, refs, _size, _replicas) ->
+        let live = Option.value ~default:0 (Hashtbl.find_opt live_refs digest) in
+        if refs <> live then
+          Some
+            (v subject "dedup-refcount" "digest %Lx: index refcount %d, %d live reference(s)"
+               digest refs live)
+        else None)
+      (Dedup_index.view (Provider_manager.dedup_index (Client.provider_manager c)))
+  in
   let journal =
     (let n = Version_manager.journal_pending vm in
      if n <> 0 then
@@ -225,7 +251,7 @@ let audit_client c =
       [ v subject "journal-quiescent" "metadata journal holds %d pending intent(s)" n ]
     else []
   in
-  List.rev !site_violations @ journal
+  List.rev !site_violations @ dedup_violations @ journal
 
 (* ------------------------------------------------------------------ *)
 (* Supervisor accounting audit: every instance the supervisor ever

@@ -9,6 +9,7 @@ type t = {
   pm : Provider_manager.t;
   md : Metadata_service.t;
   mutable integrity_failures : int;
+  mutable next_serial : int;
 }
 
 type blob = { service : t; info : Version_manager.blob_info }
@@ -39,9 +40,18 @@ let deploy engine net ?(params = Types.default_params) ~version_manager_host
            ~request_overhead:params.request_overhead
            ~name:(Fmt.str "provider.%d" i) ()))
     data_providers;
-  let t = { engine; net; params; vm; pm; md; integrity_failures = 0 } in
+  let t = { engine; net; params; vm; pm; md; integrity_failures = 0; next_serial = 0 } in
+  Version_manager.set_dedup_index vm (Provider_manager.dedup_index pm);
   Engine.register_audit_subject engine (Audit_client t);
   t
+
+(* Descriptor identity: distinguishes descriptors that reference the same
+   physical replicas through the dedup index (see {!Types.chunk_desc}).
+   Minting order follows the deterministic fiber schedule. *)
+let fresh_serial t =
+  let s = t.next_serial in
+  t.next_serial <- s + 1;
+  s
 
 let engine t = t.engine
 let net t = t.net
@@ -53,6 +63,7 @@ let version_manager t = t.vm
 let metadata_service t = t.md
 let provider_manager t = t.pm
 let integrity_failures t = t.integrity_failures
+let dedup_stats t = Dedup_index.stats (Provider_manager.dedup_index t.pm)
 
 let repository_bytes t =
   Array.fold_left
@@ -187,6 +198,162 @@ let overlay base ~at patch =
       Payload.sub base ~pos:(at + plen) ~len:(Payload.length base - at - plen);
     ]
 
+type write_stats = {
+  chunks_total : int;
+  chunks_shipped : int;
+  chunks_deduped : int;
+  chunks_suppressed : int;
+  bytes_shipped : int;
+  bytes_deduped : int;
+  bytes_suppressed : int;
+}
+
+let empty_write_stats =
+  {
+    chunks_total = 0;
+    chunks_shipped = 0;
+    chunks_deduped = 0;
+    chunks_suppressed = 0;
+    bytes_shipped = 0;
+    bytes_deduped = 0;
+    bytes_suppressed = 0;
+  }
+
+let add_write_stats a b =
+  {
+    chunks_total = a.chunks_total + b.chunks_total;
+    chunks_shipped = a.chunks_shipped + b.chunks_shipped;
+    chunks_deduped = a.chunks_deduped + b.chunks_deduped;
+    chunks_suppressed = a.chunks_suppressed + b.chunks_suppressed;
+    bytes_shipped = a.bytes_shipped + b.bytes_shipped;
+    bytes_deduped = a.bytes_deduped + b.bytes_deduped;
+    bytes_suppressed = a.bytes_suppressed + b.bytes_suppressed;
+  }
+
+(* Store [content] on every provider of [placement], replicas of one chunk
+   in parallel to distinct providers. *)
+let ship_replicas t ~from content placement =
+  Parallel.map_windowed t.engine ~window:(List.length placement)
+    (fun provider_index ->
+      let provider = data_provider t provider_index in
+      let chunk = Data_provider.write_chunk provider ~from content in
+      ({ provider = provider_index; chunk } : Types.replica))
+    placement
+
+(* The pipelined dedup-aware write core. Each job is (chunk index, thunk
+   producing the full extent-sized chunk content); jobs stream through the
+   client's write window, so for one chunk the content production (e.g. a
+   local-disk read on the commit path), the digest, the dedup lookup and
+   the replica writes overlap with other chunks' stages. Per chunk:
+
+   - with [suppress_clean], content whose digest equals the base version's
+     descriptor (a clean rewrite) publishes nothing at all;
+   - with [params.dedup], the digest is resolved at the provider manager
+     in the control round trip that would otherwise allocate a placement:
+     a hit references the existing replicas (zero bytes moved), a miss
+     writes the placement and registers the fresh replicas, releasing the
+     in-flight claim on failure so concurrent identical writers retry.
+
+   Returns the minted descriptors (absent for suppressed chunks) and the
+   shipped/deduped/suppressed accounting. *)
+let write_chunk_core b ~from ~base_tree ~suppress_clean jobs =
+  let t = b.service in
+  let descs : (int, Types.chunk_desc) Hashtbl.t = Hashtbl.create (List.length jobs) in
+  let shipped = ref 0 and deduped = ref 0 and suppressed = ref 0 in
+  let shipped_b = ref 0 and deduped_b = ref 0 and suppressed_b = ref 0 in
+  let finish_desc i ~size ~digest replicas =
+    Hashtbl.replace descs i { Types.serial = fresh_serial t; size; digest; replicas }
+  in
+  let one (i, produce) () =
+    let content = produce () in
+    let size = Payload.length content in
+    if size <> chunk_extent b i then invalid_arg "Client: chunk content size mismatch";
+    let digest = Payload.digest content in
+    let clean =
+      suppress_clean
+      &&
+      match Segment_tree.get base_tree i with
+      | Some (d : Types.chunk_desc) -> d.digest = digest && d.size = size
+      | None -> digest = Payload.digest (Payload.zero size)
+    in
+    if clean then begin
+      incr suppressed;
+      suppressed_b := !suppressed_b + size
+    end
+    else if t.params.dedup then begin
+      match
+        Provider_manager.resolve_or_allocate t.pm ~from ~digest ~size
+          ~replication:t.params.replication
+          ~allow_degraded:t.params.allow_degraded_writes ()
+      with
+      | Provider_manager.Dedup replicas ->
+          incr deduped;
+          deduped_b := !deduped_b + size;
+          finish_desc i ~size ~digest replicas
+      | Provider_manager.Fresh placement ->
+          let replicas =
+            try ship_replicas t ~from content placement
+            with e ->
+              (* Release the claim so writers waiting on this digest stop
+                 blocking and retry (one of them claims). *)
+              Provider_manager.abandon_dedup t.pm ~digest;
+              raise e
+          in
+          Provider_manager.commit_dedup t.pm ~digest ~size ~replicas;
+          incr shipped;
+          shipped_b := !shipped_b + size;
+          finish_desc i ~size ~digest replicas
+    end
+    else begin
+      let placement =
+        List.hd
+          (Provider_manager.allocate t.pm ~from ~count:1 ~replication:t.params.replication
+             ~allow_degraded:t.params.allow_degraded_writes ())
+      in
+      let replicas = ship_replicas t ~from content placement in
+      incr shipped;
+      shipped_b := !shipped_b + size;
+      finish_desc i ~size ~digest replicas
+    end
+  in
+  Parallel.windowed t.engine ~window:t.params.write_window (List.map one jobs);
+  ( descs,
+    {
+      chunks_total = List.length jobs;
+      chunks_shipped = !shipped;
+      chunks_deduped = !deduped;
+      chunks_suppressed = !suppressed;
+      bytes_shipped = !shipped_b;
+      bytes_deduped = !deduped_b;
+      bytes_suppressed = !suppressed_b;
+    } )
+
+(* Fold minted descriptors into the base tree (one set_range per contiguous
+   range of touched chunks), charge the metadata commit and publish. *)
+let publish_descs b ~from ~base ~base_tree descs =
+  let t = b.service in
+  let chunk_ids = Hashtbl.fold (fun i _ acc -> i :: acc) descs [] |> List.sort compare in
+  let rec ranges = function
+    | [] -> []
+    | i :: rest ->
+        let rec extend j = function
+          | k :: more when k = j + 1 -> extend k more
+          | more -> (j, more)
+        in
+        let j, more = extend i rest in
+        (i, j) :: ranges more
+  in
+  let tree, created =
+    List.fold_left
+      (fun (tree, created) (lo, hi) ->
+        let leaves = Array.init (hi - lo + 1) (fun k -> Some (Hashtbl.find descs (lo + k))) in
+        let tree, c = Segment_tree.set_range tree ~start:lo leaves in
+        (tree, created + c))
+      (base_tree, 0) (ranges chunk_ids)
+  in
+  if created > 0 then Metadata_service.commit_nodes t.md ~from created;
+  Version_manager.publish t.vm ~from ~blob:(blob_id b) ~base tree
+
 let write_multi b ~from ?base runs =
   let t = b.service in
   List.iter
@@ -227,11 +394,6 @@ let write_multi b ~from ?base runs =
   if chunk_ids = [] then
     Version_manager.publish t.vm ~from ~blob:(blob_id b) ~base base_tree
   else begin
-    let count = List.length chunk_ids in
-    let placements =
-      Provider_manager.allocate t.pm ~from ~count ~replication:t.params.replication
-        ~allow_degraded:t.params.allow_degraded_writes ()
-    in
     let content_for i =
       let extent = chunk_extent b i in
       let segs = List.rev (Hashtbl.find patches i) in
@@ -241,47 +403,28 @@ let write_multi b ~from ?base runs =
           let old = current_chunk_content b ~from base_tree i in
           List.fold_left (fun acc (at, patch) -> overlay acc ~at patch) old segs
     in
-    let descs = Hashtbl.create count in
-    let write_chunk i placement () =
-      let content = content_for i in
-      let store provider_index =
-        let provider = data_provider t provider_index in
-        let chunk = Data_provider.write_chunk provider ~from content in
-        ({ provider = provider_index; chunk } : Types.replica)
-      in
-      (* Replicas of one chunk are written in parallel to distinct
-         providers. *)
-      let replicas =
-        Parallel.map_windowed t.engine ~window:(List.length placement) store placement
-      in
-      Hashtbl.replace descs i
-        { Types.size = Payload.length content; digest = Payload.digest content; replicas }
-    in
-    Parallel.windowed t.engine ~window:t.params.write_window
-      (List.map2 write_chunk chunk_ids placements);
-    (* Fold the descriptors into the tree, one set_range per contiguous
-       range of touched chunks. *)
-    let rec ranges = function
-      | [] -> []
-      | i :: rest ->
-          let rec extend j = function
-            | k :: more when k = j + 1 -> extend k more
-            | more -> (j, more)
-          in
-          let j, more = extend i rest in
-          (i, j) :: ranges more
-    in
-    let tree, created =
-      List.fold_left
-        (fun (tree, created) (lo, hi) ->
-          let leaves = Array.init (hi - lo + 1) (fun k -> Some (Hashtbl.find descs (lo + k))) in
-          let tree, c = Segment_tree.set_range tree ~start:lo leaves in
-          (tree, created + c))
-        (base_tree, 0) (ranges chunk_ids)
-    in
-    Metadata_service.commit_nodes t.md ~from created;
-    Version_manager.publish t.vm ~from ~blob:(blob_id b) ~base tree
+    let jobs = List.map (fun i -> (i, fun () -> content_for i)) chunk_ids in
+    let descs, _stats = write_chunk_core b ~from ~base_tree ~suppress_clean:false jobs in
+    publish_descs b ~from ~base ~base_tree descs
   end
+
+let write_chunks b ~from ?base ?(suppress_clean = false) jobs =
+  List.iter
+    (fun (i, _) ->
+      if i < 0 || i >= total_chunks b then invalid_arg "Client.write_chunks: chunk out of range")
+    jobs;
+  let rec check_dups = function
+    | i :: (j :: _ as rest) ->
+        if i = j then invalid_arg "Client.write_chunks: duplicate chunk";
+        check_dups rest
+    | _ -> ()
+  in
+  check_dups (List.sort compare (List.map fst jobs));
+  let base = match base with Some v -> v | None -> latest_version b ~from in
+  let base_tree = fetch_tree b ~from ~version:base in
+  let descs, stats = write_chunk_core b ~from ~base_tree ~suppress_clean jobs in
+  let version = publish_descs b ~from ~base ~base_tree descs in
+  (version, stats)
 
 let write b ~from ?base ~offset payload = write_multi b ~from ?base [ (offset, payload) ]
 
@@ -290,21 +433,11 @@ let clone b ~from ~version =
   let info = Version_manager.clone t.vm ~from ~blob:(blob_id b) ~version in
   { service = t; info }
 
-let tree b ~version =
-  match
-    List.find_opt (fun v -> v = version) (versions b)
-  with
-  | None -> raise Not_found
-  | Some _ ->
-      (* Direct metadata access, free of simulated cost. *)
-      let t = b.service in
-      let find () =
-        let result = ref None in
-        Version_manager.iter_live_trees t.vm (fun ~blob ~version:v tr ->
-            if blob = blob_id b && v = version then result := Some tr);
-        Option.get !result
-      in
-      find ()
+(* Direct metadata access, free of simulated cost: O(1) in the number of
+   live versions and blobs (this sits under the chunk_identity /
+   delta_bytes / distinct_bytes hot loops). Raises [Not_found] for
+   dropped or never-published versions. *)
+let tree b ~version = Version_manager.peek_tree b.service.vm ~blob:(blob_id b) ~version
 
 let version_bytes b ~version =
   let tr = tree b ~version in

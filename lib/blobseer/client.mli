@@ -84,8 +84,54 @@ val read : blob -> from:Net.host -> version:int -> offset:int -> len:int -> Payl
 val write_multi : blob -> from:Net.host -> ?base:int -> (int * Payload.t) list -> int
 (** [write_multi blob ~from runs] stores several discontiguous
     [(offset, payload)] runs and publishes them as a {e single} new
-    version — the mirroring module's [COMMIT]: one incremental snapshot no
-    matter how scattered the dirty chunks are. Runs must not overlap. *)
+    version — one incremental snapshot no matter how scattered the dirty
+    chunks are. Runs must not overlap.
+
+    With [params.dedup] (the default) every chunk's content digest is
+    resolved at the provider manager before placement: chunks whose
+    content is already stored reference the existing replicas and ship
+    zero bytes. Chunks stream through the client write window, so content
+    production, digesting, dedup lookups and replica writes of different
+    chunks overlap. *)
+
+(** Per-write accounting returned by {!write_chunks}: how many chunks
+    (and payload bytes) were physically shipped, satisfied by the dedup
+    index, or suppressed as clean rewrites. *)
+type write_stats = {
+  chunks_total : int;
+  chunks_shipped : int;
+  chunks_deduped : int;
+  chunks_suppressed : int;
+  bytes_shipped : int;
+  bytes_deduped : int;
+  bytes_suppressed : int;
+}
+
+val empty_write_stats : write_stats
+val add_write_stats : write_stats -> write_stats -> write_stats
+
+val write_chunks :
+  blob ->
+  from:Net.host ->
+  ?base:int ->
+  ?suppress_clean:bool ->
+  (int * (unit -> Payload.t)) list ->
+  int * write_stats
+(** [write_chunks blob ~from jobs] publishes one new version from
+    whole-chunk jobs [(chunk index, content thunk)] — the mirroring
+    module's pipelined [COMMIT] path. Thunks run {e inside} the write
+    window, so per-chunk content production (e.g. the local-disk read of
+    a dirty chunk) is pipelined with digesting, dedup resolution and
+    replica writes of other chunks; each thunk must return exactly the
+    chunk's extent. With [~suppress_clean:true], a chunk whose content
+    digest equals the base version's descriptor (or all-zero content on
+    an unwritten leaf) is dropped from the update entirely — a clean
+    rewrite publishes no new descriptor and ships nothing. Chunk indices
+    must be distinct. *)
+
+val dedup_stats : t -> Dedup_index.stats
+(** Deployment-wide dedup counters (hits, misses, bytes saved, live index
+    entries). *)
 
 val read_chunk : blob -> from:Net.host -> version:int -> chunk:int -> Payload.t
 (** Fetch exactly one chunk (zeros if unwritten); chunk-granular metadata

@@ -45,3 +45,46 @@ val live_distinct_hosts : t -> int
 
 val degraded_allocations : t -> int
 (** Chunks placed with fewer than the requested number of replicas. *)
+
+(** {1 Content-addressed deduplication}
+
+    The provider manager owns the deployment's {!Dedup_index}. Writers
+    resolve each chunk's content digest in the same control round trip
+    that would otherwise allocate a placement: a {!Dedup} outcome hands
+    back validated existing replicas (the write moves no data), a
+    {!Fresh} outcome is a normal placement plus an in-flight claim that
+    the writer must settle with {!commit_dedup} or {!abandon_dedup}. *)
+
+(** Per-chunk outcome of {!resolve_or_allocate}. *)
+type chunk_alloc =
+  | Dedup of Types.replica list
+      (** Identical content already stored on these replicas (all live,
+          present and content-verified against the digest). *)
+  | Fresh of int list
+      (** No valid copy: write to these provider indices, then settle the
+          claim. *)
+
+val resolve_or_allocate :
+  t ->
+  from:Net.host ->
+  digest:int64 ->
+  size:int ->
+  replication:int ->
+  ?allow_degraded:bool ->
+  unit ->
+  chunk_alloc
+(** One control round trip covering dedup lookup and (on miss) placement.
+    Blocks while another writer holds an in-flight claim on the same
+    digest, then resolves against that writer's outcome. Placement and
+    degraded-write semantics are those of {!allocate}. *)
+
+val commit_dedup : t -> digest:int64 -> size:int -> replicas:Types.replica list -> unit
+(** Register freshly written replicas under their digest and release the
+    in-flight claim. Piggybacks on the write acknowledgement: no separate
+    simulated cost. *)
+
+val abandon_dedup : t -> digest:int64 -> unit
+(** Release an in-flight claim after a failed write (waiters retry). *)
+
+val dedup_index : t -> Dedup_index.t
+(** The deployment's index (GC reconciliation, scrub repair, audits). *)

@@ -175,10 +175,13 @@ let re_replicate t ~good ~need =
 
 (* One scrub pass: walk every live (blob, version) tree, verify every
    chunk's replica set, and repair under the quorum policy. Sites are
-   collected first (repairs mutate the trees we walk); repairs are memoized
-   by the descriptor's physical identity so structurally shared leaves are
-   repaired once and every referencing site is rewritten to the same new
-   descriptor. *)
+   collected first (repairs mutate the trees we walk); repair work is
+   memoized by the chunk's physical identity — (digest, replica set) — so
+   a chunk referenced by many descriptors (structurally shared leaves,
+   dedup'd descriptors with distinct serials) is re-replicated once, and
+   every referencing site is rewritten to the repaired replica set while
+   keeping its own descriptor serial. The dedup index is repointed at the
+   repaired replicas so future hits reference healthy copies. *)
 let scan t =
   let service = t.service in
   let vm = Client.version_manager service in
@@ -202,15 +205,21 @@ let scan t =
       (List.filter_map
          (fun (blob, version, _, desc) -> if damaged desc then Some (blob, version) else None)
          sites);
-  let repaired_memo : (Types.chunk_desc, Types.chunk_desc option) Hashtbl.t =
+  (* Repair work memo, keyed by the chunk's physical identity: every
+     descriptor carrying the same digest over the same replica set shares
+     one data-plane repair (and one repair_bytes charge), whatever its
+     serial. *)
+  let repaired_memo : (int64 * Types.replica list, Types.replica list option) Hashtbl.t =
     Hashtbl.create 64
   in
+  let dedup = Provider_manager.dedup_index (Client.provider_manager service) in
   let repaired_count = ref 0 and unrepairable_count = ref 0 in
   let bad_sites = ref [] in
   let replication = (Client.params service).Types.replication in
   let repair_desc (desc : Types.chunk_desc) =
-    (* Returns [Some new_desc] when the site must be rewritten, [None] when
-       the descriptor stays (healthy, quorum failure, or unrepairable). *)
+    (* Returns [`Repaired] with the healthy replica set when the site must
+       be rewritten; otherwise the descriptor stays (healthy, quorum
+       failure, or unrepairable). *)
     let good = List.filter (replica_good service desc) desc.replicas in
     let corrupt = List.filter (replica_corrupt service desc) desc.replicas in
     (* Reclaim detectably corrupt copies regardless of repair outcome. *)
@@ -229,42 +238,45 @@ let scan t =
         t.repairs <- t.repairs + 1;
         t.repair_bytes <- t.repair_bytes + (desc.size * List.length fresh);
         `Repaired
-          ( { desc with replicas = good @ fresh },
-            List.length fresh,
-            List.length desc.replicas - List.length good )
+          (good @ fresh, List.length fresh, List.length desc.replicas - List.length good)
       end
     end
   in
   List.iter
     (fun (blob, version, index, (desc : Types.chunk_desc)) ->
       t.chunks_checked <- t.chunks_checked + 1;
+      let key = (desc.digest, desc.replicas) in
       let outcome =
-        match Hashtbl.find_opt repaired_memo desc with
-        | Some (Some new_desc) -> `Rewrite new_desc
+        match Hashtbl.find_opt repaired_memo key with
+        | Some (Some replicas) -> `Rewrite { desc with Types.replicas }
         | Some None -> `Skip
         | None -> (
             match repair_desc desc with
             | `Healthy ->
-                Hashtbl.add repaired_memo desc None;
+                Hashtbl.add repaired_memo key None;
                 `Skip
             | `Unrepairable ->
-                Hashtbl.add repaired_memo desc None;
+                Hashtbl.add repaired_memo key None;
                 incr unrepairable_count;
                 t.unrepairable <- t.unrepairable + 1;
                 record t (Unrepairable { at = now t; blob; version; index });
                 `Lost
             | `Quorum_failed good ->
-                Hashtbl.add repaired_memo desc None;
+                Hashtbl.add repaired_memo key None;
                 t.quorum_failures <- t.quorum_failures + 1;
                 record t (Quorum_failed { at = now t; blob; version; index; good });
                 `Lost
-            | `Repaired (new_desc, added, dropped) ->
-                Hashtbl.add repaired_memo desc (Some new_desc);
+            | `Repaired (replicas, added, dropped) ->
+                Hashtbl.add repaired_memo key (Some replicas);
+                (* Keep the content-addressed index pointing at healthy
+                   copies: future dedup hits must reference the repaired
+                   replica set, not the damaged one. *)
+                Dedup_index.update_replicas dedup ~digest:desc.digest ~replicas;
                 incr repaired_count;
                 record t
                   (Repaired
                      { at = now t; blob; version; index; bytes = desc.size; added; dropped });
-                `Rewrite new_desc)
+                `Rewrite { desc with Types.replicas })
       in
       match outcome with
       | `Skip -> ()

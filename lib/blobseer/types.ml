@@ -7,8 +7,11 @@ type replica = { provider : int; chunk : Storage.Content_store.chunk_id }
 (** Descriptor stored in segment-tree leaves: where the chunk for this
     stripe lives, how many bytes of it are meaningful, and the content
     digest computed by the writer — the end-to-end integrity reference
-    every reader and the scrubber verify replicas against. *)
-type chunk_desc = { size : int; digest : int64; replicas : replica list }
+    every reader and the scrubber verify replicas against. [serial] is a
+    client-minted identity distinguishing descriptors that reference the
+    same physical replicas through the dedup index; the refcount audit
+    counts distinct serials per digest. *)
+type chunk_desc = { serial : int; size : int; digest : int64; replicas : replica list }
 
 (** Tunable service parameters. Costs are in seconds, sizes in bytes. *)
 type params = {
@@ -26,6 +29,10 @@ type params = {
   allow_degraded_writes : bool;
       (** place fewer than [replication] copies when live distinct hosts run
           short, leaving repair to the scrubber, instead of failing the write *)
+  dedup : bool;
+      (** consult the provider manager's content-addressed index before
+          allocating placements: a digest hit reuses the existing replicas
+          (zero data movement), a miss writes and registers the chunk *)
 }
 
 let default_params =
@@ -42,6 +49,7 @@ let default_params =
     read_retries = 3;
     retry_backoff = 0.05;
     allow_degraded_writes = true;
+    dedup = true;
   }
 
 exception Provider_down of string

@@ -4,11 +4,14 @@ type replica = { provider : int; chunk : Storage.Content_store.chunk_id }
 (** One stored copy of a chunk: which data provider holds it, under which
     content-store id. *)
 
-type chunk_desc = { size : int; digest : int64; replicas : replica list }
+type chunk_desc = { serial : int; size : int; digest : int64; replicas : replica list }
 (** Descriptor stored in segment-tree leaves: where the chunk for this
     stripe lives, how many bytes of it are meaningful, and the writer-side
     {!Simcore.Payload.digest} of the content — the end-to-end integrity
-    reference readers and the scrubber verify replicas against. *)
+    reference readers and the scrubber verify replicas against. [serial]
+    is a client-minted identity distinguishing descriptors that reference
+    the same physical replicas through the dedup index; the refcount audit
+    counts distinct serials per digest. *)
 
 (** Tunable service parameters. Costs are in seconds, sizes in bytes. *)
 type params = {
@@ -26,6 +29,10 @@ type params = {
   allow_degraded_writes : bool;
       (** place fewer than [replication] copies when live distinct hosts run
           short, leaving repair to the scrubber, instead of failing the write *)
+  dedup : bool;
+      (** consult the provider manager's content-addressed index before
+          allocating placements: a digest hit reuses the existing replicas
+          (zero data movement), a miss writes and registers the chunk *)
 }
 
 val default_params : params

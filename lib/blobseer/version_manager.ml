@@ -32,6 +32,7 @@ type t = {
   mutable alive : bool;
   mutable armed : crash_point option;
   mutable recovered : int;
+  mutable dedup : Dedup_index.t option;
 }
 
 type Engine.audit_subject += Audit_version_manager of t
@@ -49,10 +50,13 @@ let create engine net ~host ?(publish_cost = Types.default_params.publish_cost) 
       alive = true;
       armed = None;
       recovered = 0;
+      dedup = None;
     }
   in
   Engine.register_audit_subject engine (Audit_version_manager t);
   t
+
+let set_dedup_index t index = t.dedup <- Some index
 
 let chunk_count ~capacity ~stripe_size = Size.div_ceil capacity stripe_size
 
@@ -101,8 +105,7 @@ let get_tree t ~from ~blob ~version =
 (* Merge a stale-based update onto the current latest tree: every leaf the
    writer changed relative to its base wins; everything else keeps the
    latest content. *)
-let merge_onto ~latest_tree ~base_tree ~new_tree =
-  let changes = Segment_tree.diff_leaves base_tree new_tree in
+let merge_onto ~latest_tree ~changes =
   List.fold_left
     (fun acc (i, _old, fresh) ->
       let tree, _created = Segment_tree.set_range acc ~start:i [| fresh |] in
@@ -113,12 +116,15 @@ let publish t ~from ~blob ~base tree =
   rpc t ~from (fun () ->
       Rate_server.process t.server 0;
       let st = state t blob in
+      let base_tree = Hashtbl.find st.versions base in
+      (* The writer's own changes relative to its base: exactly what a
+         stale-based merge lands, and exactly what reference counting
+         must see (leaves other writers changed since [base] were counted
+         by their own publications). *)
+      let changes = Segment_tree.diff_leaves base_tree tree in
       let tree =
         if base = st.latest then tree
-        else
-          let base_tree = Hashtbl.find st.versions base in
-          let latest_tree = Hashtbl.find st.versions st.latest in
-          merge_onto ~latest_tree ~base_tree ~new_tree:tree
+        else merge_onto ~latest_tree:(Hashtbl.find st.versions st.latest) ~changes
       in
       let version = st.latest + 1 in
       let jid = Journal.append t.journal (Publish { blob; version }) in
@@ -127,6 +133,17 @@ let publish t ~from ~blob ~base tree =
       maybe_crash t Mid_apply;
       st.latest <- version;
       Journal.commit t.journal jid;
+      (* Reference counting happens strictly after the journal commit, so
+         a publication rolled back by [restart] never counts. *)
+      (match t.dedup with
+      | Some index ->
+          List.iter
+            (fun (_, _, fresh) ->
+              match (fresh : Types.chunk_desc option) with
+              | Some desc -> Dedup_index.add_ref index desc.digest
+              | None -> ())
+            changes
+      | None -> ());
       version)
 
 let clone t ~from ~blob ~version =

@@ -40,7 +40,16 @@ val get_tree : t -> from:Net.host -> blob:int -> version:int -> tree
 val publish : t -> from:Net.host -> blob:int -> base:int -> tree -> int
 (** [publish t ~from ~blob ~base tree] publishes a snapshot derived from
     version [base] and returns its version number. If other versions were
-    published since [base], the update is merged onto the latest tree. *)
+    published since [base], the update is merged onto the latest tree.
+
+    When a dedup index is attached ({!set_dedup_index}), every descriptor
+    the writer changed relative to [base] counts one logical reference on
+    its digest — strictly after the journal commit, so crashed-and-rolled-
+    back publications never count. *)
+
+val set_dedup_index : t -> Dedup_index.t -> unit
+(** Attach the deployment's dedup index for publication-time reference
+    counting (wired by [Client.deploy]). *)
 
 val clone : t -> from:Net.host -> blob:int -> version:int -> blob_info
 (** New BLOB whose version 0 is the given snapshot of the source blob —

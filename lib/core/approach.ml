@@ -108,6 +108,10 @@ let request_checkpoint (cluster : Cluster.t) inst =
     | Blobcr, Mirror_stack mirror ->
         (* CLONE (first time) + COMMIT through the mirroring module. *)
         let version = Mirror.commit mirror in
+        let s = Mirror.last_commit_stats mirror in
+        Trace.emit cluster.engine ~component:("approach." ^ inst.id)
+          "checkpoint %d: shipped %d B, dedup'd %d B, clean-suppressed %d B" inst.epoch
+          s.Client.bytes_shipped s.Client.bytes_deduped s.Client.bytes_suppressed;
         Blobcr_snapshot { image = Option.get (Mirror.checkpoint_image mirror); version }
     | Qcow2_disk, Qcow2_stack image ->
         (* Copy the whole local image file to PVFS as a new file. *)

@@ -5,6 +5,7 @@ type report = {
   versions_dropped : int;
   chunks_deleted : int;
   bytes_reclaimed : int;
+  index_entries_dropped : int;
 }
 
 let live_chunk_refs service =
@@ -20,6 +21,29 @@ let live_chunk_refs service =
             desc.replicas)
         tree ());
   refs
+
+(* Live logical state per content digest: number of distinct descriptor
+   serials carrying it across the surviving trees, plus the size and an
+   exemplar replica set (the first encountered in sorted (blob, version)
+   order, so the result is deterministic). This is the ground truth the
+   dedup index is reconciled to after retention drops versions. *)
+let live_digest_refs service =
+  let seen : (int64 * int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let acc : (int64, int * int * Types.replica list) Hashtbl.t = Hashtbl.create 1024 in
+  Version_manager.iter_live_trees (Client.version_manager service)
+    (fun ~blob:_ ~version:_ tree ->
+      Segment_tree.fold_set
+        (fun _ (desc : Types.chunk_desc) () ->
+          if not (Hashtbl.mem seen (desc.digest, desc.serial)) then begin
+            Hashtbl.replace seen (desc.digest, desc.serial) ();
+            match Hashtbl.find_opt acc desc.digest with
+            | Some (refs, size, replicas) ->
+                Hashtbl.replace acc desc.digest (refs + 1, size, replicas)
+            | None -> Hashtbl.replace acc desc.digest (1, desc.size, desc.replicas)
+          end)
+        tree ());
+  Hashtbl.fold (fun digest v l -> (digest, v) :: l) acc [] (* lint: allow hashtbl-order — sorted below *)
+  |> List.sort (fun (d1, _) (d2, _) -> Int64.compare d1 d2)
 
 let collect service ?(pins = []) ~keep_last () =
   if keep_last < 1 then invalid_arg "Gc.collect: keep_last must be >= 1";
@@ -42,6 +66,16 @@ let collect service ?(pins = []) ~keep_last () =
           end)
         versions)
     (Version_manager.blob_ids vm);
+  (* Reconcile the dedup index with the surviving trees: refcounts are
+     reset to the live distinct-serial count per digest, and entries no
+     live version references are dropped — making their physical chunks
+     reclaimable by the sweep below (the index never blocks reclamation
+     on its own). *)
+  let index_dropped =
+    Dedup_index.reconcile
+      (Provider_manager.dedup_index (Client.provider_manager service))
+      (live_digest_refs service)
+  in
   (* Mark... *)
   let live = live_chunk_refs service in
   (* ...and sweep every data provider. *)
@@ -60,4 +94,9 @@ let collect service ?(pins = []) ~keep_last () =
           end)
         (Content_store.ids (Data_provider.store provider)))
     (Client.data_providers service);
-  { versions_dropped = !dropped; chunks_deleted = !deleted; bytes_reclaimed = !reclaimed }
+  {
+    versions_dropped = !dropped;
+    chunks_deleted = !deleted;
+    bytes_reclaimed = !reclaimed;
+    index_entries_dropped = index_dropped;
+  }

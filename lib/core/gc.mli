@@ -14,6 +14,9 @@ type report = {
   versions_dropped : int;
   chunks_deleted : int;
   bytes_reclaimed : int;
+  index_entries_dropped : int;
+      (** dedup-index digests no surviving version references, removed by
+          reconciliation before the sweep *)
 }
 
 val collect : Client.t -> ?pins:(int * int) list -> keep_last:int -> unit -> report
@@ -27,3 +30,9 @@ val collect : Client.t -> ?pins:(int * int) list -> keep_last:int -> unit -> rep
 val live_chunk_refs : Client.t -> (int * int, int) Hashtbl.t
 (** For diagnostics and tests: map from physical chunk identity
     [(provider, chunk_id)] to the number of retained snapshot references. *)
+
+val live_digest_refs : Client.t -> (int64 * (int * int * Types.replica list)) list
+(** Ground truth for dedup-index reconciliation: per live content digest
+    (sorted), the number of distinct descriptor serials referencing it
+    across all retained versions, its size and an exemplar replica set.
+    Collection resets the index to exactly this state. *)

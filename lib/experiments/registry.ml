@@ -119,6 +119,19 @@ let all =
             (Durability.tables scale ~progress ()));
     };
     {
+      id = "dedup";
+      paper_ref = "Beyond the paper (Section 3.1.3 commit path, content addressing)";
+      description =
+        "Commit bytes shipped, repository growth and commit latency for dup-heavy vs \
+         unique gang checkpoints, content-addressed dedup on vs off, plus clean-rewrite \
+         suppression";
+      run =
+        (fun scale ~progress ->
+          List.map
+            (fun (name, table) -> { name; table })
+            (Dedup_bench.tables scale ~progress ()));
+    };
+    {
       id = "abl-prefetch";
       paper_ref = "Ablation (Section 3.1.4)";
       description = "Restart time with adaptive prefetching enabled vs disabled";

@@ -14,7 +14,18 @@ let windowed engine ~window tasks =
   match !first_error with Some exn -> raise exn | None -> ()
 
 let map_windowed engine ~window f xs =
-  let results = Array.make (List.length xs) None in
-  let tasks = List.mapi (fun i x () -> results.(i) <- Some (f x)) xs in
-  windowed engine ~window tasks;
-  Array.to_list (Array.map Option.get results)
+  match xs with
+  | [] -> []
+  | _ ->
+      let n = List.length xs in
+      (* The result array is allocated by whichever task completes first,
+         using its own value as the filler — no ['b option] boxing and no
+         dummy element needed. *)
+      let results = ref [||] in
+      let set i y =
+        if Array.length !results = 0 then results := Array.make n y;
+        !results.(i) <- y
+      in
+      let tasks = List.mapi (fun i x () -> set i (f x)) xs in
+      windowed engine ~window tasks;
+      Array.to_list !results

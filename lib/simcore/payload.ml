@@ -4,8 +4,10 @@ type seg =
   | Bytes of { data : bytes; off : int; len : int }
 
 (* Segments in order, with [offs.(i)] the start offset of [segs.(i)], so
-   random access and slicing are O(log segments). *)
-type t = { len : int; segs : seg array; offs : int array }
+   random access and slicing are O(log segments). [dig] memoizes the whole
+   payload's content digest — payloads are immutable, so once computed the
+   digest is valid for the payload's lifetime. *)
+type t = { len : int; segs : seg array; offs : int array; mutable dig : int64 option }
 
 let seg_len = function
   | Zero n -> n
@@ -13,11 +15,11 @@ let seg_len = function
   | Bytes { len; _ } -> len
 
 let length t = t.len
-let empty = { len = 0; segs = [||]; offs = [||] }
+let empty = { len = 0; segs = [||]; offs = [||]; dig = Some 0L }
 
 let of_seg seg =
   let n = seg_len seg in
-  if n = 0 then empty else { len = n; segs = [| seg |]; offs = [| 0 |] }
+  if n = 0 then empty else { len = n; segs = [| seg |]; offs = [| 0 |]; dig = None }
 
 let zero len = of_seg (Zero len)
 let pattern ~seed len = of_seg (Pattern { seed; off = 0; len })
@@ -61,7 +63,7 @@ let seg_merge a b =
 
 (* Build a payload from segments, dropping empties and merging adjacent
    contiguous segments. *)
-let of_seg_seq count iter =
+let of_seg_seq iter =
   let buf = ref [] and n = ref 0 in
   iter (fun seg ->
       if seg_len seg > 0 then
@@ -75,7 +77,6 @@ let of_seg_seq count iter =
         | [] ->
             buf := [ seg ];
             incr n);
-  ignore count;
   let segs = Array.make !n (Zero 0) in
   List.iteri (fun i seg -> segs.(!n - 1 - i) <- seg) !buf;
   let offs = Array.make !n 0 in
@@ -85,10 +86,10 @@ let of_seg_seq count iter =
       offs.(i) <- !total;
       total := !total + seg_len seg)
     segs;
-  { len = !total; segs; offs }
+  { len = !total; segs; offs; dig = None }
 
 let concat ts =
-  of_seg_seq 0 (fun push -> List.iter (fun t -> Array.iter push t.segs) ts)
+  of_seg_seq (fun push -> List.iter (fun t -> Array.iter push t.segs) ts)
 
 let sub t ~pos ~len =
   if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Payload.sub";
@@ -97,7 +98,7 @@ let sub t ~pos ~len =
   else begin
     let first = seg_index t pos in
     let last = seg_index t (pos + len - 1) in
-    of_seg_seq 0 (fun push ->
+    of_seg_seq (fun push ->
         for k = first to last do
           let seg = t.segs.(k) in
           let sstart = t.offs.(k) in
@@ -161,10 +162,17 @@ let seg_digest_cached seg =
   | _ -> seg_digest seg
 
 let digest t =
-  Array.fold_left
-    (fun h seg ->
-      Int64.add (Int64.mul h (pow_base (seg_len seg))) (seg_digest_cached seg))
-    0L t.segs
+  match t.dig with
+  | Some d -> d
+  | None ->
+      let d =
+        Array.fold_left
+          (fun h seg ->
+            Int64.add (Int64.mul h (pow_base (seg_len seg))) (seg_digest_cached seg))
+          0L t.segs
+      in
+      t.dig <- Some d;
+      d
 
 let seg_equal_struct a b =
   match (a, b) with

@@ -46,7 +46,10 @@ val to_string : t -> string
 val digest : t -> int64
 (** Content digest: equal payloads have equal digests (collisions aside —
     the digest is a 64-bit rolling hash). [Zero] runs digest in O(log n);
-    [Pattern] slices digest in O(length) once and are memoized. *)
+    [Pattern] slices digest in O(length) once and are memoized. The whole
+    payload's digest is additionally memoized per value, so repeated
+    digests of the same payload (verified reads, commit-path dedup
+    lookups) are O(1) after the first. *)
 
 val pp : Format.formatter -> t -> unit
 (** Structural summary, e.g. ["pattern(seed=3,len=1024)"]. *)

@@ -18,6 +18,8 @@ type t = {
   dirty : (int, unit) Hashtbl.t; (* modified since last commit *)
   mutable ckpt : Client.blob option;
   mutable reserved : int; (* local-disk bytes held *)
+  mutable last_stats : Client.write_stats; (* most recent commit *)
+  mutable total_stats : Client.write_stats; (* cumulative over all commits *)
 }
 
 type Engine.audit_subject += Audit_mirror of t
@@ -39,6 +41,8 @@ let create engine ~host ~local_disk ~base ~base_version ?prefetch ~name () =
     dirty = Hashtbl.create 64;
     ckpt = None;
     reserved = 0;
+    last_stats = Client.empty_write_stats;
+    total_stats = Client.empty_write_stats;
   }
   in
   Engine.register_audit_subject engine (Audit_mirror t);
@@ -167,19 +171,31 @@ let commit t =
   clone t;
   let ckpt = Option.get t.ckpt in
   let indices = Hashtbl.fold (fun i () acc -> i :: acc) t.dirty [] |> List.sort compare in
-  (* Reading the accumulated differences back off the local disk before
-     shipping them to the repository. *)
-  let bytes = dirty_bytes t in
-  if bytes > 0 then Disk.read t.local_disk ~stream:(local_stream t) bytes;
-  let runs =
+  (* One job per dirty chunk: the local-disk read happens inside the
+     client's write window, so reading chunk N+1 off the local disk
+     overlaps with digesting, dedup resolution and repository writes of
+     chunk N — no up-front materialization of the whole diff. Chunks
+     rewritten with their base content are suppressed by digest. *)
+  let jobs =
     List.map
       (fun index ->
-        let offset = index * t.chunk_size in
-        (offset, Sparse_bytes.read t.local ~offset ~len:(chunk_extent t index)))
+        let extent = chunk_extent t index in
+        ( index,
+          fun () ->
+            Disk.read t.local_disk ~stream:(local_stream t) extent;
+            Sparse_bytes.read t.local ~offset:(index * t.chunk_size) ~len:extent ))
       indices
   in
-  let version = Client.write_multi ckpt ~from:t.host runs in
-  Trace.emit t.engine ~component:t.mname "COMMIT %d chunks (%d bytes) -> v%d"
-    (List.length indices) bytes version;
+  let version, stats = Client.write_chunks ckpt ~from:t.host ~suppress_clean:true jobs in
+  t.last_stats <- stats;
+  t.total_stats <- Client.add_write_stats t.total_stats stats;
+  Trace.emit t.engine ~component:t.mname
+    "COMMIT %d chunks: %d shipped (%d B), %d dedup'd (%d B), %d clean (%d B) -> v%d"
+    stats.Client.chunks_total stats.Client.chunks_shipped stats.Client.bytes_shipped
+    stats.Client.chunks_deduped stats.Client.bytes_deduped stats.Client.chunks_suppressed
+    stats.Client.bytes_suppressed version;
   Hashtbl.reset t.dirty;
   version
+
+let last_commit_stats t = t.last_stats
+let total_commit_stats t = t.total_stats

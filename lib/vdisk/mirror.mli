@@ -52,7 +52,21 @@ val commit : t -> int
 (** The [COMMIT] ioctl: write every chunk dirtied since the previous commit
     into the checkpoint image as one incremental snapshot; returns the
     published version. A commit with no dirty chunks still publishes (an
-    empty incremental snapshot). *)
+    empty incremental snapshot).
+
+    The push is pipelined through {!Client.write_chunks}: per-chunk
+    local-disk reads, digests and repository writes overlap under the
+    client write window. Chunks rewritten with content identical to the
+    base version are suppressed (ship nothing, publish no descriptor),
+    and content already stored anywhere in the repository dedups against
+    it. *)
+
+val last_commit_stats : t -> Client.write_stats
+(** Shipped / dedup'd / suppressed accounting of the most recent
+    {!commit} ({!Client.empty_write_stats} before the first). *)
+
+val total_commit_stats : t -> Client.write_stats
+(** Cumulative accounting over every {!commit} of this mirror. *)
 
 val checkpoint_image : t -> Client.blob option
 (** The per-instance checkpoint image; [None] before the first {!clone}. *)

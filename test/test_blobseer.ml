@@ -344,7 +344,12 @@ let test_blob_incremental_storage () =
   let after_base, after_update, distinct =
     run_rig rig (fun () ->
         let blob = Client.create_blob rig.service ~from ~capacity:1000 in
-        let _ = Client.write blob ~from ~offset:0 (payload_str (String.make 1000 'a')) in
+        (* Per-chunk-distinct content: identical chunks would dedup into
+           one stored copy, which is not what this test measures. *)
+        let _ =
+          Client.write blob ~from ~offset:0
+            (payload_str (String.init 1000 (fun i -> Char.chr (i mod 251))))
+        in
         let after_base = Client.repository_bytes rig.service in
         let _ = Client.write blob ~from ~offset:300 (payload_str (String.make 100 'b')) in
         (after_base, Client.repository_bytes rig.service, Client.distinct_bytes blob))
@@ -464,7 +469,12 @@ let test_blob_striping_spreads_load () =
   let counts =
     run_rig rig (fun () ->
         let blob = Client.create_blob rig.service ~from ~capacity:10_000 in
-        let _ = Client.write blob ~from ~offset:0 (payload_str (String.make 8000 's')) in
+        (* Per-chunk-distinct content, so every chunk is physically placed
+           (identical chunks would dedup into one). *)
+        let _ =
+          Client.write blob ~from ~offset:0
+            (payload_str (String.init 8000 (fun i -> Char.chr (i mod 251))))
+        in
         Array.to_list (Array.map Data_provider.chunk_count (Client.data_providers rig.service)))
   in
   Alcotest.(check (list int)) "even spread" [ 20; 20; 20; 20 ] counts
@@ -605,7 +615,12 @@ let test_placement_degraded_when_hosts_short () =
         Data_provider.fail (Client.data_provider rig.service 2);
         Data_provider.fail (Client.data_provider rig.service 3);
         let blob = Client.create_blob rig.service ~from ~capacity:500 in
-        let _ = Client.write blob ~from ~offset:0 (payload_str (String.make 500 'd')) in
+        (* Distinct chunks: each one must go through placement (identical
+           chunks would dedup after the first degraded allocation). *)
+        let _ =
+          Client.write blob ~from ~offset:0
+            (payload_str (String.init 500 (fun i -> Char.chr (i mod 251))))
+        in
         (live_descs rig.service blob,
          Provider_manager.degraded_allocations (Client.provider_manager rig.service)))
   in

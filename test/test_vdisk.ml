@@ -436,7 +436,10 @@ let test_mirror_successive_commits_are_incremental () =
         List.map
           (fun round ->
             let before = Client.repository_bytes rig.service in
-            Mirror.write m ~offset:(round * 256) (Payload.of_string (String.make 256 'w'));
+            (* Distinct content per round: identical chunks would dedup
+               instead of growing the repository. *)
+            Mirror.write m ~offset:(round * 256)
+              (Payload.of_string (String.make 256 (Char.chr (Char.code 'w' + round))));
             let _ = Mirror.commit m in
             Client.repository_bytes rig.service - before)
           [ 0; 1; 2 ])
@@ -488,7 +491,11 @@ let test_mirror_shared_chunks_prefetched_once () =
   let prefetch = Prefetch.create rig.engine rig.net () in
   let distinct, coalesced =
     run rig (fun () ->
-        let base, v = setup_base rig ~content:(String.make 1024 'Z') in
+        (* Per-chunk-distinct base content: identical chunks would dedup
+           into one stored copy and collapse the fetch counts. *)
+        let base, v =
+          setup_base rig ~content:(String.init 1024 (fun i -> Char.chr (i mod 251)))
+        in
         (* Two instances on different nodes mirror the same snapshot and
            read the same range concurrently. *)
         let mk i =
