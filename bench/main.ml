@@ -9,6 +9,10 @@
      bench/main.exe micro            only the Bechamel microbenchmarks
      bench/main.exe --scale quick    fast smoke run of everything
      bench/main.exe --csv DIR        also write CSV outputs
+     bench/main.exe --obs            also print the metrics table and the
+                                     per-phase checkpoint/restart breakdown,
+                                     and write a Chrome-trace timeline per
+                                     experiment (OBS_<id>.trace.json)
 
    Each experiment prints the same rows/series the corresponding paper
    figure plots (see EXPERIMENTS.md for the paper-vs-measured record). *)
@@ -18,7 +22,7 @@ open Netsim
 
 let progress line = Printf.eprintf "    %s\n%!" line
 
-let run_experiment scale csv_dir id =
+let run_experiment scale csv_dir obs id =
   match Experiments.Registry.find id with
   | None ->
       Printf.eprintf "unknown experiment %S (known: %s)\n%!" id
@@ -28,10 +32,24 @@ let run_experiment scale csv_dir id =
       Printf.printf "### %s — %s\n    %s\n\n%!" e.Experiments.Registry.id
         e.Experiments.Registry.paper_ref e.Experiments.Registry.description;
       let t0 = Unix.gettimeofday () in (* lint: allow wall-clock — bench measures real elapsed time *)
-      let rendered =
-        Experiments.Registry.run_and_render e scale ?csv_dir ~progress ()
-      in
-      print_string rendered;
+      if obs then begin
+        let rendered, run = Experiments.Registry.run_observed e scale ?csv_dir ~progress () in
+        print_string rendered;
+        print_string (Experiments.Registry.render_observability run);
+        let json = Obs.Export.chrome_trace run in
+        (match Obs.Export.validate_json json with
+        | Ok () -> ()
+        | Error msg ->
+            Printf.eprintf "internal error: timeline JSON invalid (%s)\n%!" msg;
+            exit 1);
+        let path = Printf.sprintf "OBS_%s.trace.json" id in
+        let oc = open_out path in
+        output_string oc json;
+        close_out oc;
+        Printf.printf "(timeline written to %s)\n%!" path
+      end
+      else
+        print_string (Experiments.Registry.run_and_render e scale ?csv_dir ~progress ());
       (* lint: allow wall-clock — bench measures real elapsed time *)
       Printf.printf "(experiment wall time: %.1fs)\n\n%!" (Unix.gettimeofday () -. t0)
 
@@ -162,19 +180,20 @@ let micro () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec parse named csv ids = function
+  let rec parse named csv obs ids = function
     | "--scale" :: s :: rest -> (
         match Experiments.Scale.find s with
-        | Some scale -> parse (s, scale) csv ids rest
+        | Some scale -> parse (s, scale) csv obs ids rest
         | None ->
             Printf.eprintf "unknown scale %S (paper|quick)\n" s;
             exit 2)
-    | "--csv" :: dir :: rest -> parse named (Some dir) ids rest
-    | id :: rest -> parse named csv (id :: ids) rest
-    | [] -> (named, csv, List.rev ids)
+    | "--csv" :: dir :: rest -> parse named (Some dir) obs ids rest
+    | "--obs" :: rest -> parse named csv true ids rest
+    | id :: rest -> parse named csv obs (id :: ids) rest
+    | [] -> (named, csv, obs, List.rev ids)
   in
-  let (scale_name, scale), csv_dir, ids =
-    parse ("paper", Experiments.Scale.paper) None [] args
+  let (scale_name, scale), csv_dir, obs, ids =
+    parse ("paper", Experiments.Scale.paper) None false [] args
   in
   let experiment_ids = [ "fig2a"; "fig2b"; "fig4"; "fig5a"; "fig6"; "table1" ] in
   let ablation_ids = [ "abl-prefetch"; "abl-stripe"; "abl-replication"; "abl-incremental" ] in
@@ -183,12 +202,12 @@ let () =
   let run_one = function
     | "dedup" -> run_dedup scale scale_name csv_dir
     | "micro" -> micro ()
-    | id -> run_experiment scale csv_dir id
+    | id -> run_experiment scale csv_dir obs id
   in
   match ids with
   | [] ->
       (* Full regeneration: fig2a/fig2b emit fig3a/fig3b too, fig5a emits
          fig5b, so the six runs below cover all nine paper artifacts. *)
-      List.iter (run_experiment scale csv_dir) experiment_ids;
+      List.iter (run_experiment scale csv_dir obs) experiment_ids;
       micro ()
   | ids -> List.iter run_one ids

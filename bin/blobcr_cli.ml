@@ -32,6 +32,24 @@ let csv_term =
 let quiet_term =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-point progress lines.")
 
+let obs_term =
+  Arg.(
+    value & flag
+    & info [ "obs" ]
+        ~doc:
+          "Run under the observability layer: print the metrics table and the \
+           per-phase checkpoint/restart breakdown after the experiment tables.")
+
+let timeline_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "timeline" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome-trace JSON timeline of the run to $(docv) (open with \
+           chrome://tracing or https://ui.perfetto.dev). Implies $(b,--obs) recording; \
+           with several experiments the file is suffixed with the experiment id.")
+
 let list_cmd =
   let run () =
     List.iter
@@ -43,14 +61,33 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List reproducible experiments (one per paper figure/table).")
     Term.(const run $ const ())
 
-let run_one (_, scale) csv_dir quiet id =
+let write_timeline run ~path =
+  let json = Obs.Export.chrome_trace run in
+  match Obs.Export.validate_json json with
+  | Error msg -> Fmt.epr "internal error: timeline JSON invalid (%s)@." msg
+  | Ok () ->
+      let oc = open_out path in
+      output_string oc json;
+      close_out oc;
+      Fmt.pr "(timeline written to %s)@." path
+
+let run_one (_, scale) csv_dir quiet obs timeline id =
   match Experiments.Registry.find id with
   | None -> Fmt.epr "unknown experiment %S; try `blobcr_cli list'@." id
   | Some e ->
       let progress line = if not quiet then Fmt.epr "    %s@." line in
       Fmt.pr "### %s — %s@.@." e.Experiments.Registry.id e.Experiments.Registry.paper_ref;
-      Fmt.pr "%s@."
-        (Experiments.Registry.run_and_render e scale ?csv_dir:csv_dir ~progress ())
+      if obs || timeline <> None then begin
+        let rendered, run =
+          Experiments.Registry.run_observed e scale ?csv_dir:csv_dir ~progress ()
+        in
+        Fmt.pr "%s@." rendered;
+        if obs then Fmt.pr "%s@." (Experiments.Registry.render_observability run);
+        Option.iter (fun path -> write_timeline run ~path) timeline
+      end
+      else
+        Fmt.pr "%s@."
+          (Experiments.Registry.run_and_render e scale ?csv_dir:csv_dir ~progress ())
 
 let run_cmd =
   let ids_term =
@@ -59,15 +96,27 @@ let run_cmd =
       & info [] ~docv:"EXPERIMENT"
           ~doc:"Experiment ids (see $(b,list)), or $(b,all) for every one.")
   in
-  let run scale csv quiet ids =
+  let run scale csv quiet obs timeline ids =
     let ids =
       if List.mem "all" ids then Experiments.Registry.ids else ids
     in
-    List.iter (run_one scale csv quiet) ids
+    (* One timeline file per experiment: suffix with the id when several run. *)
+    let timeline_for id =
+      match timeline with
+      | Some path when List.length ids > 1 ->
+          let base, ext =
+            match Filename.chop_suffix_opt ~suffix:".json" path with
+            | Some base -> (base, ".json")
+            | None -> (path, "")
+          in
+          Some (Fmt.str "%s.%s%s" base id ext)
+      | other -> other
+    in
+    List.iter (fun id -> run_one scale csv quiet obs (timeline_for id) id) ids
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run experiments and print the paper-figure tables.")
-    Term.(const run $ scale_term $ csv_term $ quiet_term $ ids_term)
+    Term.(const run $ scale_term $ csv_term $ quiet_term $ obs_term $ timeline_term $ ids_term)
 
 let calibration_cmd =
   let run () =

@@ -1,6 +1,7 @@
 (* blobcr_lint: static analysis and state auditing for the reproduction.
 
      blobcr_lint lint [--root DIR] [DIR...]     source lint (determinism hazards)
+     blobcr_lint docs [--root DIR]              doc coverage, markdown links, CHANGES log
      blobcr_lint invariants                     structural audits over a live scenario
      blobcr_lint determinism --exp fig2a        replay-divergence check
      blobcr_lint durability                     corruption-chaos durability invariant
@@ -41,6 +42,28 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint" ~doc:"Scan the source tree for determinism and correctness hazards.")
     Term.(const run_lint $ root_term $ dirs_term)
+
+(* ------------------------------------------------------------------ *)
+(* docs *)
+
+let run_docs root =
+  let findings = Doc_lint.scan_repo ~root in
+  List.iter (fun f -> Fmt.pr "%a@." Lint.pp_finding f) findings;
+  match findings with
+  | [] ->
+      Fmt.pr "docs: clean@.";
+      0
+  | fs ->
+      Fmt.pr "docs: %d finding(s)@." (List.length fs);
+      1
+
+let docs_cmd =
+  Cmd.v
+    (Cmd.info "docs"
+       ~doc:
+         "Check documentation health: doc comments on every public val, resolvable \
+          markdown links, and a well-formed CHANGES.md log.")
+    Term.(const run_docs $ root_term)
 
 (* ------------------------------------------------------------------ *)
 (* invariants: run a scenario that exercises every audited structure, then
@@ -246,6 +269,7 @@ let run_all root seed =
     code ()
   in
   let lint = stage "lint" (fun () -> run_lint root []) in
+  let docs = stage "docs" (fun () -> run_docs root) in
   let inv = stage "invariants" (fun () -> run_invariants ()) in
   let det =
     stage "determinism" (fun () ->
@@ -256,7 +280,7 @@ let run_all root seed =
   let dur =
     stage "durability" (fun () -> run_durability ("quick", Experiments.Scale.quick) seed)
   in
-  if lint = 0 && inv = 0 && det = 0 && dur = 0 then begin
+  if lint = 0 && docs = 0 && inv = 0 && det = 0 && dur = 0 then begin
     Fmt.pr "--- all clean ---@.";
     0
   end
@@ -265,7 +289,7 @@ let run_all root seed =
 let all_cmd =
   Cmd.v
     (Cmd.info "all"
-       ~doc:"Run lint, invariants, determinism and durability; exit 0 when all clean.")
+       ~doc:"Run lint, docs, invariants, determinism and durability; exit 0 when all clean.")
     Term.(const run_all $ root_term $ seed_term)
 
 let () =
@@ -273,4 +297,5 @@ let () =
   let info = Cmd.info "blobcr_lint" ~doc ~version:"1.0.0" in
   exit
     (Cmd.eval'
-       (Cmd.group info [ lint_cmd; invariants_cmd; determinism_cmd; durability_cmd; all_cmd ]))
+       (Cmd.group info
+          [ lint_cmd; docs_cmd; invariants_cmd; determinism_cmd; durability_cmd; all_cmd ]))

@@ -22,6 +22,7 @@ type report = {
 }
 
 val identical : report -> bool
+(** No trace divergence and outputs match. *)
 
 val diff_traces : ?context:int -> string list -> string list -> divergence option
 (** [None] when equal. Default [context] is 3 lines. *)
@@ -44,3 +45,5 @@ val check_scrub_replay : ?scale:Experiments.Scale.t -> seed:int -> unit -> repor
     Default scale is [quick]. *)
 
 val pp_report : Format.formatter -> report -> unit
+(** Human-readable verdict, including the first divergence with its
+    context lines when the runs differ. *)

@@ -1,0 +1,42 @@
+(** Documentation lint: keeps the written word in sync with the code.
+
+    Three rule families, all reported as {!Lint.finding}s so the CLI can
+    render them uniformly:
+
+    - [mli-doc]: every top-level [val] in a library [.mli] must carry a
+      doc comment — either a [(** ... *)] ending on the line directly
+      above the declaration, or a trailing one after it. Sections fenced
+      by the odoc stop comment [(**/**)] are exempt (internal plumbing).
+    - [md-link]: relative links in the operator-facing markdown
+      (README.md, DESIGN.md, EXPERIMENTS.md, docs/) must point at files
+      that exist, and [#fragment] links must name a real heading in the
+      target (GitHub anchor rules). External [http(s)://] links are not
+      checked.
+    - [changes-log]: CHANGES.md must hold exactly one line per PR,
+      numbered sequentially from 1 — the contract the next session relies
+      on to know what is already done.
+
+    Like {!Lint}, this is a self-contained text-level scanner: no ppx, no
+    compiler-libs, no markdown parser. *)
+
+val undocumented : file:string -> string -> Lint.finding list
+(** [mli-doc] over one [.mli]'s source text: one finding per top-level
+    [val] with no attached doc comment. [file] labels the findings. *)
+
+val heading_anchors : string -> string list
+(** The GitHub-style anchor slugs of every heading in a markdown
+    document, in order. Fenced code blocks are ignored. *)
+
+val link_targets : string -> (int * string) list
+(** [(line, target)] for every inline markdown link [[text](target)] in
+    the document, fenced code blocks excluded. *)
+
+val check_changes : file:string -> string -> Lint.finding list
+(** [changes-log] over CHANGES.md's text: every non-blank line must
+    match ["PR <n> ..."] with [n] counting 1, 2, 3, ... in order. *)
+
+val scan_repo : root:string -> Lint.finding list
+(** Run all three rule families over a repository checkout: [mli-doc]
+    on every [.mli] under [root/lib], [md-link] on README.md, DESIGN.md,
+    EXPERIMENTS.md and [docs/*.md], and [changes-log] on CHANGES.md.
+    Findings are sorted by file, line and rule. *)

@@ -20,6 +20,7 @@ open Vdisk
 type violation = { subject : string; invariant : string; detail : string }
 
 val pp_violation : Format.formatter -> violation -> unit
+(** ["<subject>: <invariant>: <detail>"] — for audit reports. *)
 
 val audit_qcow2 : Qcow2.t -> violation list
 (** Refcount consistency: every physical cluster's refcount equals its

@@ -16,6 +16,17 @@ type blob = { service : t; info : Version_manager.blob_info }
 
 type Engine.audit_subject += Audit_client of t
 
+(* Observability: repository traffic accounting, mirroring [write_stats]
+   into the global metrics registry so every experiment's --obs snapshot
+   reports commit-path volume without per-experiment code. *)
+let m_chunks_shipped = Obs.Metrics.counter ~component:"blob" ~name:"chunks_shipped"
+let m_chunks_deduped = Obs.Metrics.counter ~component:"blob" ~name:"chunks_deduped"
+let m_chunks_suppressed = Obs.Metrics.counter ~component:"blob" ~name:"chunks_suppressed"
+let m_bytes_shipped = Obs.Metrics.counter ~component:"blob" ~name:"bytes_shipped"
+let m_bytes_deduped = Obs.Metrics.counter ~component:"blob" ~name:"bytes_deduped"
+let m_bytes_suppressed = Obs.Metrics.counter ~component:"blob" ~name:"bytes_suppressed"
+let m_read_failovers = Obs.Metrics.counter ~component:"blob" ~name:"read_failovers"
+
 let deploy engine net ?(params = Types.default_params) ~version_manager_host
     ~provider_manager_host ~metadata_hosts ~data_providers () =
   if data_providers = [] then invalid_arg "Client.deploy: no data providers";
@@ -138,11 +149,13 @@ let read_chunk_payload b ~from (desc : Types.chunk_desc) =
         if Payload.digest payload = desc.digest then Some payload
         else begin
           t.integrity_failures <- t.integrity_failures + 1;
+          Obs.Metrics.incr m_read_failovers;
           Trace.emit t.engine ~component:"blobseer.client"
             "read failover: checksum mismatch at %s" (Data_provider.name provider);
           None
         end
     | exception (Types.Provider_down _ | Faults.Injected_error _ | Not_found) ->
+        Obs.Metrics.incr m_read_failovers;
         Trace.emit t.engine ~component:"blobseer.client" "read failover: replica at %s failed"
           (Data_provider.name provider);
         None
@@ -264,7 +277,11 @@ let write_chunk_core b ~from ~base_tree ~suppress_clean jobs =
   let finish_desc i ~size ~digest replicas =
     Hashtbl.replace descs i { Types.serial = fresh_serial t; size; digest; replicas }
   in
+  let outcome o = Obs.Span.add_attr t.engine "outcome" (Obs.Record.Str o) in
   let one (i, produce) () =
+    Obs.Span.with_detail t.engine ~component:"blob" ~name:"blob.chunk"
+      ~attrs:[ ("chunk", Obs.Record.Int i) ]
+    @@ fun () ->
     let content = produce () in
     let size = Payload.length content in
     if size <> chunk_extent b i then invalid_arg "Client: chunk content size mismatch";
@@ -278,7 +295,10 @@ let write_chunk_core b ~from ~base_tree ~suppress_clean jobs =
     in
     if clean then begin
       incr suppressed;
-      suppressed_b := !suppressed_b + size
+      suppressed_b := !suppressed_b + size;
+      Obs.Metrics.incr m_chunks_suppressed;
+      Obs.Metrics.add m_bytes_suppressed (float_of_int size);
+      outcome "clean"
     end
     else if t.params.dedup then begin
       match
@@ -289,6 +309,9 @@ let write_chunk_core b ~from ~base_tree ~suppress_clean jobs =
       | Provider_manager.Dedup replicas ->
           incr deduped;
           deduped_b := !deduped_b + size;
+          Obs.Metrics.incr m_chunks_deduped;
+          Obs.Metrics.add m_bytes_deduped (float_of_int size);
+          outcome "dedup";
           finish_desc i ~size ~digest replicas
       | Provider_manager.Fresh placement ->
           let replicas =
@@ -302,6 +325,9 @@ let write_chunk_core b ~from ~base_tree ~suppress_clean jobs =
           Provider_manager.commit_dedup t.pm ~digest ~size ~replicas;
           incr shipped;
           shipped_b := !shipped_b + size;
+          Obs.Metrics.incr m_chunks_shipped;
+          Obs.Metrics.add m_bytes_shipped (float_of_int size);
+          outcome "shipped";
           finish_desc i ~size ~digest replicas
     end
     else begin
@@ -313,6 +339,9 @@ let write_chunk_core b ~from ~base_tree ~suppress_clean jobs =
       let replicas = ship_replicas t ~from content placement in
       incr shipped;
       shipped_b := !shipped_b + size;
+      Obs.Metrics.incr m_chunks_shipped;
+      Obs.Metrics.add m_bytes_shipped (float_of_int size);
+      outcome "shipped";
       finish_desc i ~size ~digest replicas
     end
   in
@@ -351,7 +380,10 @@ let publish_descs b ~from ~base ~base_tree descs =
         (tree, created + c))
       (base_tree, 0) (ranges chunk_ids)
   in
-  if created > 0 then Metadata_service.commit_nodes t.md ~from created;
+  if created > 0 then
+    Obs.Span.with_ t.engine ~component:"blob" ~name:"blob.meta.commit"
+      ~attrs:[ ("nodes", Obs.Record.Int created) ]
+      (fun () -> Metadata_service.commit_nodes t.md ~from created);
   Version_manager.publish t.vm ~from ~blob:(blob_id b) ~base tree
 
 let write_multi b ~from ?base runs =
@@ -420,10 +452,26 @@ let write_chunks b ~from ?base ?(suppress_clean = false) jobs =
     | _ -> ()
   in
   check_dups (List.sort compare (List.map fst jobs));
-  let base = match base with Some v -> v | None -> latest_version b ~from in
-  let base_tree = fetch_tree b ~from ~version:base in
-  let descs, stats = write_chunk_core b ~from ~base_tree ~suppress_clean jobs in
-  let version = publish_descs b ~from ~base ~base_tree descs in
+  let engine = b.service.engine in
+  let base, base_tree =
+    Obs.Span.with_ engine ~component:"blob" ~name:"blob.meta" (fun () ->
+        let base = match base with Some v -> v | None -> latest_version b ~from in
+        (base, fetch_tree b ~from ~version:base))
+  in
+  let descs, stats =
+    Obs.Span.with_ engine ~component:"blob" ~name:"blob.write"
+      ~attrs:[ ("chunks", Obs.Record.Int (List.length jobs)) ]
+      (fun () ->
+        let ((_, stats) as r) = write_chunk_core b ~from ~base_tree ~suppress_clean jobs in
+        Obs.Span.add_attr engine "bytes_shipped" (Obs.Record.Bytes stats.bytes_shipped);
+        Obs.Span.add_attr engine "bytes_deduped" (Obs.Record.Bytes stats.bytes_deduped);
+        Obs.Span.add_attr engine "bytes_suppressed" (Obs.Record.Bytes stats.bytes_suppressed);
+        r)
+  in
+  let version =
+    Obs.Span.with_ engine ~component:"blob" ~name:"blob.publish" (fun () ->
+        publish_descs b ~from ~base ~base_tree descs)
+  in
   (version, stats)
 
 let write b ~from ?base ~offset payload = write_multi b ~from ?base [ (offset, payload) ]

@@ -35,14 +35,31 @@ val deploy :
     with the host it runs on and the local disk it stores chunks on. *)
 
 val engine : t -> Engine.t
+(** The engine the deployment runs on. *)
+
 val net : t -> Net.t
+(** The network the services are attached to. *)
+
 val params : t -> Types.params
+(** The parameters the deployment was stood up with. *)
+
 val provider_count : t -> int
+(** Number of data providers. *)
+
 val data_provider : t -> int -> Data_provider.t
+(** The [i]-th data provider (deployment order). *)
+
 val data_providers : t -> Data_provider.t array
+(** All data providers, in deployment order. *)
+
 val version_manager : t -> Version_manager.t
+(** The deployment's version manager. *)
+
 val metadata_service : t -> Metadata_service.t
+(** The deployment's metadata provider pool. *)
+
 val provider_manager : t -> Provider_manager.t
+(** The deployment's provider manager (placement + dedup index). *)
 
 val integrity_failures : t -> int
 (** Chunk reads whose payload digest did not match the descriptor's —
@@ -60,14 +77,31 @@ val repository_bytes : t -> int
 (** {1 BLOB operations} *)
 
 val create_blob : t -> from:Net.host -> capacity:int -> blob
+(** Allocate a fresh BLOB (version 0 is the empty snapshot); one
+    round-trip to the version manager. *)
+
 val open_blob : t -> from:Net.host -> id:int -> blob
+(** A handle to an existing BLOB by id; one round-trip to the version
+    manager. Raises [Not_found] for unknown ids. *)
+
 val blob_id : blob -> int
+(** The BLOB's deployment-unique id. *)
+
 val capacity : blob -> int
+(** The byte capacity fixed at creation. *)
+
 val stripe_size : blob -> int
+(** The chunking granularity (from {!Types.params}). *)
+
 val service : blob -> t
+(** The deployment this handle belongs to. *)
 
 val latest_version : blob -> from:Net.host -> int
+(** Most recently published version; one round-trip to the version
+    manager. *)
+
 val versions : blob -> int list
+(** Every published version, ascending. Cost-free metadata peek. *)
 
 val write : blob -> from:Net.host -> ?base:int -> offset:int -> Payload.t -> int
 (** [write blob ~from ~offset payload] stores the payload (striped,
@@ -108,7 +142,10 @@ type write_stats = {
 }
 
 val empty_write_stats : write_stats
+(** All counters zero. *)
+
 val add_write_stats : write_stats -> write_stats -> write_stats
+(** Field-wise sum (accumulating stats across commits). *)
 
 val write_chunks :
   blob ->

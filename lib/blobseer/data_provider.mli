@@ -16,13 +16,24 @@ val create :
   name:string ->
   unit ->
   t
+(** Stand up a provider on [host] persisting to [disk].
+    [request_overhead] (default 0) is charged per served request. *)
 
 val name : t -> string
+(** The name passed at creation. *)
+
 val host : t -> Net.host
+(** The host the provider serves from. *)
+
 val disk : t -> Disk.t
+(** The local disk chunks are persisted on. *)
+
 val store : t -> Content_store.t
+(** The in-memory content plane (white-box access for tests and
+    audits). *)
 
 val is_alive : t -> bool
+(** [false] between {!fail} and {!recover}. *)
 
 val fail : t -> unit
 (** Fail-stop: the provider stops serving and its locally stored data is
@@ -57,4 +68,7 @@ val delete_chunk : t -> Content_store.chunk_id -> unit
     cost is charged (reclamation is a background activity). *)
 
 val chunk_count : t -> int
+(** Live chunks currently stored. *)
+
 val stored_bytes : t -> int
+(** Logical bytes of live chunks currently stored. *)

@@ -30,6 +30,8 @@ type stats = {
 }
 
 val create : Engine.t -> t
+(** An empty index (the engine is used to block concurrent claimants of
+    the same digest). *)
 
 (** Outcome of {!resolve}. *)
 type resolution =
@@ -85,6 +87,7 @@ val view : t -> (int64 * int * int * Types.replica list) list
     audit's view. *)
 
 val stats : t -> stats
+(** Deployment-lifetime hit/miss/savings counters. *)
 
 val unsafe_set_refs : t -> digest:int64 -> int -> unit
 (** Test hook: corrupt a refcount to exercise the invariant audit. *)

@@ -12,6 +12,7 @@
 type 'a t
 
 val create : name:string -> unit -> 'a t
+(** An empty journal; [name] labels traces and audit reports. *)
 
 val append : 'a t -> 'a -> int
 (** Log an intent; returns its journal id. *)
@@ -33,9 +34,16 @@ val pending_count : 'a t -> int
     is 0 at teardown. *)
 
 val appended : 'a t -> int
+(** Total intents ever appended. *)
+
 val committed : 'a t -> int
+(** Total intents marked committed. *)
+
 val aborted : 'a t -> int
+(** Total intents rolled back. *)
+
 val name : 'a t -> string
+(** The name passed at creation. *)
 
 val truncate : 'a t -> unit
 (** Drop resolved entries (checkpoint the log). Pending entries survive. *)

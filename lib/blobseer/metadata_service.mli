@@ -23,6 +23,7 @@ val create :
 (** One metadata provider per host. Requires a non-empty host list. *)
 
 val provider_count : t -> int
+(** Size of the metadata provider pool. *)
 
 val fail : t -> int -> unit
 (** Fail-stop metadata provider [i]: batches route around it (tree nodes

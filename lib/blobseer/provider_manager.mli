@@ -12,14 +12,24 @@ open Netsim
 type t
 
 val create : Engine.t -> Net.t -> host:Net.host -> ?allocate_cost:float -> unit -> t
+(** A manager on [host] with no providers yet; [allocate_cost] (default 0)
+    is charged per allocation round-trip. *)
+
 val register : t -> Data_provider.t -> unit
+(** Add a provider to the placement pool (deployment time). *)
+
 val provider_count : t -> int
+(** Number of registered providers. *)
+
 val providers : t -> Data_provider.t array
+(** All registered providers, in registration order. *)
 
 val provider : t -> int -> Data_provider.t
 (** Lookup by index (as stored in {!Types.replica}). *)
 
 val index_of : t -> Data_provider.t -> int
+(** Inverse of {!provider}. Raises [Not_found] for unregistered
+    providers. *)
 
 val allocate :
   t ->

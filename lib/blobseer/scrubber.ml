@@ -53,6 +53,9 @@ type stats = {
   unrepairable : int;
 }
 
+let m_repairs = Obs.Metrics.counter ~component:"scrub" ~name:"repairs"
+let m_repair_bytes = Obs.Metrics.counter ~component:"scrub" ~name:"repair_bytes"
+
 type t = {
   service : Client.t;
   home : Net.host;
@@ -237,6 +240,8 @@ let scan t =
       else begin
         t.repairs <- t.repairs + 1;
         t.repair_bytes <- t.repair_bytes + (desc.size * List.length fresh);
+        Obs.Metrics.incr m_repairs;
+        Obs.Metrics.add m_repair_bytes (float_of_int (desc.size * List.length fresh));
         `Repaired
           (good @ fresh, List.length fresh, List.length desc.replicas - List.length good)
       end

@@ -59,6 +59,7 @@ type event =
     }
 
 val pp_event : Format.formatter -> event -> unit
+(** One-line rendering for traces and test transcripts. *)
 
 type stats = {
   passes : int;
@@ -96,5 +97,7 @@ val pins : t -> (int * int) list
     them mid-pass. Empty between passes. *)
 
 val stats : t -> stats
+(** Cumulative pass/repair counters. *)
+
 val events : t -> event list
 (** Chronological scrub/repair log — the replay-determinism subject. *)

@@ -26,6 +26,7 @@ val get : 'a t -> int -> 'a option
     history. Requires [0 <= i < chunks t]. *)
 
 val get_range : 'a t -> start:int -> len:int -> 'a option array
+(** The descriptors of leaves [\[start, start+len)], in order. *)
 
 val set_range : 'a t -> start:int -> 'a option array -> 'a t * int
 (** [set_range t ~start leaves] is a new version with

@@ -36,6 +36,8 @@ type params = {
 }
 
 val default_params : params
+(** 256 KiB stripes, replication 1, window 8, strict placement, dedup
+    on — overridden per experiment by the calibration layer. *)
 
 exception Provider_down of string
 (** Raised when an operation needs a data provider whose machine failed and

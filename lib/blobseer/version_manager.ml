@@ -37,6 +37,9 @@ type t = {
 
 type Engine.audit_subject += Audit_version_manager of t
 
+let m_publishes = Obs.Metrics.counter ~component:"vmgr" ~name:"publishes"
+let m_journal_rollbacks = Obs.Metrics.counter ~component:"vmgr" ~name:"journal_rollbacks"
+
 let create engine net ~host ?(publish_cost = Types.default_params.publish_cost) () =
   let t =
     {
@@ -113,6 +116,10 @@ let merge_onto ~latest_tree ~changes =
     latest_tree changes
 
 let publish t ~from ~blob ~base tree =
+  Obs.Span.with_ t.engine ~component:"vmgr" ~name:"vmgr.publish"
+    ~attrs:[ ("blob", Obs.Record.Int blob) ]
+  @@ fun () ->
+  Obs.Metrics.incr m_publishes;
   rpc t ~from (fun () ->
       Rate_server.process t.server 0;
       let st = state t blob in
@@ -194,6 +201,7 @@ let restart t =
     (fun (jid, intent) ->
       rollback t intent;
       Journal.abort t.journal jid;
+      Obs.Metrics.incr m_journal_rollbacks;
       t.recovered <- t.recovered + 1)
     (Journal.pending t.journal);
   t.armed <- None;

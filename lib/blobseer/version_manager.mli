@@ -23,12 +23,17 @@ type crash_point =
   | Mid_apply  (** version root inserted, [latest] not yet bumped *)
 
 val create : Engine.t -> Net.t -> host:Net.host -> ?publish_cost:float -> unit -> t
+(** A version manager on [host] with no blobs; [publish_cost] (default 0)
+    is charged per {!publish} on top of the round-trip. *)
 
 val create_blob : t -> from:Net.host -> capacity:int -> stripe_size:int -> blob_info
 (** Registers a new BLOB whose version 0 is entirely unwritten. *)
 
 val blob_info : t -> int -> blob_info
+(** Lookup by blob id. Raises [Not_found] for unknown ids. Cost-free. *)
+
 val blob_ids : t -> int list
+(** Every registered blob id, ascending. Cost-free. *)
 
 val latest : t -> from:Net.host -> int -> int
 (** Latest published version number of a blob (0 = empty initial version
@@ -80,7 +85,11 @@ val chunk_count : capacity:int -> stripe_size:int -> int
     operation can be retried. *)
 
 val is_alive : t -> bool
+(** [false] between a planted crash firing and {!restart}. *)
+
 val arm_crash : t -> crash_point -> unit
+(** Plant a one-shot crash at the given point of the next mutation
+    (fault-injection hook). *)
 
 val restart : t -> unit
 (** Journal recovery: roll back every pending intent (removing any
@@ -113,4 +122,5 @@ val peek_latest : t -> int -> int
 (** Like {!latest} but free of simulated cost. *)
 
 val peek_tree : t -> blob:int -> version:int -> tree
-(** Like {!get_tree} but free of simulated cost. *)
+(** Like {!get_tree} but free of simulated cost. Raises [Not_found] for
+    unpublished versions. *)

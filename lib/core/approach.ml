@@ -125,8 +125,11 @@ let request_checkpoint (cluster : Cluster.t) inst =
         let snapshot_name = Fmt.str "ckpt%d" inst.epoch in
         let state = encode_vm_state inst.vm in
         (* QEMU serializes the VM state through a throttled channel. *)
-        Engine.sleep cluster.engine
-          (float_of_int (Payload.length state) /. cluster.cal.Calibration.savevm_rate);
+        Obs.Span.with_ cluster.engine ~component:"approach" ~name:"ckpt.serialize"
+          ~attrs:[ ("bytes", Obs.Record.Bytes (Payload.length state)) ]
+          (fun () ->
+            Engine.sleep cluster.engine
+              (float_of_int (Payload.length state) /. cluster.cal.Calibration.savevm_rate));
         Qcow2.savevm image ~snapshot_name ~vm_state:state;
         let remote =
           Qcow2.export image cluster.pvfs ~from:inst.node.Cluster.host

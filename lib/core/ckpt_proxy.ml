@@ -13,6 +13,10 @@ type t = {
 let create cluster ~node = { cluster; pnode = node; served = 0; failed = 0; transients = 0 }
 let node t = t.pnode
 
+let m_served = Obs.Metrics.counter ~component:"proxy" ~name:"requests_served"
+let m_failed = Obs.Metrics.counter ~component:"proxy" ~name:"requests_failed"
+let m_transients = Obs.Metrics.counter ~component:"proxy" ~name:"transient_retries"
+
 (* Transient local-disk errors during the snapshot are retried in place
    (with the VM still suspended, so the snapshot stays consistent) rather
    than surfaced as a failed checkpoint request. *)
@@ -23,18 +27,22 @@ let request_checkpoint t ~vm ~snapshot =
   (* Authentication: only VM instances hosted on this compute node may
      request checkpoints. *)
   if not (Vmsim.Vm.host vm == t.pnode.Cluster.host) then raise Not_local;
+  let engine = t.cluster.Cluster.engine in
   (* Local REST round-trip. *)
-  Engine.sleep t.cluster.Cluster.engine t.cluster.Cluster.cal.Calibration.proxy_request_cost;
+  Obs.Span.with_ engine ~component:"proxy" ~name:"proxy.request" (fun () ->
+      Engine.sleep engine t.cluster.Cluster.cal.Calibration.proxy_request_cost);
   Vmsim.Vm.suspend vm;
   let rec attempt n =
     try Ok (snapshot ()) with
     | Engine.Cancelled as exn -> raise exn
     | Faults.Injected_error _ when n < snapshot_retries ->
         t.transients <- t.transients + 1;
-        Trace.emit t.cluster.Cluster.engine
+        Obs.Metrics.incr m_transients;
+        Trace.emit engine
           ~component:(Fmt.str "proxy@%s" (Netsim.Net.host_name t.pnode.Cluster.host))
           "transient snapshot error, retry %d/%d" (n + 1) snapshot_retries;
-        Engine.sleep t.cluster.Cluster.engine (snapshot_backoff *. float_of_int (1 lsl n));
+        Obs.Span.with_ engine ~component:"proxy" ~name:"proxy.backoff" (fun () ->
+            Engine.sleep engine (snapshot_backoff *. float_of_int (1 lsl n)));
         attempt (n + 1)
     | exn -> Error exn
   in
@@ -45,12 +53,14 @@ let request_checkpoint t ~vm ~snapshot =
   match result with
   | Ok value ->
       t.served <- t.served + 1;
-      Trace.emit t.cluster.Cluster.engine
+      Obs.Metrics.incr m_served;
+      Trace.emit engine
         ~component:(Fmt.str "proxy@%s" (Netsim.Net.host_name t.pnode.Cluster.host))
         "checkpoint request served for %s" (Vmsim.Vm.name vm);
       value
   | Error exn ->
       t.failed <- t.failed + 1;
+      Obs.Metrics.incr m_failed;
       raise exn
 
 let requests_served t = t.served

@@ -14,7 +14,10 @@ exception Not_local
 (** Raised when a VM asks a proxy on a different node. *)
 
 val create : Cluster.t -> node:Cluster.node -> t
+(** Start the proxy service on [node]. *)
+
 val node : t -> Cluster.node
+(** The compute node this proxy serves. *)
 
 val request_checkpoint : t -> vm:Vmsim.Vm.t -> snapshot:(unit -> 'a) -> 'a
 (** Full proxy cycle: authenticate, suspend, run [snapshot], resume.
@@ -23,7 +26,10 @@ val request_checkpoint : t -> vm:Vmsim.Vm.t -> snapshot:(unit -> 'a) -> 'a
     are retried with exponential backoff while the VM stays suspended. *)
 
 val requests_served : t -> int
+(** Snapshot requests completed successfully. *)
+
 val failures : t -> int
+(** Requests whose snapshot action ultimately failed. *)
 
 val transient_retries : t -> int
 (** Snapshot attempts repeated after an injected transient error. *)

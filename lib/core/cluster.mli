@@ -38,7 +38,10 @@ val build : ?seed:int -> Calibration.t -> t
     own start stamps). *)
 
 val node : t -> int -> node
+(** Compute node [i] (0-based). *)
+
 val node_count : t -> int
+(** Number of compute nodes stood up by {!build}. *)
 
 val crash_node : t -> int -> unit
 (** Crash-stop compute node [i]: its BlobSeer data provider fail-stops
@@ -47,6 +50,8 @@ val crash_node : t -> int -> unit
     Idempotent; PVFS-striped data survives. *)
 
 val node_failed : t -> int -> bool
+(** Whether {!crash_node} was applied to node [i]. *)
+
 val on_node_crash : t -> (int -> unit) -> unit
 (** Register a hook run with the node index on every {!crash_node}. *)
 
@@ -56,3 +61,4 @@ val run : t -> (unit -> 'a) -> 'a
     experiment and example uses. *)
 
 val now : t -> float
+(** Current simulated time of the underlying engine, seconds. *)

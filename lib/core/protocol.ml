@@ -89,8 +89,15 @@ let finish partial =
 
 let global_checkpoint (cluster : Cluster.t) ~instances ~dump =
   let branch (inst : Approach.instance) () =
-    staged "dump" (fun () -> dump inst);
-    staged "snapshot" (fun () -> Approach.request_checkpoint cluster inst)
+    Obs.Span.with_ cluster.engine ~component:"proto" ~name:"ckpt"
+      ~attrs:[ ("instance", Obs.Record.Str inst.Approach.id) ]
+    @@ fun () ->
+    staged "dump" (fun () ->
+        Obs.Span.with_ cluster.engine ~component:"proto" ~name:"ckpt.dump" (fun () ->
+            dump inst));
+    staged "snapshot" (fun () ->
+        Obs.Span.with_ cluster.engine ~component:"proto" ~name:"ckpt.snapshot" (fun () ->
+            Approach.request_checkpoint cluster inst))
   in
   finish
     (run_branches cluster.engine ~name:"global-checkpoint"
@@ -98,8 +105,17 @@ let global_checkpoint (cluster : Cluster.t) ~instances ~dump =
 
 let global_restart (cluster : Cluster.t) ~plan ~restore =
   let branch (node, id, snapshot) () =
-    let inst = staged "restart" (fun () -> Approach.restart cluster ~node ~id snapshot) in
-    staged "restore" (fun () -> restore inst);
+    Obs.Span.with_ cluster.engine ~component:"proto" ~name:"restart"
+      ~attrs:[ ("instance", Obs.Record.Str id) ]
+    @@ fun () ->
+    let inst =
+      staged "restart" (fun () ->
+          Obs.Span.with_ cluster.engine ~component:"proto" ~name:"restart.deploy" (fun () ->
+              Approach.restart cluster ~node ~id snapshot))
+    in
+    staged "restore" (fun () ->
+        Obs.Span.with_ cluster.engine ~component:"proto" ~name:"restart.restore" (fun () ->
+            restore inst));
     inst
   in
   finish

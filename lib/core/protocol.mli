@@ -39,6 +39,7 @@ exception Partial_failure of string
 (** Raised by the [_exn] wrappers when any branch failed. *)
 
 val pp_branch_error : Format.formatter -> branch_error -> unit
+(** ["<instance>: <exn>"] — for failure reports. *)
 
 (** How a failed branch should be handled. Classification is by exception
     type — never by matching [Failure] message strings. *)
@@ -50,7 +51,10 @@ type error_class =
   | `Fatal  (** a bug, not a fault — propagate *) ]
 
 val error_class : exn -> error_class
+(** Classify an exception raised by a failed branch. *)
+
 val pp_error_class : Format.formatter -> error_class -> unit
+(** Lowercase tag, e.g. ["transient"]. *)
 
 val global_checkpoint :
   Cluster.t ->

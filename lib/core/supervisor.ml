@@ -77,6 +77,9 @@ type t = {
 
 type Engine.audit_subject += Audit_supervisor of t
 
+let m_recoveries = Obs.Metrics.counter ~component:"sup" ~name:"recoveries"
+let m_abandoned = Obs.Metrics.counter ~component:"sup" ~name:"recoveries_abandoned"
+
 let engine t = t.cluster.Cluster.engine
 let now t = Engine.now (engine t)
 let record t e = t.events_rev <- e :: t.events_rev
@@ -389,6 +392,10 @@ let restart_gang t =
   attempt 1 ~pending:numbered ~placed:[]
 
 let recover t ~dead ~detected_at =
+  Obs.Span.with_ (engine t) ~component:"sup" ~name:"sup.recover"
+    ~attrs:[ ("dead", Obs.Record.Int (List.length dead)) ]
+  @@ fun () ->
+  Obs.Metrics.incr m_recoveries;
   record t (Failure_detected { at = detected_at; dead });
   List.iter
     (fun id -> if not (List.mem id t.declared_dead) then t.declared_dead <- id :: t.declared_dead)
@@ -454,6 +461,7 @@ let recover t ~dead ~detected_at =
   match restart_gang t with
   | Error _pending ->
       t.abandoned <- old_ids @ t.abandoned;
+      Obs.Metrics.incr m_abandoned;
       record t (Abandoned { at = now t; ids = old_ids });
       trace t "recovery abandoned: no spare nodes or attempts exhausted";
       `Abandoned

@@ -115,8 +115,13 @@ val fault_handlers : t -> Faults.handlers
     Targets are taken modulo the respective population size. *)
 
 val report : t -> report
+(** Counters accumulated over the supervised run. *)
+
 val instances : t -> Approach.instance list
+(** The gang's current (possibly redeployed) instances. *)
+
 val cluster : t -> Cluster.t
+(** The cluster this supervisor drives. *)
 
 val scrubber : t -> Blobseer.Scrubber.t option
 (** The background scrubber, when [run] was given a [scrub] config. *)

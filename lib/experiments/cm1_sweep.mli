@@ -15,7 +15,10 @@ type point = {
 }
 
 val run_point : Scale.t -> combo:Combos.t -> vms:int -> point
+(** One CM1 run on a fresh cluster: deploy [vms] instances, warm up,
+    checkpoint once. *)
 
 val sweep :
   Scale.t -> ?combos:Combos.t list -> ?vm_counts:int list ->
   ?progress:(point -> unit) -> unit -> point list
+(** The full (combo × VM count) grid; defaults come from the scale. *)

@@ -21,6 +21,7 @@ val disk_only : t list
     qcow2-full). *)
 
 val find : string -> t option
+(** Look up a combination by its legend name, e.g. ["BlobCR-app"]. *)
 
 val dump : t -> Synthetic.t -> unit
 (** Stage 1 of the two-stage checkpoint for the synthetic benchmark:

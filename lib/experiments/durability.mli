@@ -34,6 +34,8 @@ val acceptance_script : Faults.script
     the next COMMIT at t=9, host 0 crash-stopped at t=18. *)
 
 val final_subdomain_digests : Supervisor.t -> (string * int64) list
+(** (instance name, digest) of each surviving instance's restored state —
+    compared across runs to prove recovery restored identical content. *)
 
 val chaos_run :
   Scale.t ->
@@ -77,8 +79,12 @@ val run_point :
   scrub_interval:float ->
   unit ->
   point
+(** One profile-generated chaos run at the given corruption weight,
+    replication degree and scrub interval. *)
 
 val sweep : Scale.t -> ?progress:(string -> unit) -> unit -> point list
+(** The (corruption weight × replication × scrub interval) grid taken from
+    the scale's durability axes. *)
 
 val tables : Scale.t -> ?progress:(string -> unit) -> unit -> (string * Simcore.Stats.table) list
 (** Named result tables: ["durability"] (restart success),

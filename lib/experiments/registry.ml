@@ -182,3 +182,20 @@ let run_and_render e scale ?csv_dir ~progress () =
       | None -> ())
     outputs;
   Buffer.contents buf
+
+let run_observed e scale ?csv_dir ?detail ~progress () =
+  Obs.Record.capture ?detail (fun () -> run_and_render e scale ?csv_dir ~progress ())
+
+let render_observability run =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "-- observability: metrics --\n";
+  Buffer.add_string buf (Obs.Export.metrics_table run);
+  List.iter
+    (fun (root, title) ->
+      let t = Obs.Export.phase_table run ~root in
+      if t <> "" then begin
+        Buffer.add_string buf (Fmt.str "\n-- observability: %s phase breakdown --\n" title);
+        Buffer.add_string buf t
+      end)
+    [ ("ckpt", "checkpoint"); ("restart", "restart") ];
+  Buffer.contents buf

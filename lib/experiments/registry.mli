@@ -20,9 +20,30 @@ val all : t list
     emit both outputs in one run. *)
 
 val find : string -> t option
+(** Look up an experiment by id, e.g. ["fig2a"]. *)
+
 val ids : string list
+(** Ids of {!all}, in order. *)
 
 val run_and_render :
   t -> Scale.t -> ?csv_dir:string -> progress:(string -> unit) -> unit -> string
 (** Run the experiment, optionally write each output as CSV under
     [csv_dir], and return the rendered text tables. *)
+
+val run_observed :
+  t ->
+  Scale.t ->
+  ?csv_dir:string ->
+  ?detail:bool ->
+  progress:(string -> unit) ->
+  unit ->
+  string * Obs.Record.run
+(** Like {!run_and_render}, but under an observability capture: also
+    returns the recorded spans, metric snapshot and labelled tracks (one
+    per simulated sweep point). [detail] additionally records per-chunk
+    spans — large timelines; off by default. *)
+
+val render_observability : Obs.Record.run -> string
+(** Render a captured run as the flat metrics table followed by the
+    checkpoint and restart critical-path phase breakdowns (when the run
+    contains [ckpt] / [restart] root spans). *)

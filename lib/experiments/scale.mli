@@ -32,7 +32,10 @@ type t = {
 }
 
 val paper : t
+(** Full paper scale: the 120-node testbed and the figures' sweep axes. *)
+
 val quick : t
+(** Shrunk axes and node counts for CI and smoke tests. *)
 
 val find : string -> t option
 (** ["paper" | "quick"]. *)

@@ -36,6 +36,7 @@ let restart_node cluster ~n i =
 
 let run_point (scale : Scale.t) ~(combo : Combos.t) ~n ~buffer =
   let cluster = Cluster.build ~seed:scale.Scale.seed scale.Scale.cal in
+  Obs.Record.label_track cluster.Cluster.engine (Fmt.str "%s n=%d" combo.Combos.label n);
   Cluster.run cluster (fun () ->
       let instances = deploy_many cluster combo.Combos.kind ~n in
       let benches = Hashtbl.create n in
@@ -89,6 +90,8 @@ let sweep scale ~buffer ?(combos = Combos.all) ?ns ?(progress = fun _ -> ()) () 
 
 let run_successive (scale : Scale.t) ~(combo : Combos.t) ~rounds ~buffer =
   let cluster = Cluster.build ~seed:scale.Scale.seed scale.Scale.cal in
+  Obs.Record.label_track cluster.Cluster.engine
+    (Fmt.str "%s successive x%d" combo.Combos.label rounds);
   Cluster.run cluster (fun () ->
       let instances = deploy_many cluster combo.Combos.kind ~n:1 in
       let inst = List.hd instances in

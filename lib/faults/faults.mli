@@ -44,7 +44,10 @@ type event = { at : float; action : action }
 type script = event list
 
 val pp_action : Format.formatter -> action -> unit
+(** One-line rendering of an action, e.g. ["crash-host 3"]. *)
+
 val pp_event : Format.formatter -> event -> unit
+(** ["t=+<at>s <action>"] — for traces and test transcripts. *)
 
 val of_profile :
   rng:Rng.t ->

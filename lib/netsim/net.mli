@@ -30,13 +30,25 @@ val default_config : config
     256 KiB segments, non-blocking fabric. *)
 
 val create : Engine.t -> config -> t
+(** A fresh network with no hosts. *)
+
 val engine : t -> Engine.t
+(** The engine the network was created on. *)
+
 val config : t -> config
+(** The configuration passed at creation. *)
 
 val add_host : t -> name:string -> host
+(** Attach a new host (its own uplink/downlink NIC pair) to the fabric. *)
+
 val host_name : host -> string
+(** The name passed to {!add_host}. *)
+
 val host_id : host -> int
+(** Dense id in attachment order, usable as a stream id. *)
+
 val hosts : t -> host list
+(** Every host, in attachment order. *)
 
 val transfer : t -> src:host -> dst:host -> int -> unit
 (** [transfer t ~src ~dst bytes] blocks until the payload has fully arrived
@@ -46,7 +58,10 @@ val message : t -> src:host -> dst:host -> unit
 (** Small control message: propagation latency only. *)
 
 val bytes_sent : host -> int
+(** Total bytes this host has put on its uplink. *)
+
 val bytes_received : host -> int
+(** Total bytes delivered to this host's downlink. *)
 
 (** {1 Injected link faults}
 

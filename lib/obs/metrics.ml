@@ -1,0 +1,20 @@
+type handle = { component : string; name : string }
+
+let counter ~component ~name =
+  Record.register ~component ~name Record.Counter;
+  { component; name }
+
+let gauge ~component ~name =
+  Record.register ~component ~name Record.Gauge;
+  { component; name }
+
+let histogram ~component ~name =
+  Record.register ~component ~name Record.Histogram;
+  { component; name }
+
+let incr ?(by = 1) h =
+  Record.observe ~component:h.component ~name:h.name (float_of_int by)
+
+let add h v = Record.observe ~component:h.component ~name:h.name v
+let set h v = Record.set ~component:h.component ~name:h.name (float_of_int v)
+let observe h v = Record.observe ~component:h.component ~name:h.name v

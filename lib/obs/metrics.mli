@@ -1,0 +1,35 @@
+(** Registry of named counters, gauges and histograms.
+
+    A handle is minted once, at module-initialization time, with
+    {!counter}/{!gauge}/{!histogram}; minting registers the metric's
+    (component, name, kind) in a global schema, so every run snapshot lists
+    all registered metrics — touched or not — with a stable order. Updates
+    through a handle are no-ops unless a {!Record.capture} is active. *)
+
+type handle
+(** A registered metric. Cheap to store in module globals. *)
+
+val counter : component:string -> name:string -> handle
+(** A monotonically accumulating sum (events, bytes). Snapshot reports the
+    total. Registering the same (component, name) twice with the same kind
+    returns an equivalent handle; with a different kind it raises. *)
+
+val gauge : component:string -> name:string -> handle
+(** A last-value-wins level (bytes currently resident, live entries).
+    Snapshot reports the last set value plus the observed min/max. *)
+
+val histogram : component:string -> name:string -> handle
+(** A distribution of observations (per-commit seconds). Snapshot reports
+    count, sum, min, max and last. *)
+
+val incr : ?by:int -> handle -> unit
+(** Add [by] (default 1) to a counter. *)
+
+val add : handle -> float -> unit
+(** Add a float amount to a counter. *)
+
+val set : handle -> int -> unit
+(** Set a gauge to an integer level. *)
+
+val observe : handle -> float -> unit
+(** Record one histogram observation. *)

@@ -138,11 +138,15 @@ let stripe_content file index extent =
       else Payload.concat [ p; Payload.zero (extent - Payload.length p) ]
   | None -> Payload.zero extent
 
+let m_bytes_written = Obs.Metrics.counter ~component:"pvfs" ~name:"bytes_written"
+let m_bytes_read = Obs.Metrics.counter ~component:"pvfs" ~name:"bytes_read"
+
 let write file ~from ~offset payload =
   let t = file.fs in
   let len = Payload.length payload in
   if offset < 0 then invalid_arg "Pvfs.write: negative offset";
   if len > 0 then begin
+    Obs.Metrics.add m_bytes_written (float_of_int len);
     let stripe = t.prm.stripe_size in
     let first = offset / stripe and last = (offset + len - 1) / stripe in
     ensure_stripes file (last + 1);
@@ -191,6 +195,7 @@ let read file ~from ~offset ~len =
     invalid_arg "Pvfs.read: range out of bounds";
   if len = 0 then Payload.zero 0
   else begin
+    Obs.Metrics.add m_bytes_read (float_of_int len);
     let stripe = t.prm.stripe_size in
     let first = offset / stripe and last = (offset + len - 1) / stripe in
     let read_stripe index =

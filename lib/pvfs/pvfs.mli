@@ -39,10 +39,17 @@ val deploy :
   io_servers:(Net.host * Disk.t) list ->
   unit ->
   t
+(** Stand up a deployment: one metadata server plus an I/O server per
+    [(host, disk)] pair. *)
 
 val engine : t -> Engine.t
+(** The engine the deployment runs on. *)
+
 val params : t -> params
+(** The parameters the deployment was stood up with. *)
+
 val server_count : t -> int
+(** Number of I/O servers. *)
 
 val total_bytes : t -> int
 (** Physical bytes stored across all I/O servers. *)
@@ -55,11 +62,14 @@ val open_file : t -> from:Net.host -> path:string -> file
 (** Raises [Not_found] for missing paths. *)
 
 val exists : t -> path:string -> bool
+(** Cost-free namespace peek (tests and idempotence checks). *)
 
 val delete : t -> from:Net.host -> path:string -> unit
 (** Frees the stripes on the I/O servers. *)
 
 val path : file -> string
+(** The path the file was created under. *)
+
 val size : file -> int
 (** Current logical file size (writes extend it). *)
 

@@ -85,6 +85,7 @@ let audit_violations t =
 
 let now t = t.now
 let rng t = t.rng
+let current_fiber t = t.current
 let live_fibers t = t.live
 let blocked_fibers t = t.blocked
 let schedule t ~time f = Event_queue.add t.queue ~time f

@@ -41,6 +41,11 @@ val now : t -> float
 val rng : t -> Rng.t
 (** The engine's root random stream. *)
 
+val current_fiber : t -> fiber option
+(** The fiber whose body is executing right now, or [None] between events
+    (or inside a plain {!at} callback). Observability layers use this to
+    attribute work to a logical thread; it never changes scheduling. *)
+
 val run : t -> unit
 (** Process events until the queue is empty. Raises {!Fiber_failure} as soon
     as any fiber dies with an unhandled exception. Fibers still blocked when
@@ -94,6 +99,8 @@ val audits_enabled : unit -> bool
     environment variable (unset, empty or ["0"] means disabled). *)
 
 val set_audits_enabled : bool -> unit
+(** Override the audit toggle for the current process (tests use this to
+    force audits on regardless of the environment). *)
 
 val sleep : t -> float -> unit
 (** [sleep t d] blocks the calling fiber for [d] simulated seconds.

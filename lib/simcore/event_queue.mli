@@ -7,8 +7,13 @@
 type 'a t
 
 val create : unit -> 'a t
+(** An empty queue with the insertion counter at zero. *)
+
 val is_empty : 'a t -> bool
+(** [true] iff no events are pending. *)
+
 val length : 'a t -> int
+(** Number of pending events. *)
 
 val add : 'a t -> time:float -> 'a -> unit
 (** Insert an event at the given simulated time. *)

@@ -12,6 +12,7 @@
 type t
 
 val length : t -> int
+(** Byte length; O(1). *)
 
 val zero : int -> t
 (** [zero len] is [len] zero bytes. *)
@@ -24,6 +25,7 @@ val of_bytes : bytes -> t
 (** Takes ownership of the buffer; do not mutate it afterwards. *)
 
 val of_string : string -> t
+(** Copy of the string's bytes as a payload. *)
 
 val byte_at : t -> int -> char
 (** [byte_at p i] is the [i]-th byte. Requires [0 <= i < length p]. *)

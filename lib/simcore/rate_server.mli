@@ -32,13 +32,19 @@ val seeks : t -> int
 (** Stream switches served so far. *)
 
 val name : t -> string
+(** The name passed at creation (for traces); [""] by default. *)
+
 val rate : t -> float
+(** Service rate in bytes/second. *)
 
 val busy_time : t -> float
 (** Total simulated seconds the server has spent serving requests. *)
 
 val ops : t -> int
+(** Operations served so far. *)
+
 val bytes_served : t -> int
+(** Total bytes served so far. *)
 
 val utilization : t -> float
 (** [busy_time / now], 0 at time 0. *)

@@ -27,6 +27,7 @@ val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)
 
 val bool : t -> bool
+(** A fair coin flip. *)
 
 val exponential : t -> float -> float
 (** [exponential t mean] draws from an exponential distribution with the

@@ -11,9 +11,14 @@ val create : ?block_size:int -> unit -> t
 (** Default block size 64 KiB. *)
 
 val write : t -> offset:int -> Payload.t -> unit
+(** Store the payload's bytes at [offset], materializing blocks as
+    needed. *)
+
 val read : t -> offset:int -> len:int -> Payload.t
+(** The [len] bytes at [offset]; unwritten ranges read as zeros. *)
 
 val written_bytes : t -> int
 (** Number of bytes covered by materialized blocks (block-granular). *)
 
 val clear : t -> unit
+(** Drop every block, returning the space to all-zeros. *)

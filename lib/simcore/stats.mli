@@ -11,7 +11,11 @@ val series : string -> series
 (** [series label] is a fresh, empty series. *)
 
 val label : series -> string
+(** The label passed to {!series}. *)
+
 val add : series -> x:float -> y:float -> unit
+(** Append one [(x, y)] point. *)
+
 val points : series -> (float * float) list
 (** In insertion order. *)
 
@@ -21,10 +25,13 @@ val y_at : series -> x:float -> float option
 type table
 
 val table : title:string -> x_label:string -> y_label:string -> series list -> table
+(** Bundle series under a title and axis labels, ready to render. *)
+
 val render : table -> string
 (** Aligned text table: one row per distinct [x], one column per series. *)
 
 val to_csv : table -> string
+(** The same rows as {!render}, comma-separated with a header line. *)
 
 val write_csv : dir:string -> name:string -> table -> string
 (** Write [to_csv] under [dir] (created if missing); returns the path. *)
@@ -32,5 +39,10 @@ val write_csv : dir:string -> name:string -> table -> string
 (** Basic descriptive statistics used by tests and the bench harness. *)
 
 val mean : float list -> float
+(** Arithmetic mean; [0.] for the empty list. *)
+
 val stddev : float list -> float
+(** Population standard deviation; [0.] for fewer than two points. *)
+
 val min_max : float list -> float * float
+(** Smallest and largest element. Requires a non-empty list. *)

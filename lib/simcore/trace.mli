@@ -10,6 +10,7 @@ val set_sink : sink option -> unit
 (** Install (or remove) the global trace sink. *)
 
 val enabled : unit -> bool
+(** Whether a sink is currently installed. *)
 
 val emit : Engine.t -> component:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
 (** [emit engine ~component fmt ...] sends a formatted trace point to the

@@ -11,6 +11,7 @@ type t
 type chunk_id = int
 
 val create : unit -> t
+(** An empty store. *)
 
 val put : t -> Payload.t -> chunk_id
 (** Store a payload with reference count 1. *)
@@ -19,6 +20,7 @@ val get : t -> chunk_id -> Payload.t
 (** Raises [Not_found] for dead or unknown ids. *)
 
 val incr_ref : t -> chunk_id -> unit
+(** Add one reference to a live chunk. *)
 
 val decr_ref : t -> chunk_id -> unit
 (** Drops the chunk when the count reaches zero. *)
@@ -38,9 +40,13 @@ val corrupt : t -> chunk_id -> Payload.t -> unit
     dead/unknown ids. *)
 
 val mem : t -> chunk_id -> bool
+(** Whether the id refers to a live chunk. *)
 
 (** Live chunk ids, ascending (GC sweep enumeration). *)
 val ids : t -> chunk_id list
+
 val chunk_count : t -> int
+(** Number of live chunks. *)
+
 val total_bytes : t -> int
 (** Sum of payload lengths of live chunks. *)

@@ -52,8 +52,19 @@ val armed_faults : t -> int
 (** Transient faults still armed. *)
 
 val name : t -> string
+(** The name passed at creation (for traces and error reports). *)
+
 val capacity : t -> int
+(** Total capacity in bytes. *)
+
 val used : t -> int
+(** Bytes currently accounted against capacity. *)
+
 val bytes_read : t -> int
+(** Total bytes read over the disk's lifetime. *)
+
 val bytes_written : t -> int
+(** Total bytes written over the disk's lifetime. *)
+
 val busy_time : t -> float
+(** Simulated seconds spent serving requests. *)

@@ -17,7 +17,10 @@ val read : t -> offset:int -> len:int -> Simcore.Payload.t
 (** Bounds-checked wrapper. *)
 
 val write : t -> offset:int -> Simcore.Payload.t -> unit
+(** Bounds-checked wrapper. *)
+
 val flush : t -> unit
+(** Durability barrier (delegates to the implementation). *)
 
 val in_memory : capacity:int -> t
 (** Cost-free in-memory device for tests. *)

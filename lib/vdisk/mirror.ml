@@ -24,6 +24,11 @@ type t = {
 
 type Engine.audit_subject += Audit_mirror of t
 
+let m_chunks_fetched = Obs.Metrics.counter ~component:"mirror" ~name:"chunks_fetched"
+let m_bytes_fetched = Obs.Metrics.counter ~component:"mirror" ~name:"bytes_fetched"
+let m_local_bytes = Obs.Metrics.gauge ~component:"mirror" ~name:"local_bytes"
+let m_commit_seconds = Obs.Metrics.histogram ~component:"mirror" ~name:"commit_seconds"
+
 let create engine ~host ~local_disk ~base ~base_version ?prefetch ~name () =
   let chunk_size = Client.stripe_size base in
   let t = {
@@ -70,11 +75,13 @@ let local_stream t = Net.host_id t.host
 
 let reserve_local t bytes =
   Disk.reserve t.local_disk bytes;
-  t.reserved <- t.reserved + bytes
+  t.reserved <- t.reserved + bytes;
+  Obs.Metrics.set m_local_bytes t.reserved
 
 let drop_local_state t =
   Disk.free t.local_disk t.reserved;
   t.reserved <- 0;
+  Obs.Metrics.set m_local_bytes 0;
   Hashtbl.reset t.present;
   Hashtbl.reset t.dirty;
   Sparse_bytes.clear t.local
@@ -97,6 +104,8 @@ let ensure_present t index =
       | _ -> fetch_plain ()
     in
     assert (Payload.length payload = extent);
+    Obs.Metrics.incr m_chunks_fetched;
+    Obs.Metrics.add m_bytes_fetched (float_of_int extent);
     (* Cache fill: write-through to the local disk. *)
     reserve_local t extent;
     Disk.write t.local_disk ~stream:(local_stream t) extent;
@@ -168,7 +177,11 @@ let clone t =
       t.ckpt <- Some (Client.clone t.base ~from:t.host ~version:t.base_version)
 
 let commit t =
-  clone t;
+  Obs.Span.with_ t.engine ~component:"mirror" ~name:"ckpt.commit"
+    ~attrs:[ ("dirty_chunks", Obs.Record.Int (Hashtbl.length t.dirty)) ]
+  @@ fun () ->
+  let started = Engine.now t.engine in
+  Obs.Span.with_ t.engine ~component:"mirror" ~name:"ckpt.clone" (fun () -> clone t);
   let ckpt = Option.get t.ckpt in
   let indices = Hashtbl.fold (fun i () acc -> i :: acc) t.dirty [] |> List.sort compare in
   (* One job per dirty chunk: the local-disk read happens inside the
@@ -194,6 +207,7 @@ let commit t =
     stats.Client.chunks_total stats.Client.chunks_shipped stats.Client.bytes_shipped
     stats.Client.chunks_deduped stats.Client.bytes_deduped stats.Client.chunks_suppressed
     stats.Client.bytes_suppressed version;
+  Obs.Metrics.observe m_commit_seconds (Engine.now t.engine -. started);
   Hashtbl.reset t.dirty;
   version
 

@@ -35,14 +35,24 @@ val create :
     checkpoint image and the snapshot version to roll back to. *)
 
 val name : t -> string
+(** The name passed at creation (for traces). *)
+
 val capacity : t -> int
+(** Byte capacity of the mirrored image. *)
+
 val chunk_size : t -> int
 (** Equals the repository stripe size: COW granularity. *)
 
 val device : t -> Block_dev.t
+(** The raw block-device view handed to the hypervisor. *)
 
 val read : t -> offset:int -> len:int -> Payload.t
+(** Read through the cache, lazily fetching missing chunks from the base
+    snapshot. *)
+
 val write : t -> offset:int -> Payload.t -> unit
+(** Copy-on-write update kept on the local disk; partial chunk writes
+    fetch the old content first. *)
 
 val clone : t -> unit
 (** The [CLONE] ioctl: create this instance's checkpoint image as a clone
@@ -77,6 +87,8 @@ val taint_all : t -> unit
     isolates the value of incremental snapshotting. *)
 
 val dirty_chunks : t -> int
+(** Number of chunks modified since the last commit. *)
+
 val dirty_bytes : t -> int
 (** Size of the diff the next {!commit} will push (chunk-granular). *)
 

@@ -13,11 +13,15 @@ type t = {
   mutable coalesced : int;
 }
 
+let m_distinct = Obs.Metrics.counter ~component:"prefetch" ~name:"distinct_fetches"
+let m_coalesced = Obs.Metrics.counter ~component:"prefetch" ~name:"coalesced_fetches"
+
 let create engine net () =
   { engine; net; table = Hashtbl.create 1024; distinct = 0; coalesced = 0 }
 
 let serve_cached t ~self ~provider_host payload =
   t.coalesced <- t.coalesced + 1;
+  Obs.Metrics.incr m_coalesced;
   Net.transfer t.net ~src:provider_host ~dst:self (Payload.length payload);
   payload
 
@@ -35,6 +39,7 @@ let rec fetch t ~self ~key ~provider_host ~fetch_fn =
       let ivar = Engine.Ivar.create t.engine in
       Hashtbl.replace t.table key (Fetching ivar);
       t.distinct <- t.distinct + 1;
+      Obs.Metrics.incr m_distinct;
       let result = try Ok (fetch_fn ()) with exn -> Error exn in
       (match result with
       | Ok payload -> Hashtbl.replace t.table key (Done payload)

@@ -19,6 +19,7 @@ open Netsim
 type t
 
 val create : Engine.t -> Net.t -> unit -> t
+(** A fresh prefetcher with an empty chunk cache. *)
 
 val fetch :
   t ->

@@ -218,9 +218,16 @@ let device t =
 (* ------------------------------------------------------------------ *)
 (* Internal snapshots *)
 
+let m_savevm_bytes = Obs.Metrics.counter ~component:"qcow2" ~name:"savevm_bytes"
+let m_export_bytes = Obs.Metrics.counter ~component:"qcow2" ~name:"export_bytes"
+
 let savevm t ~snapshot_name ~vm_state =
   if List.mem_assoc snapshot_name t.snapshots then
     invalid_arg (Fmt.str "Qcow2.savevm: snapshot %s exists" snapshot_name);
+  Obs.Span.with_ t.engine ~component:"qcow2" ~name:"qcow2.savevm"
+    ~attrs:[ ("bytes", Obs.Record.Bytes (Payload.length vm_state)) ]
+  @@ fun () ->
+  Obs.Metrics.add m_savevm_bytes (float_of_int (Payload.length vm_state));
   let stable = Hashtbl.copy t.table in
   (* lint: allow hashtbl-order — commutative per-cluster increments *)
   Hashtbl.iter (fun _ phys -> Hashtbl.replace t.refcounts phys (refs t phys + 1)) stable;
@@ -261,6 +268,10 @@ let unsafe_set_refcount t ~phys count = Hashtbl.replace t.refcounts phys count
 let export t fs ~from ~path =
   let meta_bytes = header_bytes ~capacity:t.qcapacity ~cluster_size:t.qcluster_size in
   let size = file_size t in
+  Obs.Span.with_ t.engine ~component:"qcow2" ~name:"qcow2.export"
+    ~attrs:[ ("bytes", Obs.Record.Bytes size) ]
+  @@ fun () ->
+  Obs.Metrics.add m_export_bytes (float_of_int size);
   (* Read the local file sequentially... *)
   Disk.read t.local_disk ~stream:(local_stream t) size;
   (* ...and stream it into a fresh PVFS file: metadata region, clusters in

@@ -42,8 +42,13 @@ val create :
     [host] is the compute node, used for remote backing reads. *)
 
 val name : t -> string
+(** The name passed at creation (for traces). *)
+
 val capacity : t -> int
+(** Guest-visible byte capacity. *)
+
 val cluster_size : t -> int
+(** Allocation and copy-on-write granularity. *)
 
 val read : t -> offset:int -> len:int -> Payload.t
 (** Allocated clusters read from the local disk; anything else falls
@@ -55,6 +60,7 @@ val write : t -> offset:int -> Payload.t -> unit
     clusters allocate fresh ones. *)
 
 val device : t -> Block_dev.t
+(** The raw block-device view handed to the hypervisor. *)
 
 val file_size : t -> int
 (** Bytes the image file occupies locally: header and lookup tables,
@@ -65,6 +71,7 @@ val data_bytes : t -> int
 (** Allocated cluster bytes only. *)
 
 val allocated_clusters : t -> int
+(** Number of physically allocated clusters. *)
 
 val drop_local : t -> unit
 (** Release the image's local-disk footprint (instance terminated, node
@@ -77,6 +84,7 @@ val savevm : t -> snapshot_name:string -> vm_state:Payload.t -> unit
     state in the image (charged as a local disk write). *)
 
 val snapshot_names : t -> string list
+(** Internal snapshots, oldest first. *)
 
 (** {1 Audit views}
 
@@ -112,7 +120,10 @@ val export : t -> Pvfs.t -> from:Net.host -> path:string -> remote_image
     [path]). The result can back new images and serve VM states. *)
 
 val remote_file_size : remote_image -> int
+(** Size of the exported file on PVFS. *)
+
 val remote_capacity : remote_image -> int
+(** Guest-visible capacity recorded in the exported image. *)
 
 val remote_vm_state : remote_image -> from:Net.host -> snapshot_name:string -> Payload.t
 (** Fetch a stored VM state from the exported image (full-snapshot

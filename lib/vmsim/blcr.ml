@@ -5,7 +5,14 @@ let checkpoint_dir = "/ckpt/blcr"
 (* Serializing memory costs CPU: ~1 GiB/s. *)
 let serialize_rate = float_of_int Size.gib
 
-let dump_payload ~mem ~seq = Payload.pattern ~seed:(Int64.of_int (0xB1C4 + seq)) mem
+(* A dump is an image of the process's memory, so its content is unique to
+   the (VM, process) that owns it and changes as the application mutates
+   state between checkpoints (here: per dump epoch). Seeding by sequence
+   number alone would make dumps identical across a gang of instances and
+   let content-addressed dedup suppress shipping that a real deployment
+   must pay for. *)
+let dump_payload ~vm ~name ~mem ~epoch =
+  Payload.pattern ~seed:(Int64.of_int (Hashtbl.hash (0xB1C4, vm, name, epoch))) mem
 
 let dump_path ~name ~epoch = Fmt.str "%s/%s.ctx.%d" checkpoint_dir name epoch
 
@@ -43,15 +50,16 @@ let dump vm =
     match List.assoc_opt name existing with Some e -> e + 1 | None -> 0
   in
   let total = ref 0 in
-  List.iteri
-    (fun seq proc ->
+  List.iter
+    (fun proc ->
       let mem = Process.mem proc in
       let name = Process.name proc in
+      let epoch = next_epoch name in
       Engine.sleep engine (float_of_int mem /. serialize_rate);
       (* Each checkpoint request produces a fresh context file. *)
       Guest_fs.write_file fs
-        ~path:(dump_path ~name ~epoch:(next_epoch name))
-        (dump_payload ~mem ~seq);
+        ~path:(dump_path ~name ~epoch)
+        (dump_payload ~vm:(Vm.name vm) ~name ~mem ~epoch);
       total := !total + mem)
     (Vm.processes vm);
   Guest_fs.sync fs;

@@ -22,9 +22,11 @@ val restore : Vm.t -> int
     re-registers each dumped process on the VM. Returns bytes read.
     Raises [Failure] if no dumps are present. *)
 
-val dump_payload : mem:int -> seq:int -> Payload.t
-(** The deterministic payload a dump writes (exposed so tests can verify
-    restored content byte-for-byte). *)
+val dump_payload : vm:string -> name:string -> mem:int -> epoch:int -> Payload.t
+(** The deterministic payload a dump writes for process [name] of VM [vm]
+    at its [epoch]-th dump — a stand-in for the process's memory image, so
+    it is unique per (VM, process) and changes between dumps (exposed so
+    tests can verify restored content byte-for-byte). *)
 
 val newest_dump : Vm.t -> name:string -> Payload.t
 (** The most recent context file dumped for the named process. Raises

@@ -29,18 +29,25 @@ val mount : Block_dev.t -> t
     system. *)
 
 val block_size : t -> int
+(** Allocation granularity fixed at {!format} time. *)
 
 val write_file : t -> path:string -> Payload.t -> unit
 (** Create or replace a file (page cache only until {!sync}). *)
 
 val append_file : t -> path:string -> Payload.t -> unit
+(** Extend a file (creating it if missing); page cache only until
+    {!sync}. *)
 
 val read_file : t -> path:string -> Payload.t
 (** From the page cache, or loaded from the device on first access.
     Raises [Not_found]. *)
 
 val file_size : t -> path:string -> int
+(** Logical size in bytes. Raises [Not_found]. *)
+
 val exists : t -> path:string -> bool
+(** Whether a file exists at [path]. *)
+
 val list_files : t -> string list
 (** Sorted. *)
 

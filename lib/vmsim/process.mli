@@ -7,7 +7,13 @@
 type t
 
 val create : name:string -> mem:int -> t
+(** A process descriptor with an initial footprint of [mem] bytes. *)
+
 val name : t -> string
+(** The name passed at creation. *)
+
 val mem : t -> int
+(** Current tracked memory footprint in bytes. *)
+
 val set_mem : t -> int -> unit
 (** Update the tracked footprint as the application allocates. *)

@@ -161,7 +161,8 @@ let suspend t =
   | Running ->
       t.vstate <- Suspended;
       Trace.emit t.engine ~component:t.vname "suspended";
-      Engine.sleep t.engine 0.05
+      Obs.Span.with_ t.engine ~component:"vm" ~name:"vm.suspend" (fun () ->
+          Engine.sleep t.engine 0.05)
   | Suspended -> ()
   | Dead ->
       (* Fail-stop mid-checkpoint: the caller's fiber belongs to a
@@ -178,7 +179,8 @@ let resume t =
           t.resume_signal <- None;
           Engine.Ivar.fill s ()
       | None -> ());
-      Engine.sleep t.engine 0.05
+      Obs.Span.with_ t.engine ~component:"vm" ~name:"vm.resume" (fun () ->
+          Engine.sleep t.engine 0.05)
   | Running -> ()
   | Dead -> raise Engine.Cancelled
   | Created | Booting -> failwith (Fmt.str "Vm.resume: %s not suspended" t.vname)

@@ -54,10 +54,19 @@ val create :
     memory. *)
 
 val name : t -> string
+(** The name passed at creation. *)
+
 val host : t -> Net.host
+(** The compute host the VM runs on. *)
+
 val state : t -> state
+(** Current lifecycle state. *)
+
 val device : t -> Block_dev.t
+(** The virtual disk attached at creation. *)
+
 val engine : t -> Engine.t
+(** The engine the VM runs on. *)
 
 val boot : t -> format_fs:bool -> unit
 (** Blocks through the boot sequence. [format_fs] formats a fresh guest

@@ -35,7 +35,10 @@ val setup : Cluster.t -> instances:Approach.instance list -> config -> t
     processes. *)
 
 val config : t -> config
+(** The configuration given to {!setup}. *)
+
 val process_count : t -> int
+(** Total MPI ranks ([vms * procs_per_vm]). *)
 
 val iterate : t -> int -> unit
 (** Run iterations: compute + halo exchange on every process in parallel,
@@ -65,6 +68,8 @@ val restore_app : t -> Approach.instance -> unit
     missing. *)
 
 val restore_blcr : t -> Approach.instance -> unit
+(** Reload the blcr dumps of {!dump_blcr}. Raises [Failure] when files are
+    missing. *)
 
 val subdomain_digests : t -> Approach.instance -> int64 list
 (** Digests of the locally held subdomain states (restart verification). *)

@@ -20,8 +20,13 @@ val start : Approach.instance -> buffer_bytes:int -> t
 (** Allocate the buffer (registering the guest process) and fill it. *)
 
 val instance : t -> Approach.instance
+(** The instance this benchmark runs on. *)
+
 val buffer : t -> Payload.t
+(** The live data buffer (mutated by {!refill}). *)
+
 val epoch : t -> int
+(** Number of application-level dumps taken so far. *)
 
 val refill : t -> unit
 (** Fill the buffer with fresh random data (charges memory-bandwidth-bound
