@@ -5,6 +5,7 @@
      blobcr_lint invariants                     structural audits over a live scenario
      blobcr_lint determinism --exp fig2a        replay-divergence check
      blobcr_lint durability                     corruption-chaos durability invariant
+     blobcr_lint fuzz [--seed N]                schedule-fuzzing race detector / seed replay
      blobcr_lint all                            everything; exit 0 = clean *)
 
 open Cmdliner
@@ -178,12 +179,31 @@ let exp_term =
     value & opt string "fig5a"
     & info [ "exp" ] ~docv:"NAME" ~doc:"Experiment id from the registry (see blobcr_cli list).")
 
-let run_determinism (_, scale) seed exp_id =
+let schedule_arg =
+  let parse s =
+    match Simcore.Event_queue.schedule_of_string s with
+    | Ok schedule -> Ok schedule
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Simcore.Event_queue.pp_schedule)
+
+let schedule_term =
+  Arg.(
+    value
+    & opt schedule_arg Simcore.Event_queue.Fifo
+    & info [ "schedule" ] ~docv:"POLICY"
+        ~doc:
+          "Event-queue tie-break policy for both runs: $(b,fifo) (default, \
+           bit-identical to the historical behavior), $(b,lifo), or \
+           $(b,shuffle:<seed>).")
+
+let run_determinism (_, scale) seed exp_id schedule =
   match Experiments.Registry.find exp_id with
   | None ->
       Fmt.epr "unknown experiment %S; try `blobcr_cli list'@." exp_id;
       2
   | Some exp ->
+      let scale = { scale with Experiments.Scale.schedule } in
       let report = Determinism.check_experiment ~exp ~scale ~seed in
       Fmt.pr "@[<v>%a@]@." Determinism.pp_report report;
       if Determinism.identical report then 0 else 1
@@ -192,7 +212,7 @@ let determinism_cmd =
   Cmd.v
     (Cmd.info "determinism"
        ~doc:"Run an experiment twice with the same seed and diff the traces.")
-    Term.(const run_determinism $ scale_term $ seed_term $ exp_term)
+    Term.(const run_determinism $ scale_term $ seed_term $ exp_term $ schedule_term)
 
 (* ------------------------------------------------------------------ *)
 (* durability: corruption chaos must end in a byte-identical restart or a
@@ -261,6 +281,88 @@ let durability_cmd =
     Term.(const run_durability $ scale_term $ seed_term)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz: the schedule-fuzzing race detector. Default mode samples a
+   (fault stream x schedule) grid; --seed replays one reported sample
+   byte-for-byte. *)
+
+let rounds_term =
+  Arg.(
+    value & opt int 25
+    & info [ "rounds" ] ~docv:"N"
+        ~doc:
+          "Total (schedule x fault) samples to aim for; the grid uses 5 schedules \
+           per fault stream, so N is rounded up to a multiple of 5.")
+
+let replay_seed_term =
+  Arg.(
+    value & opt (some int) None
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Replay one sample reported by a finding instead of sampling a grid: runs \
+           the exact (schedule, fault stream) pair twice, requires byte-identical \
+           traces, and re-checks invariants and FIFO result parity.")
+
+let master_seed_term =
+  Arg.(
+    value & opt int 42
+    & info [ "master-seed" ] ~docv:"N" ~doc:"Seed the sampling grid is derived from.")
+
+let scenario_term =
+  Arg.(
+    value & opt string "chaos"
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:
+          "$(b,chaos) (the durability chaos harness under MTBF fault scripts) or \
+           $(b,exp:<id>) for any registry experiment.")
+
+let verbose_term =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every sample as it runs.")
+
+let run_fuzz (_, scale) scenario_name rounds master_seed replay_seed verbose =
+  match Schedule_fuzz.find_scenario scenario_name with
+  | None ->
+      Fmt.epr "unknown scenario %S (expected chaos or exp:<id>)@." scenario_name;
+      2
+  | Some scenario -> (
+      match replay_seed with
+      | Some seed ->
+          let sample = Schedule_fuzz.sample_of_seed seed in
+          Fmt.pr "replaying %s %a@." scenario_name Schedule_fuzz.pp_sample sample;
+          let outcome, findings = Schedule_fuzz.replay ~scale ~seed scenario in
+          Fmt.pr "trace: %d lines; results:@.%s@." (List.length outcome.Schedule_fuzz.trace)
+            outcome.Schedule_fuzz.results;
+          if findings = [] then begin
+            Fmt.pr "fuzz replay: clean (trace byte-identical across reruns)@.";
+            0
+          end
+          else begin
+            List.iter (fun f -> Fmt.pr "@[<v>%a@]@." Schedule_fuzz.pp_finding f) findings;
+            Fmt.pr "fuzz replay: %d finding(s)@." (List.length findings);
+            1
+          end
+      | None ->
+          let schedules = 5 in
+          let fault_streams = max 1 ((rounds + schedules - 1) / schedules) in
+          let progress = if verbose then fun s -> Fmt.pr "%s@." s else fun _ -> () in
+          let report =
+            Schedule_fuzz.run ~scale ~fault_streams ~schedules ~master_seed ~progress
+              scenario
+          in
+          Fmt.pr "@[<v>%a@]@." Schedule_fuzz.pp_report report;
+          if Schedule_fuzz.clean report then 0 else 1)
+
+let fuzz_cmd =
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Schedule-fuzzing race detector: sample event-queue tie-break policies x \
+          fault scripts, check invariants and schedule-independence of results, and \
+          report replayable failing seeds.")
+    Term.(
+      const run_fuzz $ scale_term $ scenario_term $ rounds_term $ master_seed_term
+      $ replay_seed_term $ verbose_term)
+
+(* ------------------------------------------------------------------ *)
 (* all *)
 
 let run_all root seed =
@@ -273,14 +375,19 @@ let run_all root seed =
   let inv = stage "invariants" (fun () -> run_invariants ()) in
   let det =
     stage "determinism" (fun () ->
-        let fig = run_determinism ("quick", Experiments.Scale.quick) seed "fig5a" in
-        let ded = run_determinism ("quick", Experiments.Scale.quick) seed "dedup" in
+        let fifo = Simcore.Event_queue.Fifo in
+        let fig = run_determinism ("quick", Experiments.Scale.quick) seed "fig5a" fifo in
+        let ded = run_determinism ("quick", Experiments.Scale.quick) seed "dedup" fifo in
         if fig = 0 && ded = 0 then 0 else 1)
   in
   let dur =
     stage "durability" (fun () -> run_durability ("quick", Experiments.Scale.quick) seed)
   in
-  if lint = 0 && docs = 0 && inv = 0 && det = 0 && dur = 0 then begin
+  let fuzz =
+    stage "fuzz" (fun () ->
+        run_fuzz ("quick", Experiments.Scale.quick) "chaos" 25 seed None false)
+  in
+  if lint = 0 && docs = 0 && inv = 0 && det = 0 && dur = 0 && fuzz = 0 then begin
     Fmt.pr "--- all clean ---@.";
     0
   end
@@ -289,7 +396,9 @@ let run_all root seed =
 let all_cmd =
   Cmd.v
     (Cmd.info "all"
-       ~doc:"Run lint, docs, invariants, determinism and durability; exit 0 when all clean.")
+       ~doc:
+         "Run lint, docs, invariants, determinism, durability and the bounded \
+          schedule-fuzz smoke pass; exit 0 when all clean.")
     Term.(const run_all $ root_term $ seed_term)
 
 let () =
@@ -298,4 +407,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ lint_cmd; docs_cmd; invariants_cmd; determinism_cmd; durability_cmd; all_cmd ]))
+          [
+            lint_cmd; docs_cmd; invariants_cmd; determinism_cmd; durability_cmd; fuzz_cmd;
+            all_cmd;
+          ]))

@@ -3,7 +3,7 @@ type finding = { rule : string; file : string; line : int; message : string }
 let rule_ids =
   [
     ( "hashtbl-order",
-      "Hashtbl.iter/Hashtbl.fold whose result may escape without a sort: hash iteration \
+      "Hashtbl.iter/fold/to_seq whose result may escape without a sort: hash iteration \
        order is arbitrary and breaks trace determinism" );
     ( "ambient-random",
       "stdlib Random instead of Simcore.Rng: ambient PRNG state escapes the engine seed" );
@@ -183,7 +183,14 @@ let allowances comment =
 
 let module_qualified_needles =
   [
-    ("hashtbl-order", [ "Hashtbl.iter"; "Hashtbl.fold" ]);
+    ( "hashtbl-order",
+      [
+        "Hashtbl.iter";
+        "Hashtbl.fold";
+        "Hashtbl.to_seq";
+        "Hashtbl.to_seq_keys";
+        "Hashtbl.to_seq_values";
+      ] );
     ("ambient-random", [ "Random." ]);
     ("wall-clock", [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]);
     ("obj-magic", [ "Obj.magic"; "Obj.repr"; "Obj.obj" ]);
@@ -213,8 +220,28 @@ let scan_source ~file source =
   let code_lines = Array.of_list (List.map fst lines) in
   let comment_lines = Array.of_list (List.map snd lines) in
   let nlines = Array.length code_lines in
+  (* A float literal: a maximal digit run not preceded by an identifier
+     character (so [Int64.] and [v1.field] don't count), followed by '.'. *)
+  let has_float_literal code =
+    let n = String.length code in
+    let is_digit c = c >= '0' && c <= '9' in
+    let rec go i =
+      if i >= n then false
+      else if is_digit code.[i] && (i = 0 || not (is_ident_char code.[i - 1])) then begin
+        let j = ref i in
+        while !j < n && is_digit code.[!j] do
+          incr j
+        done;
+        (!j < n && code.[!j] = '.') || go !j
+      end
+      else go (i + 1)
+    in
+    go 0
+  in
   let float_bearing =
-    Array.exists (fun code -> has_token code "float") code_lines
+    Array.exists
+      (fun code -> has_token code "float" || has_float_literal code)
+      code_lines
   in
   let findings = ref [] in
   let allowed rule line =

@@ -1,0 +1,141 @@
+(** Schedule-fuzzing race detector (deterministic simulation testing).
+
+    The engine's determinism contract pins {e one} schedule: same seed,
+    same trace. This pass explores the schedules that contract never
+    exercises — alternative interleavings of {e simultaneous} events — by
+    sampling (tie-break policy x fault script) pairs and checking, after
+    every run, the full invariant battery plus {e schedule-independence of
+    results}: rendered results must be byte-identical across schedules
+    even though traces legitimately differ (see DESIGN.md section 13).
+
+    Every sample is a single integer seed encoding both the schedule slot
+    and the fault stream, so each finding carries a one-line repro command
+    ([blobcr_lint fuzz --scenario S --seed N]) that {!replay} reproduces
+    byte-for-byte. *)
+
+open Simcore
+
+(** {1 Samples} *)
+
+type sample = {
+  seed : int;  (** [fault_seed * 1000 + slot] — the replayable identity *)
+  slot : int;  (** schedule slot: 0 = FIFO, 1 = LIFO, else a shuffle seed *)
+  fault_seed : int;  (** seeds the fault script (chaos) or the engine (exp) *)
+  schedule : Event_queue.schedule;  (** the decoded tie-break policy *)
+}
+
+val schedule_of_slot : int -> Event_queue.schedule
+(** Slot 0 is {!Event_queue.Fifo}, 1 is {!Event_queue.Lifo}, any other
+    slot is [Seeded_shuffle slot]. *)
+
+val seed_of : slot:int -> fault_seed:int -> int
+(** Encode a (slot, fault stream) pair into one replayable seed. Raises
+    [Invalid_argument] unless [0 <= slot < 1000] and [fault_seed >= 0]. *)
+
+val sample_of_seed : int -> sample
+(** Decode a seed printed by a finding back into its sample. *)
+
+val pp_sample : Format.formatter -> sample -> unit
+(** ["seed=N (schedule P, fault stream F)"]. *)
+
+(** {1 Scenarios} *)
+
+type outcome = {
+  results : string;
+      (** the schedule-independent result surface, rendered — byte-compared
+          across schedules *)
+  trace : string list;  (** full engine trace of the run *)
+  violations : string list;  (** invariant-battery violations (empty = clean) *)
+}
+
+type scenario = {
+  sname : string;  (** ["chaos"] or ["exp:<id>"] — appears in repro commands *)
+  srun : Experiments.Scale.t -> schedule:Event_queue.schedule -> fault_seed:int -> outcome;
+}
+
+val chaos : scenario
+(** The durability chaos harness ({!Experiments.Durability.chaos_run})
+    under an MTBF-profile fault script generated from the fault seed —
+    host crashes, provider fail-stops, transient disk errors, silent
+    corruption, and (on half the fault streams) a version-manager crash
+    armed mid-COMMIT. Results are {e outcomes} — completion, recoveries,
+    data loss, integrity failovers, and the restart-visible
+    application-state digests; cost metrics (repairs performed, bytes
+    shipped) are excluded because they legitimately vary with tie order.
+    Violations come from the supervisor audit and the engine's full
+    invariant battery. *)
+
+val experiment : Experiments.Registry.t -> scenario
+(** A registry experiment as a scenario: no injected faults — the fault
+    seed doubles as the engine seed and the result surface is the rendered
+    stats tables. *)
+
+val find_scenario : string -> scenario option
+(** ["chaos"], or ["exp:<id>"] for any registry experiment id. *)
+
+(** {1 Findings} *)
+
+(** Why a sample failed. *)
+type kind =
+  | Invariant  (** the post-run invariant battery reported violations *)
+  | Untyped_escape  (** the run died with an unclassified exception *)
+  | Result_divergence
+      (** results differ from the FIFO reference run of the same fault
+          stream — the code is schedule-dependent *)
+  | Replay_divergence
+      (** the same seed produced two different traces — the policy or the
+          scenario leaks nondeterminism *)
+
+val kind_to_string : kind -> string
+(** Stable lower-case identifier, e.g. ["result-divergence"]. *)
+
+type finding = {
+  scenario : string;
+  sample : sample;
+  kind : kind;
+  detail : string;
+}
+
+val repro_command : finding -> string
+(** ["blobcr_lint fuzz --scenario S --seed N"] — replays this exact
+    sample. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+(** Multi-line rendering: kind, sample, detail and the repro command. *)
+
+(** {1 Running} *)
+
+type report = {
+  rscenario : string;
+  samples : sample list;  (** every (schedule x fault) sample run, in order *)
+  findings : finding list;
+  replays_checked : int;  (** samples additionally re-run for trace equality *)
+}
+
+val clean : report -> bool
+(** No findings. *)
+
+val run :
+  ?scale:Experiments.Scale.t ->
+  ?fault_streams:int ->
+  ?schedules:int ->
+  ?master_seed:int ->
+  ?progress:(string -> unit) ->
+  scenario ->
+  report
+(** Sample a [fault_streams x schedules] grid (defaults 5 x 5 = 25
+    samples at [quick] scale). Per fault stream, the first schedule is
+    always FIFO and serves as the result reference; the last schedule of
+    every stream is re-run to spot-check replay determinism. The grid is
+    derived from [master_seed] (default 42), so the whole pass is itself
+    deterministic. *)
+
+val replay :
+  ?scale:Experiments.Scale.t -> seed:int -> scenario -> outcome * finding list
+(** Re-run one reported sample: executes it twice and diffs the traces
+    (byte-for-byte), re-checks the invariant battery, and — for non-FIFO
+    samples — compares results against a fresh FIFO reference of the same
+    fault stream. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** One line when clean; otherwise every finding with its repro command. *)

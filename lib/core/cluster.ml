@@ -26,8 +26,8 @@ type t = {
    guest OS bytes (Debian root file system in the paper). *)
 let base_image_seed = 0xD3B1A7L
 
-let build ?(seed = 42) (cal : Calibration.t) =
-  let engine = Engine.create ~seed () in
+let build ?(seed = 42) ?schedule (cal : Calibration.t) =
+  let engine = Engine.create ~seed ?schedule () in
   let net =
     Net.create engine
       {

@@ -32,10 +32,13 @@ type t = {
   mutable crash_hooks : (int -> unit) list;  (** run on each node crash *)
 }
 
-val build : ?seed:int -> Calibration.t -> t
+val build : ?seed:int -> ?schedule:Event_queue.schedule -> Calibration.t -> t
 (** Stand up the platform and upload the base image (simulated time
     advances through the upload; experiments measure durations from their
-    own start stamps). *)
+    own start stamps). [schedule] is the engine's event-queue tie-break
+    policy (default {!Event_queue.Fifo}); schedule fuzzing passes non-FIFO
+    policies here to explore alternative interleavings of simultaneous
+    events. *)
 
 val node : t -> int -> node
 (** Compute node [i] (0-based). *)

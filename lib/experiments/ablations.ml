@@ -96,7 +96,7 @@ let replication (scale : Scale.t) ?(progress = fun _ -> ()) () =
 let incremental (scale : Scale.t) ?(progress = fun _ -> ()) () =
   let rounds = scale.Scale.successive_checkpoints in
   let run ~taint label =
-    let cluster = Cluster.build ~seed:scale.Scale.seed scale.Scale.cal in
+    let cluster = Cluster.build ~seed:scale.Scale.seed ~schedule:scale.Scale.schedule scale.Scale.cal in
     Cluster.run cluster (fun () ->
         let inst =
           Approach.deploy cluster Approach.Blobcr ~node:(Cluster.node cluster 0) ~id:"vm0"

@@ -39,7 +39,7 @@ let run_point (scale : Scale.t) ?(progress = fun _ -> ()) ~kind ~mtbf ~interval 
         };
     }
   in
-  let cluster = Cluster.build ~seed:scale.Scale.seed cal in
+  let cluster = Cluster.build ~seed:scale.Scale.seed ~schedule:scale.Scale.schedule cal in
   Cluster.run cluster (fun () ->
       let units = scale.Scale.availability_units in
       let workload =
@@ -55,7 +55,10 @@ let run_point (scale : Scale.t) ?(progress = fun _ -> ()) ~kind ~mtbf ~interval 
       let report =
         Supervisor.run cluster ~kind ~policy
           ~on_ready:(fun sup ->
-            let rng = Rng.split (Engine.rng cluster.Cluster.engine) in
+            (* [on_ready] fires inside the run, racing gang-deploy events:
+               an order-keyed split here would make the fault script itself
+               schedule-dependent. *)
+            let rng = Engine.derived_rng cluster.Cluster.engine "availability.fault-script" in
             let script =
               Faults.of_profile ~rng ~mtbf ~horizon
                 ~hosts:(Cluster.node_count cluster)

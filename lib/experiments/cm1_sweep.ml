@@ -10,7 +10,7 @@ type point = {
 }
 
 let run_point (scale : Scale.t) ~(combo : Combos.t) ~vms =
-  let cluster = Cluster.build ~seed:scale.Scale.seed scale.Scale.cal in
+  let cluster = Cluster.build ~seed:scale.Scale.seed ~schedule:scale.Scale.schedule scale.Scale.cal in
   Cluster.run cluster (fun () ->
       let instances = Synthetic_sweep.deploy_many cluster combo.Combos.kind ~n:vms in
       let cm1 = Cm1.setup cluster ~instances scale.Scale.cm1_config in

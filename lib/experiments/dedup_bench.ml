@@ -44,7 +44,7 @@ let run_point (scale : Scale.t) ~dedup ~workload ~instances () =
       Calibration.blobseer = { scale.Scale.cal.Calibration.blobseer with Blobseer.Types.dedup };
     }
   in
-  let cluster = Cluster.build ~seed:scale.Scale.seed cal in
+  let cluster = Cluster.build ~seed:scale.Scale.seed ~schedule:scale.Scale.schedule cal in
   let service = cluster.Cluster.service in
   let stripe = Blobseer.Client.stripe_size cluster.Cluster.base_blob in
   let dirty_bytes = min scale.Scale.buffer_small (Blobseer.Client.capacity cluster.Cluster.base_blob) in

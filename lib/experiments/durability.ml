@@ -18,6 +18,7 @@ type chaos = {
   scrub_events : Blobseer.Scrubber.event list;
   integrity_failures : int;
   injected : Faults.event list;
+  engine : Engine.t;
 }
 
 (* The acceptance scenario: one replica silently corrupted, the version
@@ -54,7 +55,7 @@ let chaos_run (scale : Scale.t) ?script ?(replication = 2)
         { scale.Scale.cal.Calibration.blobseer with Blobseer.Types.replication };
     }
   in
-  let cluster = Cluster.build ~seed:scale.Scale.seed cal in
+  let cluster = Cluster.build ~seed:scale.Scale.seed ~schedule:scale.Scale.schedule cal in
   Cluster.run cluster (fun () ->
       let workload = Cm1.supervised_workload cluster scale.Scale.cm1_config ~iters_per_unit:1 in
       let injector = ref None and sup = ref None in
@@ -88,6 +89,7 @@ let chaos_run (scale : Scale.t) ?script ?(replication = 2)
         scrub_events = Blobseer.Scrubber.events scrubber;
         integrity_failures = Blobseer.Client.integrity_failures cluster.Cluster.service;
         injected;
+        engine = cluster.Cluster.engine;
       })
 
 let render_scrub_log chaos =
@@ -121,7 +123,7 @@ let run_point (scale : Scale.t) ?(progress = fun _ -> ()) ~corrupt_weight ~repli
      them. No transient/degrade noise: the sweep isolates the durability
      path. *)
   let profile cluster =
-    let rng = Rng.split (Engine.rng cluster.Cluster.engine) in
+    let rng = Engine.derived_rng cluster.Cluster.engine "durability-fault-script" in
     Faults.of_profile ~rng ~mtbf:scale.Scale.durability_mtbf ~horizon
       ~hosts:(Cluster.node_count cluster)
       ~providers:(Cluster.node_count cluster)

@@ -27,6 +27,9 @@ type chaos = {
   scrub_events : Blobseer.Scrubber.event list;  (** chronological scrub log *)
   integrity_failures : int;  (** client checksum-mismatch failovers *)
   injected : Faults.event list;  (** faults actually applied, in order *)
+  engine : Simcore.Engine.t;
+      (** the quiesced engine the run executed on, with its audit subjects
+          still registered — schedule fuzzing audits it post-run *)
 }
 
 val acceptance_script : Faults.script

@@ -4,6 +4,7 @@ open Blobcr
 type t = {
   cal : Calibration.t;
   seed : int;
+  schedule : Event_queue.schedule;
   instance_counts : int list;
   buffer_small : int;
   buffer_large : int;
@@ -27,6 +28,7 @@ let paper =
   {
     cal = Calibration.default;
     seed = 42;
+    schedule = Event_queue.Fifo;
     instance_counts = [ 1; 30; 60; 90; 120 ];
     buffer_small = Size.mib_n 50;
     buffer_large = Size.mib_n 200;
@@ -58,6 +60,7 @@ let quick =
   {
     cal = Calibration.quick_test;
     seed = 42;
+    schedule = Event_queue.Fifo;
     instance_counts = [ 1; 2; 4 ];
     buffer_small = Size.mib_n 2;
     buffer_large = Size.mib_n 8;

@@ -10,6 +10,9 @@ open Blobcr
 type t = {
   cal : Calibration.t;
   seed : int;  (** engine seed every cluster in the run is built with *)
+  schedule : Simcore.Event_queue.schedule;
+      (** event-queue tie-break policy every cluster in the run is built
+          with; [Fifo] in both presets — schedule fuzzing overrides it *)
   instance_counts : int list;  (** x-axis of Figures 2 and 3 *)
   buffer_small : int;
   buffer_large : int;

@@ -35,7 +35,7 @@ let restart_node cluster ~n i =
   Cluster.node cluster ((i + shift) mod count)
 
 let run_point (scale : Scale.t) ~(combo : Combos.t) ~n ~buffer =
-  let cluster = Cluster.build ~seed:scale.Scale.seed scale.Scale.cal in
+  let cluster = Cluster.build ~seed:scale.Scale.seed ~schedule:scale.Scale.schedule scale.Scale.cal in
   Obs.Record.label_track cluster.Cluster.engine (Fmt.str "%s n=%d" combo.Combos.label n);
   Cluster.run cluster (fun () ->
       let instances = deploy_many cluster combo.Combos.kind ~n in
@@ -89,7 +89,7 @@ let sweep scale ~buffer ?(combos = Combos.all) ?ns ?(progress = fun _ -> ()) () 
     combos
 
 let run_successive (scale : Scale.t) ~(combo : Combos.t) ~rounds ~buffer =
-  let cluster = Cluster.build ~seed:scale.Scale.seed scale.Scale.cal in
+  let cluster = Cluster.build ~seed:scale.Scale.seed ~schedule:scale.Scale.schedule scale.Scale.cal in
   Obs.Record.label_track cluster.Cluster.engine
     (Fmt.str "%s successive x%d" combo.Combos.label rounds);
   Cluster.run cluster (fun () ->

@@ -38,6 +38,7 @@ type 'a resumer = 'a -> bool
 type t = {
   mutable now : float;
   queue : (unit -> unit) Event_queue.t;
+  seed : int;
   rng : Rng.t;
   mutable current : fiber option;
   mutable error : (string * exn) option;
@@ -64,10 +65,11 @@ and 'a ivar = { iengine : t; mutable istate : 'a ivar_state }
 type _ Effect.t +=
   | Suspend : ('a resumer -> unit) -> 'a Effect.t
 
-let create ?(seed = 42) () =
+let create ?(seed = 42) ?schedule () =
   {
     now = 0.0;
-    queue = Event_queue.create ();
+    queue = Event_queue.create ?schedule ();
+    seed;
     rng = Rng.create seed;
     current = None;
     error = None;
@@ -85,11 +87,13 @@ let audit_violations t =
 
 let now t = t.now
 let rng t = t.rng
+let derived_rng t name = Rng.of_key ~seed:t.seed name
+let schedule t = Event_queue.schedule t.queue
 let current_fiber t = t.current
 let live_fibers t = t.live
 let blocked_fibers t = t.blocked
-let schedule t ~time f = Event_queue.add t.queue ~time f
-let at t time f = schedule t ~time f
+let enqueue t ~time f = Event_queue.add t.queue ~time f
+let at t time f = enqueue t ~time f
 
 let set_error t name exn =
   if t.error = None then t.error <- Some (name, exn)
@@ -152,7 +156,7 @@ let start_fiber t fiber f =
                     in
                     let cancel_now () =
                       unblock ();
-                      schedule t ~time:t.now (fun () ->
+                      enqueue t ~time:t.now (fun () ->
                           with_current t fiber (fun () -> discontinue k Cancelled))
                     in
                     fiber.pending <- Some { consumed; cancel_now };
@@ -160,7 +164,7 @@ let start_fiber t fiber f =
                       if !consumed then false
                       else begin
                         unblock ();
-                        schedule t ~time:t.now (fun () ->
+                        enqueue t ~time:t.now (fun () ->
                             with_current t fiber (fun () -> continue k v));
                         true
                       end
@@ -184,7 +188,7 @@ let spawn_fiber t ?(name = "fiber") f =
   in
   t.next_id <- t.next_id + 1;
   t.live <- t.live + 1;
-  schedule t ~time:t.now (fun () -> with_current t fiber (fun () -> start_fiber t fiber f));
+  enqueue t ~time:t.now (fun () -> with_current t fiber (fun () -> start_fiber t fiber f));
   fiber
 
 let cancel_fiber fiber =
@@ -200,7 +204,7 @@ let suspend (register : 'a resumer -> unit) : 'a = Effect.perform (Suspend regis
 let sleep t d =
   if d < 0.0 then invalid_arg "Engine.sleep: negative duration";
   suspend (fun resume ->
-      schedule t ~time:(t.now +. d) (fun () -> ignore (resume ())))
+      enqueue t ~time:(t.now +. d) (fun () -> ignore (resume ())))
 
 let yield t = sleep t 0.0
 

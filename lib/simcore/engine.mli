@@ -6,9 +6,11 @@
     {!Fiber.await}; blocking suspends the underlying continuation and hands
     control back to the scheduler, which advances simulated time.
 
-    Scheduling is deterministic: events execute in [(time, insertion)] order
-    and all randomness flows through the engine's {!rng}. Running the same
-    simulation twice with the same seed produces identical traces.
+    Scheduling is deterministic: events execute in time order, with
+    same-timestamp ties broken by the engine's {!Event_queue.schedule}
+    policy (insertion order by default), and all randomness flows through
+    the engine's {!rng}. Running the same simulation twice with the same
+    seed and schedule produces identical traces.
 
     Fibers can be {e cancelled} (individually or per {!Group}), which models
     fail-stop machine crashes: a cancelled fiber's pending blocking operation
@@ -32,14 +34,32 @@ exception Audit_failure of string * string list
     audit subject violates a structural invariant; carries the subject name
     and the violation descriptions. *)
 
-val create : ?seed:int -> unit -> t
-(** [create ~seed ()] is a fresh engine at time [0.0]. Default seed 42. *)
+val create : ?seed:int -> ?schedule:Event_queue.schedule -> unit -> t
+(** [create ~seed ()] is a fresh engine at time [0.0]. Default seed 42.
+    [schedule] selects the event queue's same-timestamp tie-break policy
+    (default {!Event_queue.Fifo}, which is bit-identical to the historical
+    insertion-order behavior); see {!Event_queue.schedule}. *)
 
 val now : t -> float
 (** Current simulated time in seconds. *)
 
 val rng : t -> Rng.t
-(** The engine's root random stream. *)
+(** The engine's root random stream. Draws (and {!Rng.split}s) consume it
+    in {e event execution order}, so a stream obtained from it inside a
+    fiber depends on how same-timestamp ties were broken. Components that
+    need schedule-independent randomness must use {!derived_rng}
+    instead. *)
+
+val derived_rng : t -> string -> Rng.t
+(** [derived_rng t name] is a private random stream keyed by the engine
+    seed and [name] — a pure function of the two, consuming nothing from
+    {!rng}. Identity-keyed streams are what keep simulation {e results}
+    independent of the tie-break {!schedule}: with order-keyed streams a
+    schedule change silently reassigns randomness between components
+    (found by [blobcr_lint fuzz], see DESIGN.md section 13). *)
+
+val schedule : t -> Event_queue.schedule
+(** The tie-break policy the engine's event queue runs under. *)
 
 val current_fiber : t -> fiber option
 (** The fiber whose body is executing right now, or [None] between events

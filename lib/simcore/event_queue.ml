@@ -1,17 +1,53 @@
-type 'a entry = { time : float; seq : int; value : 'a }
+type schedule = Fifo | Lifo | Seeded_shuffle of int
+
+let pp_schedule ppf = function
+  | Fifo -> Fmt.string ppf "fifo"
+  | Lifo -> Fmt.string ppf "lifo"
+  | Seeded_shuffle seed -> Fmt.pf ppf "shuffle:%d" seed
+
+let schedule_to_string s = Fmt.str "%a" pp_schedule s
+
+let schedule_of_string s =
+  match s with
+  | "fifo" -> Ok Fifo
+  | "lifo" -> Ok Lifo
+  | _ -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "shuffle" -> (
+          let rest = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt rest with
+          | Some seed -> Ok (Seeded_shuffle seed)
+          | None -> Error (Fmt.str "bad shuffle seed %S" rest))
+      | _ -> Error (Fmt.str "unknown schedule %S (expected fifo, lifo or shuffle:<seed>)" s))
+
+type 'a entry = { time : float; rank : int; seq : int; value : 'a }
 
 type 'a t = {
   mutable heap : 'a entry array;
   (* heap.(0) is unused padding until first add; [size] tracks live items *)
   mutable size : int;
   mutable seq : int;
+  schedule : schedule;
 }
 
-let create () = { heap = [||]; size = 0; seq = 0 }
+let create ?(schedule = Fifo) () = { heap = [||]; size = 0; seq = 0; schedule }
+let schedule t = t.schedule
 let is_empty t = t.size = 0
 let length t = t.size
 
-let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* The tie-break key among same-timestamp entries. [Fifo] reproduces the
+   historical (time, insertion) order bit for bit; the other policies only
+   ever reorder entries that share a timestamp, because [earlier] compares
+   times first. *)
+let rank_of t seq =
+  match t.schedule with
+  | Fifo -> seq
+  | Lifo -> -seq
+  | Seeded_shuffle seed -> Rng.rank ~seed seq
+
+let earlier a b =
+  a.time < b.time
+  || (a.time = b.time && (a.rank < b.rank || (a.rank = b.rank && a.seq < b.seq)))
 
 let swap t i j =
   let tmp = t.heap.(i) in
@@ -47,7 +83,7 @@ let grow t entry =
   end
 
 let add t ~time value =
-  let entry = { time; seq = t.seq; value } in
+  let entry = { time; rank = rank_of t t.seq; seq = t.seq; value } in
   t.seq <- t.seq + 1;
   grow t entry;
   t.heap.(t.size) <- entry;

@@ -1,13 +1,41 @@
 (** Priority queue of timestamped events.
 
-    Events are ordered by [(time, seq)] where [seq] is a monotonically
-    increasing insertion counter, so simultaneous events run in insertion
-    order and the simulation is fully deterministic. *)
+    Events are ordered by time; how same-timestamp ties break is a
+    pluggable {!schedule} policy. The default, {!Fifo}, orders ties by a
+    monotonically increasing insertion counter, so simultaneous events run
+    in insertion order and the simulation is fully deterministic — and
+    bit-identical to the historical behavior. The other policies exist to
+    {e fuzz} schedules (see [Analysis.Schedule_fuzz]): they permute only
+    same-timestamp runs, never the time order, and are equally
+    deterministic for a fixed policy value. *)
+
+type schedule =
+  | Fifo  (** ties pop in insertion order (the default) *)
+  | Lifo  (** ties pop in reverse insertion order *)
+  | Seeded_shuffle of int
+      (** ties pop in a pseudo-random order derived purely from the seed
+          and each entry's insertion index ({!Rng.rank}) — the same seed
+          always yields the same permutation *)
+
+val pp_schedule : Format.formatter -> schedule -> unit
+(** ["fifo"], ["lifo"] or ["shuffle:<seed>"]. *)
+
+val schedule_to_string : schedule -> string
+(** Same rendering as {!pp_schedule}, as a string — the inverse of
+    {!schedule_of_string}. *)
+
+val schedule_of_string : string -> (schedule, string) result
+(** Parse ["fifo"], ["lifo"] or ["shuffle:<seed>"]; [Error] carries a
+    human-readable message. *)
 
 type 'a t
 
-val create : unit -> 'a t
-(** An empty queue with the insertion counter at zero. *)
+val create : ?schedule:schedule -> unit -> 'a t
+(** An empty queue with the insertion counter at zero, breaking ties
+    according to [schedule] (default {!Fifo}). *)
+
+val schedule : 'a t -> schedule
+(** The tie-break policy this queue was created with. *)
 
 val is_empty : 'a t -> bool
 (** [true] iff no events are pending. *)

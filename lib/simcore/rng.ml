@@ -40,6 +40,22 @@ let shuffle t a =
     a.(j) <- tmp
   done
 
+let of_key ~seed name =
+  (* Fold the name into the seed one byte at a time, mixing at every
+     step; the resulting stream depends only on (seed, name), never on
+     how many draws other consumers made first. *)
+  let h = ref (mix (Int64.of_int seed)) in
+  String.iter
+    (fun c -> h := mix (Int64.add (Int64.mul !h golden) (Int64.of_int (Char.code c))))
+    name;
+  { state = !h }
+
+let rank ~seed i =
+  (* Two mixing rounds decorrelate consecutive indices under the same
+     seed; masking to [max_int] keeps the result a non-negative [int]. *)
+  let z = mix (Int64.add (mix (Int64.of_int seed)) (Int64.mul golden (Int64.of_int (i + 1)))) in
+  Int64.to_int z land max_int
+
 let byte_at ~seed i =
   (* Hash the word index, then select the byte within the word, so that
      consecutive bytes share one mix per 8 positions. *)

@@ -36,6 +36,20 @@ val exponential : t -> float -> float
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
 
+val of_key : seed:int -> string -> t
+(** [of_key ~seed name] is a generator whose stream is a pure function of
+    [(seed, name)]. Unlike {!split}, it consumes nothing from any parent
+    stream, so the stream a component receives never depends on {e the
+    order} in which components were created — the property that keeps
+    simulation results independent of event tie-break scheduling (see
+    {!Engine.derived_rng}). *)
+
+val rank : seed:int -> int -> int
+(** [rank ~seed i] is a non-negative pseudo-random priority for index [i]
+    under stream [seed] — a pure function of [(seed, i)]. Used by
+    {!Event_queue} to permute same-timestamp event runs deterministically
+    without any mutable generator state. *)
+
 val byte_at : seed:int64 -> int -> char
 (** [byte_at ~seed i] is the [i]-th byte of the infinite deterministic
     pattern stream identified by [seed]. Pure function of [(seed, i)];

@@ -54,7 +54,11 @@ let create engine ~host ~device ?(ram = Size.gib_n 2) ?(os_ram_overhead = 118 * 
     os_ram_overhead;
     boot_profile = boot;
     vgroup = Engine.Group.create ();
-    rng = Rng.split (Engine.rng engine);
+    (* Keyed by VM name, not split from the shared engine stream: VMs are
+       created inside deploy fibers whose events tie, so split order — and
+       with it every boot-jitter draw — would depend on the tie-break
+       schedule. *)
+    rng = Engine.derived_rng engine ("vm." ^ name);
     vstate = Created;
     vfs = None;
     procs = [];

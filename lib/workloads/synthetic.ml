@@ -69,7 +69,7 @@ let newest_app_file fs =
         else None)
       (Guest_fs.list_files fs)
   in
-  match List.sort compare epochs with
+  match List.sort Int.compare epochs with
   | [] -> failwith "Synthetic.restore_app: no checkpoint file"
   | epochs -> List.nth epochs (List.length epochs - 1)
 

@@ -265,6 +265,55 @@ let test_scrub_replay_deterministic () =
     true (Determinism.identical report)
 
 (* ------------------------------------------------------------------ *)
+(* Schedule fuzzing *)
+
+let test_fuzz_seed_roundtrip () =
+  List.iter
+    (fun (slot, fault_seed) ->
+      let s = Schedule_fuzz.sample_of_seed (Schedule_fuzz.seed_of ~slot ~fault_seed) in
+      Alcotest.(check int) "slot" slot s.Schedule_fuzz.slot;
+      Alcotest.(check int) "fault seed" fault_seed s.Schedule_fuzz.fault_seed)
+    [ (0, 0); (1, 7); (503, 191191); (999, 1_999_999) ];
+  Alcotest.(check bool) "slot 0 is fifo" true
+    (Schedule_fuzz.schedule_of_slot 0 = Event_queue.Fifo);
+  Alcotest.(check bool) "slot 1 is lifo" true
+    (Schedule_fuzz.schedule_of_slot 1 = Event_queue.Lifo);
+  Alcotest.(check bool) "slot 503 is shuffle:503" true
+    (Schedule_fuzz.schedule_of_slot 503 = Event_queue.Seeded_shuffle 503);
+  Alcotest.check_raises "slot out of range"
+    (Invalid_argument "Schedule_fuzz.seed_of: slot") (fun () ->
+      ignore (Schedule_fuzz.seed_of ~slot:1000 ~fault_seed:0))
+
+let test_fuzz_grid_smoke () =
+  (* A small grid over the chaos scenario: every sample must pass the
+     invariant battery and match the fifo reference results. *)
+  let report =
+    Schedule_fuzz.run ~fault_streams:2 ~schedules:3 ~master_seed:42 Schedule_fuzz.chaos
+  in
+  Alcotest.(check int) "sample count" 6 (List.length report.Schedule_fuzz.samples);
+  Alcotest.(check bool)
+    (Fmt.str "grid clean: %a" Schedule_fuzz.pp_report report)
+    true
+    (Schedule_fuzz.clean report)
+
+let test_fuzz_replay_byte_identical () =
+  let seed = Schedule_fuzz.seed_of ~slot:7 ~fault_seed:12345 in
+  let outcome, findings = Schedule_fuzz.replay ~seed Schedule_fuzz.chaos in
+  Alcotest.(check (list string)) "replay clean" []
+    (List.map (fun f -> Fmt.str "%a" Schedule_fuzz.pp_finding f) findings);
+  Alcotest.(check bool) "trace captured" true (outcome.Schedule_fuzz.trace <> []);
+  (* The repro command printed for a finding embeds the same seed. *)
+  let f =
+    {
+      Schedule_fuzz.scenario = "chaos";
+      sample = Schedule_fuzz.sample_of_seed seed;
+      kind = Schedule_fuzz.Invariant;
+      detail = "";
+    }
+  in
+  Alcotest.(check string) "repro command"
+    (Fmt.str "blobcr_lint fuzz --scenario chaos --seed %d" seed)
+    (Schedule_fuzz.repro_command f)
 
 let () =
   Alcotest.run "analysis"
@@ -299,5 +348,11 @@ let () =
             test_registry_experiment_deterministic;
           Alcotest.test_case "scrub/repair log replays identically" `Slow
             test_scrub_replay_deterministic;
+        ] );
+      ( "schedule-fuzz",
+        [
+          Alcotest.test_case "seed encode/decode roundtrip" `Quick test_fuzz_seed_roundtrip;
+          Alcotest.test_case "small grid clean" `Slow test_fuzz_grid_smoke;
+          Alcotest.test_case "replay byte-identical" `Slow test_fuzz_replay_byte_identical;
         ] );
     ]

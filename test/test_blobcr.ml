@@ -373,11 +373,14 @@ let test_cm1_blcr_dump_sizes () =
         let mk id node_index =
           fresh_instance cluster Approach.Blobcr ~node_index ~id
         in
+        (* State large enough that the dump payload dominates the shared
+           boot-noise chunks; the size ratio then reflects the 2.9x memory
+           factor instead of incidental COW rounding. *)
         let cfg =
           {
             Cm1.default_config with
             procs_per_vm = 2;
-            subdomain_state_bytes = 512 * Size.kib;
+            subdomain_state_bytes = 2 * Size.mib;
             process_mem_factor = 2.9;
           }
         in

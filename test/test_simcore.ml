@@ -202,6 +202,86 @@ let prop_event_queue_sorted =
       in
       drain neg_infinity)
 
+(* Schedule policies: the mixed-time workload used by the policy tests —
+   three runs of simultaneous events separated by distinct times. *)
+let schedule_workload q =
+  List.iteri
+    (fun i time -> Event_queue.add q ~time (i, time))
+    [ 1.0; 1.0; 1.0; 1.0; 0.5; 2.0; 2.0; 2.0; 1.5 ]
+
+let drain q =
+  let rec go acc =
+    match Event_queue.pop q with None -> List.rev acc | Some (_, v) -> go (v :: acc)
+  in
+  go []
+
+let pops schedule =
+  let q = Event_queue.create ~schedule () in
+  schedule_workload q;
+  drain q
+
+let test_schedule_fifo_matches_default () =
+  (* Fifo is the default, and both are byte-identical to historical
+     insertion-order behavior. *)
+  let dflt =
+    let q = Event_queue.create () in
+    schedule_workload q;
+    drain q
+  in
+  Alcotest.(check (list (pair int (float 0.0)))) "fifo = default" dflt (pops Event_queue.Fifo);
+  Alcotest.(check (list int)) "insertion order within ties"
+    [ 4; 0; 1; 2; 3; 8; 5; 6; 7 ]
+    (List.map fst dflt)
+
+let test_schedule_lifo_reverses_ties () =
+  Alcotest.(check (list int)) "reverse insertion order within ties"
+    [ 4; 3; 2; 1; 0; 8; 7; 6; 5 ]
+    (List.map fst (pops Event_queue.Lifo))
+
+let test_schedule_shuffle_permutes_within_ties () =
+  (* Any seed: time order is preserved, and each same-time run pops a
+     permutation of exactly the events inserted at that time. *)
+  List.iter
+    (fun seed ->
+      let order = pops (Event_queue.Seeded_shuffle seed) in
+      Alcotest.(check (list (float 0.0)))
+        (Fmt.str "times sorted (seed %d)" seed)
+        [ 0.5; 1.0; 1.0; 1.0; 1.0; 1.5; 2.0; 2.0; 2.0 ]
+        (List.map snd order);
+      let bucket t =
+        List.filter_map (fun (i, time) -> if time = t then Some i else None) order
+      in
+      Alcotest.(check (list int))
+        (Fmt.str "t=1.0 run is a permutation (seed %d)" seed)
+        [ 0; 1; 2; 3 ]
+        (List.sort Int.compare (bucket 1.0));
+      Alcotest.(check (list int))
+        (Fmt.str "t=2.0 run is a permutation (seed %d)" seed)
+        [ 5; 6; 7 ]
+        (List.sort Int.compare (bucket 2.0)))
+    [ 0; 1; 7; 42; 1337 ]
+
+let test_schedule_shuffle_deterministic () =
+  Alcotest.(check (list (pair int (float 0.0))))
+    "same seed, same pop order"
+    (pops (Event_queue.Seeded_shuffle 7))
+    (pops (Event_queue.Seeded_shuffle 7));
+  (* Some pair of distinct seeds must disagree — shuffling that never
+     shuffles would be vacuous. *)
+  let orders = List.map (fun s -> pops (Event_queue.Seeded_shuffle s)) [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check bool) "distinct seeds can disagree" true
+    (List.exists (fun o -> o <> List.hd orders) orders)
+
+let test_schedule_parse_roundtrip () =
+  List.iter
+    (fun s ->
+      match Event_queue.schedule_of_string (Event_queue.schedule_to_string s) with
+      | Ok s' -> Alcotest.(check bool) "roundtrip" true (s = s')
+      | Error m -> Alcotest.fail m)
+    [ Event_queue.Fifo; Event_queue.Lifo; Event_queue.Seeded_shuffle 503 ];
+  Alcotest.(check bool) "garbage rejected" true
+    (match Event_queue.schedule_of_string "random" with Error _ -> true | Ok _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Engine *)
 
@@ -611,6 +691,13 @@ let () =
           Alcotest.test_case "time order" `Quick test_event_queue_order;
           Alcotest.test_case "fifo on ties" `Quick test_event_queue_fifo_ties;
           Alcotest.test_case "empty queue" `Quick test_event_queue_empty;
+          Alcotest.test_case "fifo matches default" `Quick test_schedule_fifo_matches_default;
+          Alcotest.test_case "lifo reverses ties" `Quick test_schedule_lifo_reverses_ties;
+          Alcotest.test_case "shuffle permutes within ties" `Quick
+            test_schedule_shuffle_permutes_within_ties;
+          Alcotest.test_case "shuffle deterministic per seed" `Quick
+            test_schedule_shuffle_deterministic;
+          Alcotest.test_case "schedule parse roundtrip" `Quick test_schedule_parse_roundtrip;
         ]
         @ qsuite [ prop_event_queue_sorted ] );
       ( "engine",
