@@ -312,16 +312,39 @@ let scenario_term =
     value & opt string "chaos"
     & info [ "scenario" ] ~docv:"NAME"
         ~doc:
-          "$(b,chaos) (the durability chaos harness under MTBF fault scripts) or \
-           $(b,exp:<id>) for any registry experiment.")
+          "$(b,chaos) (the durability chaos harness under MTBF fault scripts), \
+           $(b,dr) (a site disaster with standby promotion at a fuzzed crash time \
+           and window), or $(b,exp:<id>) for any registry experiment.")
 
 let verbose_term =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every sample as it runs.")
 
+(* Failing seeds are preserved as a per-scenario artifact file so CI can
+   upload them: the report embeds each finding's replay command, letting a
+   red fuzz stage be reproduced byte-for-byte without rerunning the grid.
+   A clean grid removes any stale artifact from a previous run. *)
+let fuzz_artifact_path scenario_name =
+  let safe = String.map (fun c -> if c = ':' then '-' else c) scenario_name in
+  Fmt.str "FUZZ_FAILURES.%s.txt" safe
+
+let write_fuzz_artifact scenario_name report =
+  let path = fuzz_artifact_path scenario_name in
+  if Schedule_fuzz.clean report then begin
+    if Sys.file_exists path then Sys.remove path
+  end
+  else begin
+    let oc = open_out path in
+    let ppf = Format.formatter_of_out_channel oc in
+    Fmt.pf ppf "@[<v>%a@]@." Schedule_fuzz.pp_report report;
+    Format.pp_print_flush ppf ();
+    close_out oc;
+    Fmt.pr "failing seeds written to %s@." path
+  end
+
 let run_fuzz (_, scale) scenario_name rounds master_seed replay_seed verbose =
   match Schedule_fuzz.find_scenario scenario_name with
   | None ->
-      Fmt.epr "unknown scenario %S (expected chaos or exp:<id>)@." scenario_name;
+      Fmt.epr "unknown scenario %S (expected chaos, dr or exp:<id>)@." scenario_name;
       2
   | Some scenario -> (
       match replay_seed with
@@ -349,6 +372,7 @@ let run_fuzz (_, scale) scenario_name rounds master_seed replay_seed verbose =
               scenario
           in
           Fmt.pr "@[<v>%a@]@." Schedule_fuzz.pp_report report;
+          write_fuzz_artifact scenario_name report;
           if Schedule_fuzz.clean report then 0 else 1)
 
 let fuzz_cmd =
@@ -378,7 +402,8 @@ let run_all root seed =
         let fifo = Simcore.Event_queue.Fifo in
         let fig = run_determinism ("quick", Experiments.Scale.quick) seed "fig5a" fifo in
         let ded = run_determinism ("quick", Experiments.Scale.quick) seed "dedup" fifo in
-        if fig = 0 && ded = 0 then 0 else 1)
+        let dr = run_determinism ("quick", Experiments.Scale.quick) seed "dr" fifo in
+        if fig = 0 && ded = 0 && dr = 0 then 0 else 1)
   in
   let dur =
     stage "durability" (fun () -> run_durability ("quick", Experiments.Scale.quick) seed)
@@ -387,7 +412,12 @@ let run_all root seed =
     stage "fuzz" (fun () ->
         run_fuzz ("quick", Experiments.Scale.quick) "chaos" 25 seed None false)
   in
-  if lint = 0 && docs = 0 && inv = 0 && det = 0 && dur = 0 && fuzz = 0 then begin
+  let dr_fuzz =
+    stage "fuzz-dr" (fun () ->
+        run_fuzz ("quick", Experiments.Scale.quick) "dr" 5 seed None false)
+  in
+  if lint = 0 && docs = 0 && inv = 0 && det = 0 && dur = 0 && fuzz = 0 && dr_fuzz = 0
+  then begin
     Fmt.pr "--- all clean ---@.";
     0
   end
@@ -397,8 +427,9 @@ let all_cmd =
   Cmd.v
     (Cmd.info "all"
        ~doc:
-         "Run lint, docs, invariants, determinism, durability and the bounded \
-          schedule-fuzz smoke pass; exit 0 when all clean.")
+         "Run lint, docs, invariants, determinism (including the DR sweep's replay \
+          check), durability and the bounded schedule-fuzz smoke passes (chaos and \
+          site-disaster scenarios); exit 0 when all clean.")
     Term.(const run_all $ root_term $ seed_term)
 
 let () =

@@ -73,7 +73,7 @@ let () =
           match event with
           | Supervisor.Deployed { at; ids } ->
               Fmt.pr "[t=%7.2fs] deployed: %s@." at (String.concat ", " ids)
-          | Supervisor.Checkpoint_committed { at; units } ->
+          | Supervisor.Checkpoint_committed { at; units; _ } ->
               Fmt.pr "[t=%7.2fs] global checkpoint committed at %d units@." at units
           | Supervisor.Checkpoint_degraded { at; units; reason } ->
               Fmt.pr "[t=%7.2fs] checkpoint degraded at %d units (%s)@." at units reason
@@ -91,7 +91,12 @@ let () =
                 unrepairable
           | Supervisor.Rollback_demoted { at; from_units; to_units } ->
               Fmt.pr "[t=%7.2fs] rollback target demoted: %d -> %d units@." at from_units
-                to_units)
+                to_units
+          | Supervisor.Failed_over { at; rpo_versions; rpo_bytes; rpo_units; rto } ->
+              Fmt.pr
+                "[t=%7.2fs] SITE FAILOVER: standby promoted, lost %d version(s) / %d bytes, \
+                 rolled back %d unit(s), RTO %.2fs@."
+                at rpo_versions rpo_bytes rpo_units rto)
         report.Supervisor.events;
       say "simulation %s: %d/%d units, %d checkpoints, %d recoveries"
         (if report.Supervisor.finished then "complete" else "ABANDONED")

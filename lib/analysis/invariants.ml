@@ -240,18 +240,83 @@ let audit_client c =
         else None)
       (Dedup_index.view (Provider_manager.dedup_index (Client.provider_manager c)))
   in
+  (* A fail-stopped metadata plane (a site disaster nobody will ever
+     recover) legitimately holds pending intents forever — quiescence is
+     only owed by services still alive to recover them. *)
   let journal =
     (let n = Version_manager.journal_pending vm in
-     if n <> 0 then
+     if n <> 0 && Version_manager.is_alive vm then
        [ v subject "journal-quiescent" "version manager journal holds %d pending intent(s)" n ]
      else [])
     @
-    let n = Metadata_service.journal_pending (Client.metadata_service c) in
-    if n <> 0 then
+    let md = Client.metadata_service c in
+    let n = Metadata_service.journal_pending md in
+    if n <> 0 && Metadata_service.alive_count md > 0 then
       [ v subject "journal-quiescent" "metadata journal holds %d pending intent(s)" n ]
     else []
   in
   List.rev !site_violations @ dedup_violations @ journal
+
+(* ------------------------------------------------------------------ *)
+(* Replicator audit: the fetch/ship pipeline must honour its in-flight
+   window; a promoted replicator must have settled its pending queue (the
+   loss was accounted at promotion, nothing may linger half-tracked); and
+   until a promotion diverges the sites on purpose, any version present on
+   both must carry identical logical content — the standby applies the
+   primary's history verbatim, never an interleaving of its own. *)
+
+let audit_replicator r =
+  let subject = "replicator" in
+  let stats = Replicator.stats r in
+  let window =
+    let w = (Replicator.config r).Replicator.window in
+    if stats.Replicator.max_inflight > w then
+      [
+        v subject "window-bound" "max in-flight %d exceeded window %d"
+          stats.Replicator.max_inflight w;
+      ]
+    else []
+  in
+  let settled =
+    if Replicator.promoted r && Replicator.lag r <> 0 then
+      [
+        v subject "promoted-settled" "%d record(s) still pending after promotion"
+          (Replicator.lag r);
+      ]
+    else []
+  in
+  let agreement =
+    if Replicator.promoted r then []
+    else begin
+      let pvm = Client.version_manager (Replicator.primary r) in
+      let svm = Client.version_manager (Replicator.standby r) in
+      let leaves tree =
+        List.rev
+          (Segment_tree.fold_set
+             (fun i (d : Types.chunk_desc) acc -> (i, d.Types.digest, d.Types.size) :: acc)
+             tree [])
+      in
+      List.concat_map
+        (fun blob ->
+          if not (List.mem blob (Version_manager.blob_ids pvm)) then
+            [ v subject "no-divergent-standby" "standby holds blob %d the primary never made" blob ]
+          else
+            List.filter_map
+              (fun version ->
+                match Version_manager.peek_tree pvm ~blob ~version with
+                | exception Not_found -> None (* pruned on the primary; nothing to compare *)
+                | ptree ->
+                    let stree = Version_manager.peek_tree svm ~blob ~version in
+                    if leaves ptree <> leaves stree then
+                      Some
+                        (v subject "no-divergent-standby"
+                           "blob %d v%d differs between primary and standby" blob version)
+                    else None)
+              (List.init (Version_manager.peek_latest svm blob) (fun i -> i + 1)))
+        (Version_manager.blob_ids svm)
+    end
+  in
+  window @ settled @ agreement
 
 (* ------------------------------------------------------------------ *)
 (* Supervisor accounting audit: every instance the supervisor ever
@@ -272,6 +337,7 @@ let audit_subject = function
   | Mirror.Audit_mirror m -> Some ("mirror:" ^ Mirror.name m, audit_mirror m)
   | Version_manager.Audit_version_manager vm -> Some ("version-manager", audit_version_manager vm)
   | Client.Audit_client c -> Some ("blobseer", audit_client c)
+  | Replicator.Audit_replicator r -> Some ("replicator", audit_replicator r)
   | Blobcr.Supervisor.Audit_supervisor sup -> Some ("supervisor", audit_supervisor sup)
   | _ -> None
 

@@ -47,7 +47,15 @@ val audit_client : Client.t -> violation list
     present replica (metadata agreement — payloads are deliberately not
     re-hashed, so injected corruption awaiting scrub does not fail
     teardown); and the version-manager and metadata journals hold no
-    pending intents. *)
+    pending intents. Journal quiescence is only required of services
+    still alive to recover them — a fail-stopped site abandoned by a
+    failover legitimately holds its intents forever. *)
+
+val audit_replicator : Replicator.t -> violation list
+(** Geo-replication audit: the in-flight window bound was never exceeded;
+    a promoted replicator has no half-tracked pending records; and (until
+    a promotion diverges the sites on purpose) every version present on
+    both sites carries identical logical content per leaf. *)
 
 val audit_supervisor : Blobcr.Supervisor.t -> violation list
 (** Recovery accounting: every declared-dead instance was restarted or

@@ -155,6 +155,64 @@ let chaos =
             { results = render_chaos c; trace; violations })
   }
 
+(* The disaster-recovery scenario: a supervised gang on a two-site
+   cluster, with the site crash time (and the replication window) drawn
+   from the fault seed so different streams catch the pipeline in
+   different in-flight states. The result surface again keeps *outcomes*
+   only: RPO/RTO and lag are deliberately absent — which commits beat the
+   disaster into the standby legitimately shifts when simultaneous events
+   reorder, while finishing on the standby with intact state must not. *)
+let render_dr (o : Experiments.Dr.outcome) =
+  let header =
+    Fmt.str "finished=%b recoveries=%d failed_over=%b integrity_failures=%d"
+      o.Experiments.Dr.report.Blobcr.Supervisor.finished
+      o.Experiments.Dr.report.Blobcr.Supervisor.recoveries o.Experiments.Dr.failed_over
+      o.Experiments.Dr.integrity_failures
+  in
+  let digests =
+    List.map (fun (path, digest) -> Fmt.str "%s %Lx" path digest) o.Experiments.Dr.digests
+  in
+  String.concat "\n" (header :: digests)
+
+let dr =
+  {
+    sname = "dr";
+    srun =
+      (fun scale ~schedule ~fault_seed ->
+        let scale = { scale with Experiments.Scale.schedule } in
+        let rng = Rng.create fault_seed in
+        let interval = 2 in
+        let crash_at =
+          Experiments.Dr.default_crash_at scale ~interval
+          +. Rng.float rng
+               (2.0 *. scale.Experiments.Scale.cm1_config.Workloads.Cm1.compute_per_iteration)
+        in
+        let config =
+          { Blobseer.Replicator.default_config with window = 1 + Rng.int rng 4 }
+        in
+        let result = ref None in
+        let (), trace =
+          Trace.capture (fun () ->
+              match
+                Experiments.Dr.dr_run scale ~config ~crash_at ~interval
+                  ~gang:scale.Experiments.Scale.dr_gang
+                  ~units:scale.Experiments.Scale.dr_units ()
+              with
+              | o -> result := Some (Ok o)
+              | exception e -> result := Some (Error e))
+        in
+        match Option.get !result with
+        | Error e -> outcome_of_exn trace e
+        | Ok o ->
+            let violations =
+              o.Experiments.Dr.audit
+              @ List.map
+                  (fun v -> Fmt.str "%a" Invariants.pp_violation v)
+                  (Invariants.audit_engine o.Experiments.Dr.engine)
+            in
+            { results = render_dr o; trace; violations })
+  }
+
 (* Registry experiments as scenarios: no injected faults — the fault seed
    doubles as the engine seed, and the schedule-independent result surface
    is the experiment's rendered stats tables. *)
@@ -186,6 +244,7 @@ let experiment exp =
 
 let find_scenario name =
   if name = "chaos" then Some chaos
+  else if name = "dr" then Some dr
   else
     match String.index_opt name ':' with
     | Some i when String.sub name 0 i = "exp" ->

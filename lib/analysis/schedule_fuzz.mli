@@ -49,7 +49,7 @@ type outcome = {
 }
 
 type scenario = {
-  sname : string;  (** ["chaos"] or ["exp:<id>"] — appears in repro commands *)
+  sname : string;  (** ["chaos"], ["dr"] or ["exp:<id>"] — appears in repro commands *)
   srun : Experiments.Scale.t -> schedule:Event_queue.schedule -> fault_seed:int -> outcome;
 }
 
@@ -65,13 +65,24 @@ val chaos : scenario
     Violations come from the supervisor audit and the engine's full
     invariant battery. *)
 
+val dr : scenario
+(** The disaster-recovery harness ({!Experiments.Dr.dr_run}): a
+    supervised gang on a two-site cluster with the primary-site crash
+    time and the replication window drawn from the fault seed, so
+    different streams catch the shipping pipeline in different in-flight
+    states. The result surface keeps outcomes only — completion,
+    recoveries, whether the failover happened, integrity failures and the
+    restored-state digests; RPO/RTO and lag are excluded because which
+    commits beat the disaster into the standby legitimately shifts when
+    simultaneous events reorder. *)
+
 val experiment : Experiments.Registry.t -> scenario
 (** A registry experiment as a scenario: no injected faults — the fault
     seed doubles as the engine seed and the result surface is the rendered
     stats tables. *)
 
 val find_scenario : string -> scenario option
-(** ["chaos"], or ["exp:<id>"] for any registry experiment id. *)
+(** ["chaos"], ["dr"], or ["exp:<id>"] for any registry experiment id. *)
 
 (** {1 Findings} *)
 

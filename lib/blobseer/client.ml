@@ -26,6 +26,8 @@ let m_bytes_shipped = Obs.Metrics.counter ~component:"blob" ~name:"bytes_shipped
 let m_bytes_deduped = Obs.Metrics.counter ~component:"blob" ~name:"bytes_deduped"
 let m_bytes_suppressed = Obs.Metrics.counter ~component:"blob" ~name:"bytes_suppressed"
 let m_read_failovers = Obs.Metrics.counter ~component:"blob" ~name:"read_failovers"
+let m_read_retry_rounds = Obs.Metrics.counter ~component:"blob" ~name:"read_retry_rounds"
+let m_read_backoff = Obs.Metrics.counter ~component:"blob" ~name:"read_backoff_s"
 
 let deploy engine net ?(params = Types.default_params) ~version_manager_host
     ~provider_manager_host ~metadata_hosts ~data_providers () =
@@ -167,7 +169,13 @@ let read_chunk_payload b ~from (desc : Types.chunk_desc) =
         if n >= t.params.read_retries then
           raise (Types.Provider_down "all replicas failed")
         else begin
-          Engine.sleep t.engine (t.params.retry_backoff *. float_of_int (1 lsl n));
+          let delay =
+            Float.min t.params.retry_backoff_cap
+              (t.params.retry_backoff *. float_of_int (1 lsl n))
+          in
+          Obs.Metrics.incr m_read_retry_rounds;
+          Obs.Metrics.add m_read_backoff delay;
+          Engine.sleep t.engine delay;
           round (n + 1)
         end
   in
@@ -490,6 +498,8 @@ let tree b ~version = Version_manager.peek_tree b.service.vm ~blob:(blob_id b) ~
 let version_bytes b ~version =
   let tr = tree b ~version in
   Segment_tree.fold_set (fun _ (desc : Types.chunk_desc) acc -> acc + desc.size) tr 0
+
+let read_desc b ~from desc = read_chunk_payload b ~from desc
 
 let read_chunk b ~from ~version ~chunk =
   let t = b.service in

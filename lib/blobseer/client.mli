@@ -174,6 +174,14 @@ val read_chunk : blob -> from:Net.host -> version:int -> chunk:int -> Payload.t
 (** Fetch exactly one chunk (zeros if unwritten); chunk-granular metadata
     cost. *)
 
+val read_desc : blob -> from:Net.host -> Types.chunk_desc -> Payload.t
+(** Fetch one chunk's content straight from its descriptor — provider and
+    network cost only, no version-manager or metadata round trips. Same
+    digest verification and replica failover as {!read_chunk}. For callers
+    that already hold the descriptor (the geo-replicator, whose journal
+    records carry the tree delta), so they never load the primary's
+    control plane. *)
+
 val chunk_identity : blob -> version:int -> chunk:int -> (int * int) option
 (** Physical identity [(provider, chunk_id)] of the primary replica, or
     [None] for unwritten chunks. Cost-free metadata peek used to coalesce

@@ -26,6 +26,7 @@ type params = {
   allocate_cost : float;  (** per-chunk cost at the provider manager *)
   read_retries : int;  (** failover rounds over surviving replicas *)
   retry_backoff : float;  (** base delay between failover rounds, doubled per round *)
+  retry_backoff_cap : float;  (** ceiling on the per-round failover delay *)
   allow_degraded_writes : bool;
       (** place fewer than [replication] copies when live distinct hosts run
           short, leaving repair to the scrubber, instead of failing the write *)
@@ -48,6 +49,7 @@ let default_params =
     allocate_cost = 2e-5;
     read_retries = 3;
     retry_backoff = 0.05;
+    retry_backoff_cap = 1.0;
     allow_degraded_writes = true;
     dedup = true;
   }

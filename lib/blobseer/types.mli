@@ -26,6 +26,7 @@ type params = {
   allocate_cost : float;  (** per-chunk cost at the provider manager *)
   read_retries : int;  (** failover rounds over surviving replicas *)
   retry_backoff : float;  (** base delay between failover rounds, doubled per round *)
+  retry_backoff_cap : float;  (** ceiling on the per-round failover delay *)
   allow_degraded_writes : bool;
       (** place fewer than [replication] copies when live distinct hosts run
           short, leaving repair to the scrubber, instead of failing the write *)

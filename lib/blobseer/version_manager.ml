@@ -21,6 +21,15 @@ type intent =
 
 type crash_point = Before_apply | Mid_apply
 
+(* Durable mutations in commit order, as seen by a journal-shipping
+   replica. Emitted strictly after the journal commit, so a crashed and
+   rolled-back operation is never announced. *)
+type commit_record =
+  | Published of { blob : int; version : int }
+  | Cloned of { src_blob : int; version : int; new_blob : int }
+  | Blob_created of { blob : int; capacity : int; stripe_size : int }
+  | Repaired of { blob : int; version : int; index : int }
+
 type t = {
   engine : Engine.t;
   net : Net.t;
@@ -33,6 +42,7 @@ type t = {
   mutable armed : crash_point option;
   mutable recovered : int;
   mutable dedup : Dedup_index.t option;
+  mutable on_commit : (commit_record -> unit) option;
 }
 
 type Engine.audit_subject += Audit_version_manager of t
@@ -54,16 +64,20 @@ let create engine net ~host ?(publish_cost = Types.default_params.publish_cost) 
       armed = None;
       recovered = 0;
       dedup = None;
+      on_commit = None;
     }
   in
   Engine.register_audit_subject engine (Audit_version_manager t);
   t
 
 let set_dedup_index t index = t.dedup <- Some index
+let set_on_commit t f = t.on_commit <- Some f
+let notify t record = match t.on_commit with Some f -> f record | None -> ()
 
 let chunk_count ~capacity ~stripe_size = Size.div_ceil capacity stripe_size
 
 let is_alive t = t.alive
+let fail t = t.alive <- false
 let arm_crash t point = t.armed <- Some point
 
 let maybe_crash t point =
@@ -95,7 +109,9 @@ let register_blob t ~capacity ~stripe_size v0 =
 let create_blob t ~from ~capacity ~stripe_size =
   rpc t ~from (fun () ->
       let chunks = chunk_count ~capacity ~stripe_size in
-      register_blob t ~capacity ~stripe_size (Segment_tree.create ~chunks))
+      let info = register_blob t ~capacity ~stripe_size (Segment_tree.create ~chunks) in
+      notify t (Blob_created { blob = info.blob_id; capacity; stripe_size });
+      info)
 
 let state t blob = Hashtbl.find t.blobs blob
 let blob_info t blob = (state t blob).info
@@ -151,6 +167,7 @@ let publish t ~from ~blob ~base tree =
               | None -> ())
             changes
       | None -> ());
+      notify t (Published { blob; version });
       version)
 
 let clone t ~from ~blob ~version =
@@ -167,6 +184,7 @@ let clone t ~from ~blob ~version =
       in
       maybe_crash t Mid_apply;
       Journal.commit t.journal jid;
+      notify t (Cloned { src_blob = blob; version; new_blob = info.blob_id });
       info)
 
 (* Scrubber repair: swap the chunk descriptor of one leaf of one published
@@ -181,6 +199,7 @@ let replace_desc t ~blob ~version ~index desc =
   let tree', created = Segment_tree.set_range tree ~start:index [| Some desc |] in
   Hashtbl.replace st.versions version tree';
   Journal.commit t.journal jid;
+  notify t (Repaired { blob; version; index });
   created
 
 (* Roll a pending intent back to the pre-mutation state. A pending Publish

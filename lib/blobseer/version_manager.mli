@@ -56,6 +56,32 @@ val set_dedup_index : t -> Dedup_index.t -> unit
 (** Attach the deployment's dedup index for publication-time reference
     counting (wired by [Client.deploy]). *)
 
+(** Durable mutations in commit order, as announced to an attached
+    journal-shipping replica ({!set_on_commit}). Records are emitted
+    strictly after the journal commit of the operation, so a crashed and
+    rolled-back mutation is never announced. *)
+type commit_record =
+  | Published of { blob : int; version : int }
+      (** a snapshot publication landed; [version] is the minted number *)
+  | Cloned of { src_blob : int; version : int; new_blob : int }
+      (** a clone registered [new_blob] from [src_blob]'s [version] *)
+  | Blob_created of { blob : int; capacity : int; stripe_size : int }
+      (** a fresh empty blob was registered via [create_blob] *)
+  | Repaired of { blob : int; version : int; index : int }
+      (** the scrubber swapped leaf [index]'s descriptor in place
+          (digest-preserving — a logical no-op for replication) *)
+
+val set_on_commit : t -> (commit_record -> unit) -> unit
+(** Install the commit hook. The callback runs synchronously inside the
+    committing operation and therefore must not block — enqueue and
+    return (the replication tail ships asynchronously). At most one hook;
+    a second call replaces the first. *)
+
+val fail : t -> unit
+(** Fail-stop the service (site-disaster injection): every subsequent
+    operation raises {!Types.Service_crashed} until {!restart}. Unlike an
+    armed crash, pending journal intents are left as they are. *)
+
 val clone : t -> from:Net.host -> blob:int -> version:int -> blob_info
 (** New BLOB whose version 0 is the given snapshot of the source blob —
     shares all chunks, diverges independently (design principle 3.1.3). *)

@@ -6,27 +6,38 @@ open Vdisk
 
 type node = { index : int; host : Net.host; disk : Disk.t }
 
+type dr = {
+  primary_nodes : node array;
+  primary_service : Client.t;
+  standby_nodes : node array;
+  standby_service : Client.t;
+  replicator : Replicator.t;
+  mutable site_failed : bool;
+  mutable promoted : bool;
+}
+
 type t = {
   engine : Engine.t;
   net : Net.t;
   cal : Calibration.t;
-  nodes : node array;
-  service : Client.t;
+  mutable nodes : node array;
+  mutable service : Client.t;
   pvfs : Pvfs.t;
   prefetch : Prefetch.t;
-  base_blob : Client.blob;
+  mutable base_blob : Client.blob;
   base_version : int;
   base_raw : Pvfs.file;
   supervisor_host : Net.host;
   mutable failed_nodes : int list;
   mutable crash_hooks : (int -> unit) list;
+  mutable dr : dr option;
 }
 
 (* The base image content: a deterministic pattern standing in for the
    guest OS bytes (Debian root file system in the paper). *)
 let base_image_seed = 0xD3B1A7L
 
-let build ?(seed = 42) ?schedule (cal : Calibration.t) =
+let build ?(seed = 42) ?schedule ?dr:dr_config (cal : Calibration.t) =
   let engine = Engine.create ~seed ?schedule () in
   let net =
     Net.create engine
@@ -85,8 +96,58 @@ let build ?(seed = 42) ?schedule (cal : Calibration.t) =
   in
   Engine.run engine;
   let base_blob, base_version, base_raw = Option.get !uploaded in
-  { engine; net; cal; nodes; service; pvfs; prefetch; base_blob; base_version; base_raw;
-    supervisor_host; failed_nodes = []; crash_hooks = [] }
+  let t =
+    { engine; net; cal; nodes; service; pvfs; prefetch; base_blob; base_version; base_raw;
+      supervisor_host; failed_nodes = []; crash_hooks = []; dr = None }
+  in
+  (* Optional standby site: a mirror deployment on its own nodes and
+     service hosts, fed by the journal-shipping replicator through a WAN
+     gateway pair. The initial sync (base image) drains before [build]
+     returns, so experiments start from a converged pair. *)
+  (match dr_config with
+  | None -> ()
+  | Some config ->
+      let standby_nodes =
+        Array.init cal.Calibration.compute_nodes (fun index ->
+            {
+              index;
+              host = Net.add_host net ~name:(Fmt.str "standby%03d" index);
+              disk = mk_disk (Fmt.str "standby%03d.disk" index);
+            })
+      in
+      let standby_vm_host = Net.add_host net ~name:"standby-version-manager" in
+      let standby_pm_host = Net.add_host net ~name:"standby-provider-manager" in
+      let standby_md_hosts =
+        List.init cal.Calibration.metadata_providers (fun i ->
+            Net.add_host net ~name:(Fmt.str "standby-metadata%02d" i))
+      in
+      let gateway_primary = Net.add_host net ~name:"gateway-primary" in
+      let gateway_standby = Net.add_host net ~name:"gateway-standby" in
+      let standby_service =
+        Client.deploy engine net ~params:cal.blobseer ~version_manager_host:standby_vm_host
+          ~provider_manager_host:standby_pm_host ~metadata_hosts:standby_md_hosts
+          ~data_providers:
+            (Array.to_list (Array.map (fun n -> (n.host, n.disk)) standby_nodes))
+          ()
+      in
+      let replicator =
+        Replicator.create engine net ~primary:service ~standby:standby_service
+          ~gateway_primary ~gateway_standby ~config ()
+      in
+      Replicator.attach replicator;
+      Engine.run engine;
+      t.dr <-
+        Some
+          {
+            primary_nodes = nodes;
+            primary_service = service;
+            standby_nodes;
+            standby_service;
+            replicator;
+            site_failed = false;
+            promoted = false;
+          });
+  t
 
 let node t i = t.nodes.(i)
 let node_count t = Array.length t.nodes
@@ -107,6 +168,53 @@ let crash_node t i =
     Blobseer.Data_provider.fail (Client.data_provider t.service i);
     List.iter (fun hook -> hook i) t.crash_hooks
   end
+
+(* ------------------------------------------------------------------ *)
+(* Disaster recovery *)
+
+let replicator t = Option.map (fun dr -> dr.replicator) t.dr
+let site_failed t = match t.dr with Some dr -> dr.site_failed | None -> false
+let promoted t = match t.dr with Some dr -> dr.promoted | None -> false
+
+(* Fail-stop the whole primary site: every compute node (taking the data
+   providers and hosted VMs down through the normal crash path), the
+   version manager and all metadata providers. A no-op without a standby
+   site — there would be nothing left to run the experiment on. *)
+let crash_site t =
+  match t.dr with
+  | None -> ()
+  | Some dr when dr.site_failed || dr.promoted -> ()
+  | Some dr ->
+      dr.site_failed <- true;
+      Trace.emit t.engine ~component:"cluster" "site disaster: primary site fail-stopped";
+      Array.iter (fun n -> crash_node t n.index) dr.primary_nodes;
+      Version_manager.fail (Client.version_manager dr.primary_service);
+      let md = Client.metadata_service dr.primary_service in
+      for i = 0 to Metadata_service.provider_count md - 1 do
+        Metadata_service.fail md i
+      done
+
+(* Swap the standby in as the active repository: cancel the shipping
+   pipeline (collecting the RPO), roll half-applied records back, and
+   repoint the cluster's nodes/service/base-blob handles so supervisors
+   and experiments keep working against [t.service] unchanged. *)
+let promote_standby t =
+  match t.dr with
+  | None -> invalid_arg "Cluster.promote_standby: no standby site"
+  | Some dr ->
+      if dr.promoted then invalid_arg "Cluster.promote_standby: already promoted";
+      let promo = Replicator.promote dr.replicator in
+      dr.promoted <- true;
+      t.nodes <- dr.standby_nodes;
+      t.service <- dr.standby_service;
+      t.failed_nodes <- [];
+      t.base_blob <-
+        Client.open_blob dr.standby_service ~from:t.supervisor_host
+          ~id:(Client.blob_id t.base_blob);
+      Trace.emit t.engine ~component:"cluster"
+        "standby promoted: %d version(s) / %d byte(s) lost" promo.Replicator.lost_versions
+        promo.Replicator.lost_bytes;
+      promo
 
 let run t f =
   let result = ref None in

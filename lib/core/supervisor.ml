@@ -24,7 +24,7 @@ type workload = {
 
 type event =
   | Deployed of { at : float; ids : string list }
-  | Checkpoint_committed of { at : float; units : int }
+  | Checkpoint_committed of { at : float; units : int; elapsed : float }
   | Checkpoint_degraded of { at : float; units : int; reason : string }
   | Failure_detected of { at : float; dead : string list }
   | Recovered of { at : float; attempt : int; resumed_units : int }
@@ -32,6 +32,8 @@ type event =
   | Journal_recovered of { at : float; intents : int }
   | Scrubbed of { at : float; repaired : int; unrepairable : int }
   | Rollback_demoted of { at : float; from_units : int; to_units : int }
+  | Failed_over of
+      { at : float; rpo_versions : int; rpo_bytes : int; rpo_units : int; rto : float }
 
 type report = {
   finished : bool;
@@ -57,6 +59,10 @@ type t = {
   mutable snapshot_units : int;
   mutable snapshots_prev : Approach.snapshot list;
   mutable snapshot_units_prev : int;
+  (* Every committed snapshot set, newest first: failover walks it to the
+     newest entry the standby fully replicated. *)
+  mutable snapshot_history : (Approach.snapshot list * int) list;
+  scrub_config : Scrubber.config option;
   mutable scrubber : Scrubber.t option;
   mutable units_done : int;
   mutable checkpoints : int;
@@ -79,6 +85,7 @@ type Engine.audit_subject += Audit_supervisor of t
 
 let m_recoveries = Obs.Metrics.counter ~component:"sup" ~name:"recoveries"
 let m_abandoned = Obs.Metrics.counter ~component:"sup" ~name:"recoveries_abandoned"
+let m_failovers = Obs.Metrics.counter ~component:"sup" ~name:"failovers"
 
 let engine t = t.cluster.Cluster.engine
 let now t = Engine.now (engine t)
@@ -146,6 +153,7 @@ let fault_handlers t =
         Version_manager.arm_crash
           (Client.version_manager cluster.Cluster.service)
           (if point = 0 then Version_manager.Before_apply else Version_manager.Mid_apply));
+    crash_site = (fun () -> Cluster.crash_site cluster);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -173,18 +181,19 @@ let rec take n = function
 (* ------------------------------------------------------------------ *)
 (* Checkpointing *)
 
-let commit_checkpoint t snaps =
+let commit_checkpoint t ~started snaps =
   (* Keep the previous committed set: if the scrubber later finds the new
      one unrestorable, recovery demotes to this one. *)
   t.snapshots_prev <- t.snapshots;
   t.snapshot_units_prev <- t.snapshot_units;
   t.snapshots <- snaps;
   t.snapshot_units <- t.units_done;
+  t.snapshot_history <- (snaps, t.units_done) :: t.snapshot_history;
   t.checkpoints <- t.checkpoints + 1;
   let n = now t in
   t.useful <- t.useful +. (n -. t.segment_start);
   t.segment_start <- n;
-  record t (Checkpoint_committed { at = n; units = t.units_done });
+  record t (Checkpoint_committed { at = n; units = t.units_done; elapsed = n -. started });
   trace t (Fmt.str "checkpoint committed at %d/%d units" t.units_done t.total_units)
 
 let degrade_checkpoint t reason =
@@ -226,7 +235,7 @@ let recover_services t partial =
 let take_checkpoint t =
   let started = now t in
   let commit snaps =
-    commit_checkpoint t snaps;
+    commit_checkpoint t ~started snaps;
     t.ckpt_time <- t.ckpt_time +. (now t -. started)
   in
   match Protocol.global_checkpoint t.cluster ~instances:t.instances ~dump:t.workload.dump with
@@ -391,6 +400,75 @@ let restart_gang t =
   in
   attempt 1 ~pending:numbered ~placed:[]
 
+(* Site-disaster failover: promote the standby repository, restart the
+   scrubber against it, and roll the recovery target back to the newest
+   committed snapshot set the standby fully replicated (every chunk with a
+   live, digest-clean replica there). Returns the RPO actually incurred,
+   or [`No_restorable] when no committed set survived replication — only
+   BlobCR snapshots live in the geo-replicated repository, so baseline
+   approaches cannot fail over. *)
+let fail_over t =
+  Obs.Metrics.incr m_failovers;
+  let old_units = t.snapshot_units in
+  let promo = Cluster.promote_standby t.cluster in
+  let cluster = t.cluster in
+  (match t.scrubber with Some s -> Scrubber.stop s | None -> ());
+  t.scrubber <- None;
+  (match t.scrub_config with
+  | Some config ->
+      let s =
+        Scrubber.create cluster.Cluster.service ~home:cluster.Cluster.supervisor_host
+          ~config ()
+      in
+      Scrubber.start s;
+      t.scrubber <- Some s
+  | None -> ());
+  let repl =
+    match Cluster.replicator cluster with
+    | Some r -> r
+    | None -> assert false (* promote_standby would have raised *)
+  in
+  let snap_ok = function
+    | Approach.Blobcr_snapshot { image; version } ->
+        Replicator.version_ok repl ~blob:(Client.blob_id image) ~version
+    | Approach.Qcow2_snapshot _ | Approach.Full_snapshot _ -> false
+  in
+  (* Rebind snapshot blob handles onto the promoted repository (blob ids
+     are preserved by replication). *)
+  let translate = function
+    | Approach.Blobcr_snapshot { image; version } ->
+        Approach.Blobcr_snapshot
+          {
+            image =
+              Client.open_blob cluster.Cluster.service ~from:cluster.Cluster.supervisor_host
+                ~id:(Client.blob_id image);
+            version;
+          }
+    | s -> s
+  in
+  let rec choose = function
+    | [] -> None
+    | (snaps, units) :: older ->
+        if snaps <> [] && List.for_all snap_ok snaps then Some ((snaps, units), older)
+        else choose older
+  in
+  match choose t.snapshot_history with
+  | None -> `No_restorable
+  | Some ((snaps, units), older) ->
+      t.snapshots <- List.map translate snaps;
+      t.snapshot_units <- units;
+      (match choose older with
+      | Some ((psnaps, punits), _) ->
+          t.snapshots_prev <- List.map translate psnaps;
+          t.snapshot_units_prev <- punits
+      | None ->
+          t.snapshots_prev <- [];
+          t.snapshot_units_prev <- 0);
+      trace t
+        (Fmt.str "failover: resuming from %d units (%d version(s), %d byte(s) lost in flight)"
+           units promo.Replicator.lost_versions promo.Replicator.lost_bytes);
+      `Promoted (promo.Replicator.lost_versions, promo.Replicator.lost_bytes, old_units - units)
+
 let recover t ~dead ~detected_at =
   Obs.Span.with_ (engine t) ~component:"sup" ~name:"sup.recover"
     ~attrs:[ ("dead", Obs.Record.Int (List.length dead)) ]
@@ -408,6 +486,22 @@ let recover t ~dead ~detected_at =
   Protocol.kill_all t.instances;
   t.instances <- [];
   t.recoveries <- t.recoveries + 1;
+  (* Site disaster: promote the standby before any metadata-plane work —
+     the primary site is gone, so journal recovery, scrubbing and the
+     restart all run against the promoted repository. *)
+  let failover =
+    if Cluster.site_failed t.cluster && not (Cluster.promoted t.cluster) then
+      Some (fail_over t)
+    else None
+  in
+  match failover with
+  | Some `No_restorable ->
+      t.abandoned <- old_ids @ t.abandoned;
+      Obs.Metrics.incr m_abandoned;
+      record t (Abandoned { at = now t; ids = old_ids });
+      trace t "failover abandoned: no fully replicated snapshot set on the standby";
+      `Abandoned
+  | _ ->
   (* The metadata plane must be serving before any restart reads snapshot
      trees: a crash mid-COMMIT leaves the version manager down with a
      pending intent until journal recovery rolls it back. *)
@@ -476,6 +570,11 @@ let recover t ~dead ~detected_at =
       let n = now t in
       t.latencies_rev <- (n -. detected_at) :: t.latencies_rev;
       t.segment_start <- n;
+      (match failover with
+      | Some (`Promoted (rpo_versions, rpo_bytes, rpo_units)) ->
+          record t
+            (Failed_over { at = n; rpo_versions; rpo_bytes; rpo_units; rto = n -. detected_at })
+      | _ -> ());
       record t (Recovered { at = n; attempt = t.recoveries; resumed_units = t.snapshot_units });
       trace t
         (Fmt.str "recovered: resumed from %d units on %s" t.snapshot_units
@@ -575,6 +674,8 @@ let run cluster ~kind ?(policy = default_policy) ?scrub ?on_ready ~id ~gang ~uni
       snapshot_units = 0;
       snapshots_prev = [];
       snapshot_units_prev = 0;
+      snapshot_history = [];
+      scrub_config = scrub;
       scrubber = None;
       units_done = 0;
       checkpoints = 0;

@@ -50,7 +50,7 @@ type workload = {
 
 type event =
   | Deployed of { at : float; ids : string list }
-  | Checkpoint_committed of { at : float; units : int }
+  | Checkpoint_committed of { at : float; units : int; elapsed : float }
   | Checkpoint_degraded of { at : float; units : int; reason : string }
       (** a global checkpoint failed; the previous snapshot set remains
           authoritative *)
@@ -65,6 +65,13 @@ type event =
   | Rollback_demoted of { at : float; from_units : int; to_units : int }
       (** newest snapshot set found unrestorable; falling back to the
           previous one *)
+  | Failed_over of
+      { at : float; rpo_versions : int; rpo_bytes : int; rpo_units : int; rto : float }
+      (** a primary-site disaster was survived by promoting the standby
+          repository: [rpo_versions]/[rpo_bytes] are publications lost in
+          flight, [rpo_units] the work units rolled back relative to the
+          last primary-committed checkpoint, [rto] the detection-to-running
+          failover latency *)
 
 type report = {
   finished : bool;  (** all units completed *)

@@ -119,6 +119,17 @@ let all =
             (Durability.tables scale ~progress ()));
     };
     {
+      id = "dr";
+      paper_ref = "Beyond the paper (Section 5, availability under site loss)";
+      description =
+        "RPO/RTO, replication lag and primary checkpoint overhead for supervised CM1 on a \
+         geo-replicated repository with a scripted primary-site disaster, link-latency x \
+         checkpoint-interval x window sweep";
+      run =
+        (fun scale ~progress ->
+          List.map (fun (name, table) -> { name; table }) (Dr.tables scale ~progress ()));
+    };
+    {
       id = "dedup";
       paper_ref = "Beyond the paper (Section 3.1.3 commit path, content addressing)";
       description =

@@ -22,6 +22,11 @@ type t = {
   durability_mtbf : float;
   durability_units : int;
   durability_gang : int;
+  dr_link_latencies : float list;
+  dr_windows : int list;
+  dr_intervals : int list;
+  dr_units : int;
+  dr_gang : int;
 }
 
 let paper =
@@ -54,6 +59,11 @@ let paper =
     durability_mtbf = 900.0;
     durability_units = 24;
     durability_gang = 4;
+    dr_link_latencies = [ 0.05; 0.2; 0.4 ];
+    dr_windows = [ 1; 2; 4; 16 ];
+    dr_intervals = [ 2; 5 ];
+    dr_units = 24;
+    dr_gang = 4;
   }
 
 let quick =
@@ -85,6 +95,11 @@ let quick =
     durability_mtbf = 15.0;
     durability_units = 8;
     durability_gang = 2;
+    dr_link_latencies = [ 0.05; 0.4 ];
+    dr_windows = [ 1; 2; 4 ];
+    dr_intervals = [ 2 ];
+    dr_units = 8;
+    dr_gang = 4;
   }
 
 let find = function

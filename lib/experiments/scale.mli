@@ -32,6 +32,11 @@ type t = {
   durability_mtbf : float;  (** fault inter-arrival mean for durability runs *)
   durability_units : int;  (** work units per durability run *)
   durability_gang : int;  (** instances per durability gang *)
+  dr_link_latencies : float list;  (** WAN one-way latencies swept, seconds *)
+  dr_windows : int list;  (** replication in-flight window sizes swept *)
+  dr_intervals : int list;  (** checkpoint intervals swept, in work units *)
+  dr_units : int;  (** work units per disaster-recovery run *)
+  dr_gang : int;  (** instances per disaster-recovery gang *)
 }
 
 val paper : t

@@ -16,6 +16,7 @@ type action =
   | Partition of { group : int list; duration : float }
   | Silent_corruption of { provider : int; chunk : int }
   | Crash_commit of { point : int }
+  | Crash_site
 
 type event = { at : float; action : action }
 type script = event list
@@ -32,6 +33,7 @@ let pp_action ppf = function
   | Silent_corruption { provider; chunk } ->
       Fmt.pf ppf "silent-corruption provider %d chunk %d" provider chunk
   | Crash_commit { point } -> Fmt.pf ppf "crash-commit point %d" point
+  | Crash_site -> Fmt.pf ppf "crash-site"
 
 let pp_event ppf e = Fmt.pf ppf "t=%.3f %a" e.at pp_action e.action
 
@@ -81,6 +83,7 @@ type handlers = {
   partition : group:int list -> duration:float -> unit;
   silent_corruption : provider:int -> chunk:int -> unit;
   crash_commit : point:int -> unit;
+  crash_site : unit -> unit;
 }
 
 let null_handlers =
@@ -93,6 +96,7 @@ let null_handlers =
     partition = (fun ~group:_ ~duration:_ -> ());
     silent_corruption = (fun ~provider:_ ~chunk:_ -> ());
     crash_commit = (fun ~point:_ -> ());
+    crash_site = (fun () -> ());
   }
 
 type t = {
@@ -110,6 +114,7 @@ let apply handlers = function
   | Partition { group; duration } -> handlers.partition ~group ~duration
   | Silent_corruption { provider; chunk } -> handlers.silent_corruption ~provider ~chunk
   | Crash_commit { point } -> handlers.crash_commit ~point
+  | Crash_site -> handlers.crash_site ()
 
 let start engine ~script ~handlers =
   (* Stable sort keeps script order for events at equal times. *)

@@ -37,6 +37,11 @@ type action =
   | Crash_commit of { point : int }
       (** crash the version manager at crash point [point] (0 = before any
           state mutation, 1 = mid-apply) of its next publication/clone *)
+  | Crash_site
+      (** fail-stop an entire site — every compute node, the version
+          manager and the metadata providers of the active repository go
+          down together (the disaster-recovery trigger; a no-op for
+          embedders without a standby site) *)
 
 type event = { at : float; action : action }
 (** [at] is relative to injector start (seconds). *)
@@ -83,6 +88,7 @@ type handlers = {
   partition : group:int list -> duration:float -> unit;
   silent_corruption : provider:int -> chunk:int -> unit;
   crash_commit : point:int -> unit;
+  crash_site : unit -> unit;
 }
 
 val null_handlers : handlers

@@ -16,6 +16,16 @@ type config = {
   fabric_bandwidth : float option;
 }
 
+(* One partition epoch. Waiters block on [release] instead of sleeping to
+   the deadline, so an early [heal] wakes them immediately; [healed_early]
+   lets a released waiter know whether it owes its delivery to a heal. *)
+type partition_state = {
+  side : host -> bool;
+  until : float;
+  release : unit Engine.Ivar.t;
+  mutable healed_early : bool;
+}
+
 type t = {
   engine : Engine.t;
   cfg : config;
@@ -24,8 +34,8 @@ type t = {
   mutable next_id : int;
   mutable degrade_factor : float;
   mutable degrade_until : float;
-  mutable partition_side : (host -> bool) option;
-  mutable partition_until : float;
+  mutable part : partition_state option;
+  mutable delivered_after_heal : int;
 }
 
 let default_config =
@@ -52,8 +62,8 @@ let create engine cfg =
     next_id = 0;
     degrade_factor = 1.0;
     degrade_until = 0.0;
-    partition_side = None;
-    partition_until = 0.0;
+    part = None;
+    delivered_after_heal = 0;
   }
 
 let engine t = t.engine
@@ -91,26 +101,51 @@ let degrade t ~factor ~until =
 let degradation t =
   if Engine.now t.engine < t.degrade_until then t.degrade_factor else 1.0
 
-let partition t ~side ~until =
-  t.partition_side <- Some side;
-  t.partition_until <- until
+let release_partition p = if not (Engine.Ivar.is_filled p.release) then Engine.Ivar.fill p.release ()
 
-let heal t = t.partition_side <- None
+let partition t ~side ~until =
+  (* Replacing an active partition releases its waiters; they re-check
+     against the new epoch. *)
+  (match t.part with Some p -> release_partition p | None -> ());
+  if until > Engine.now t.engine then begin
+    let p = { side; until; release = Engine.Ivar.create t.engine; healed_early = false } in
+    t.part <- Some p;
+    Engine.at t.engine until (fun () ->
+        (match t.part with Some q when q == p -> t.part <- None | _ -> ());
+        release_partition p)
+  end
+  else t.part <- None
+
+let heal t =
+  match t.part with
+  | None -> ()
+  | Some p ->
+      p.healed_early <- true;
+      t.part <- None;
+      release_partition p
 
 let partitioned t a b =
-  match t.partition_side with
-  | Some side when Engine.now t.engine < t.partition_until -> side a <> side b
+  match t.part with
+  | Some p when Engine.now t.engine < p.until -> p.side a <> p.side b
   | _ -> false
 
+let delivered_after_heal t = t.delivered_after_heal
+
 (* A transfer or message that would cross the cut stalls until the
-   partition heals — the deterministic model of packets timing out and
-   being retransmitted once connectivity returns. *)
-let rec wait_partition t a b =
-  if partitioned t a b then begin
-    let dt = t.partition_until -. Engine.now t.engine in
-    Engine.sleep t.engine (Float.max 1e-6 dt);
-    wait_partition t a b
-  end
+   partition clears — the deterministic model of packets timing out and
+   being retransmitted once connectivity returns. Waiters block on the
+   epoch's release ivar, so an early {!heal} wakes them at the heal
+   instant instead of the original deadline; deliveries owed to an early
+   heal are counted so tests can assert none were silently dropped. *)
+let wait_partition t a b =
+  let rec wait healed =
+    match t.part with
+    | Some p when Engine.now t.engine < p.until && p.side a <> p.side b ->
+        Engine.Ivar.read p.release;
+        wait (healed || p.healed_early)
+    | _ -> if healed then t.delivered_after_heal <- t.delivered_after_heal + 1
+  in
+  wait false
 
 (* Degradation is modelled as extra sender-side serialization time per
    segment: factor f makes the effective per-link bandwidth cfg.bandwidth/f

@@ -84,7 +84,14 @@ val partition : t -> side:(host -> bool) -> until:float -> unit
     Transfers already past their initial handshake are not interrupted. *)
 
 val heal : t -> unit
-(** Remove the partition ahead of its deadline. *)
+(** Remove the partition ahead of its deadline. Deliveries stalled on the
+    cut resume immediately (at the heal instant, not the original
+    deadline) and are counted in {!delivered_after_heal}. *)
 
 val partitioned : t -> host -> host -> bool
 (** Whether a message between the two hosts would currently stall. *)
+
+val delivered_after_heal : t -> int
+(** Deliveries (transfers or messages) that were stalled on a partition
+    healed ahead of its deadline and then completed — the proof that an
+    early {!heal} releases queued traffic instead of dropping it. *)

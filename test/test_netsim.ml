@@ -264,6 +264,38 @@ let test_net_transfer_zero_bytes () =
 (* ------------------------------------------------------------------ *)
 (* Disk *)
 
+let test_net_partition_heal_releases_queued () =
+  (* Traffic launched into a partition must survive an early heal: the
+     stalled deliveries complete at the heal instant (not the original
+     partition deadline) and are counted in delivered_after_heal. *)
+  let e = Engine.create () in
+  let config = { Net.default_config with latency = 0.01 } in
+  let net, a, b = two_host_net ~config e in
+  let message_done = ref (-1.0) and transfer_done = ref (-1.0) in
+  let _ =
+    Engine.Fiber.spawn e (fun () ->
+        Net.partition net ~side:(fun h -> h == a) ~until:100.0;
+        let _ =
+          Engine.Fiber.spawn e (fun () ->
+              Net.message net ~src:a ~dst:b;
+              message_done := Engine.now e)
+        in
+        let _ =
+          Engine.Fiber.spawn e (fun () ->
+              Net.transfer net ~src:a ~dst:b Size.mib;
+              transfer_done := Engine.now e)
+        in
+        Engine.sleep e 2.0;
+        Net.heal net)
+  in
+  Engine.run e;
+  Alcotest.(check bool) "message released at heal, not deadline" true
+    (!message_done >= 2.0 && !message_done < 10.0);
+  Alcotest.(check bool) "transfer released at heal, not deadline" true
+    (!transfer_done >= 2.0 && !transfer_done < 10.0);
+  Alcotest.(check int) "both deliveries counted" 2 (Net.delivered_after_heal net);
+  Alcotest.(check int) "transfer bytes arrived intact" Size.mib (Net.bytes_received b)
+
 let test_disk_rw_times () =
   let e = Engine.create () in
   let d = Disk.create e ~rate:100.0 ~per_op:0.0 ~capacity:1000 ~name:"d" () in
@@ -357,6 +389,8 @@ let () =
           Alcotest.test_case "incast contention" `Quick test_net_incast_contention;
           Alcotest.test_case "fabric oversubscription" `Quick test_net_fabric_oversubscription;
           Alcotest.test_case "zero-byte transfer" `Quick test_net_transfer_zero_bytes;
+          Alcotest.test_case "partition heal releases queued traffic" `Quick
+            test_net_partition_heal_releases_queued;
         ] );
       ( "disk",
         [
