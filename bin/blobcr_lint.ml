@@ -314,7 +314,10 @@ let scenario_term =
         ~doc:
           "$(b,chaos) (the durability chaos harness under MTBF fault scripts), \
            $(b,dr) (a site disaster with standby promotion at a fuzzed crash time \
-           and window), or $(b,exp:<id>) for any registry experiment.")
+           and window), $(b,chains) (the snapshot-chain compactor under compaction \
+           crash points, service crashes and transient disk errors, checked against \
+           the settled retention fixed point), or $(b,exp:<id>) for any registry \
+           experiment.")
 
 let verbose_term =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every sample as it runs.")
@@ -344,7 +347,7 @@ let write_fuzz_artifact scenario_name report =
 let run_fuzz (_, scale) scenario_name rounds master_seed replay_seed verbose =
   match Schedule_fuzz.find_scenario scenario_name with
   | None ->
-      Fmt.epr "unknown scenario %S (expected chaos, dr or exp:<id>)@." scenario_name;
+      Fmt.epr "unknown scenario %S (expected chaos, dr, chains or exp:<id>)@." scenario_name;
       2
   | Some scenario -> (
       match replay_seed with
@@ -416,7 +419,12 @@ let run_all root seed =
     stage "fuzz-dr" (fun () ->
         run_fuzz ("quick", Experiments.Scale.quick) "dr" 5 seed None false)
   in
+  let chains_fuzz =
+    stage "fuzz-chains" (fun () ->
+        run_fuzz ("quick", Experiments.Scale.quick) "chains" 5 seed None false)
+  in
   if lint = 0 && docs = 0 && inv = 0 && det = 0 && dur = 0 && fuzz = 0 && dr_fuzz = 0
+     && chains_fuzz = 0
   then begin
     Fmt.pr "--- all clean ---@.";
     0
@@ -428,8 +436,8 @@ let all_cmd =
     (Cmd.info "all"
        ~doc:
          "Run lint, docs, invariants, determinism (including the DR sweep's replay \
-          check), durability and the bounded schedule-fuzz smoke passes (chaos and \
-          site-disaster scenarios); exit 0 when all clean.")
+          check), durability and the bounded schedule-fuzz smoke passes (chaos, \
+          site-disaster and snapshot-chain scenarios); exit 0 when all clean.")
     Term.(const run_all $ root_term $ seed_term)
 
 let () =

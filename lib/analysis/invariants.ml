@@ -104,10 +104,12 @@ let audit_segment_tree ~subject ~chunks tree =
   shape @ tile 0 spans @ occupied_width
 
 (* ------------------------------------------------------------------ *)
-(* Version-manager audit: versions of every blob form a dense range (the
-   GC's retention drops a prefix, never punches holes), [latest] is the
-   newest registered version, and every stored tree addresses exactly the
-   blob's chunk count. *)
+(* Version-manager audit: retention (GC keep-last, compactor thinning) may
+   punch holes in the live chain, but live and retired versions together
+   must still tile the dense range the manager minted — a version in
+   neither set was lost, not retired — and no version may be both.
+   [latest] is the newest live version, and every stored tree addresses
+   exactly the blob's chunk count. *)
 
 let audit_version_manager vm =
   List.concat_map
@@ -123,14 +125,28 @@ let audit_version_manager vm =
       | first :: _ as versions ->
           let latest = Version_manager.peek_latest vm blob in
           let newest = List.fold_left max first versions in
+          let retired = Version_manager.retired_versions vm ~blob in
+          let disjoint =
+            match List.filter (fun r -> List.mem r versions) retired with
+            | [] -> []
+            | overlap ->
+                [
+                  v subject "retired-disjoint" "versions %a are both live and retired"
+                    Fmt.(list ~sep:comma int) overlap;
+                ]
+          in
           let dense =
-            if versions <> List.init (List.length versions) (fun i -> first + i) then
+            let all = List.sort_uniq Int.compare (versions @ retired) in
+            let lo = List.hd all in
+            if all <> List.init (List.length all) (fun i -> lo + i) then
               [
-                v subject "versions-dense" "versions %a are not a dense range"
-                  Fmt.(list ~sep:comma int) versions;
+                v subject "versions-dense" "live %a + retired %a do not tile a dense range"
+                  Fmt.(list ~sep:comma int) versions
+                  Fmt.(list ~sep:comma int) retired;
               ]
             else []
           in
+          let dense = disjoint @ dense in
           let latest_ok =
             if latest <> newest then
               [ v subject "latest-is-max" "latest is %d, newest stored version is %d" latest newest ]
@@ -319,6 +335,34 @@ let audit_replicator r =
   window @ settled @ agreement
 
 (* ------------------------------------------------------------------ *)
+(* Compactor audit: the maintenance journal must be quiescent while the
+   compactor is alive (pending intents on a dead compactor await its own
+   recovery tick), and no chunk the deferred sweep deleted may be
+   referenced by a live tree — chunk ids are never reused, so a hit here
+   means compaction reclaimed data a live version still needs. *)
+
+let audit_compactor c =
+  let subject = "compactor" in
+  let journal =
+    let n = Compactor.journal_pending c in
+    if n <> 0 && Compactor.is_alive c then
+      [ v subject "journal-quiescent" "compactor journal holds %d pending intent(s)" n ]
+    else []
+  in
+  let live = Client.live_chunk_refs (Compactor.service c) in
+  let reclaimed_live =
+    List.filter_map
+      (fun (provider, chunk) ->
+        if Hashtbl.mem live (provider, chunk) then
+          Some
+            (v subject "no-live-reclaimed" "live tree references reclaimed chunk %d on provider %d"
+               chunk provider)
+        else None)
+      (List.sort_uniq compare (Compactor.reclaimed_chunks c))
+  in
+  journal @ reclaimed_live
+
+(* ------------------------------------------------------------------ *)
 (* Supervisor accounting audit: every instance the supervisor ever
    declared dead must have been rolled back and restarted, or explicitly
    abandoned — a silently dropped instance means the recovery loop lost
@@ -338,6 +382,7 @@ let audit_subject = function
   | Version_manager.Audit_version_manager vm -> Some ("version-manager", audit_version_manager vm)
   | Client.Audit_client c -> Some ("blobseer", audit_client c)
   | Replicator.Audit_replicator r -> Some ("replicator", audit_replicator r)
+  | Compactor.Audit_compactor c -> Some ("compactor", audit_compactor c)
   | Blobcr.Supervisor.Audit_supervisor sup -> Some ("supervisor", audit_supervisor sup)
   | _ -> None
 

@@ -33,9 +33,10 @@ val audit_segment_tree : subject:string -> chunks:int -> 'a Segment_tree.t -> vi
     addresses [chunks] leaves. *)
 
 val audit_version_manager : Version_manager.t -> violation list
-(** Per blob: live versions form a dense range, [latest] is the newest
-    stored version, and every stored tree passes {!audit_segment_tree}
-    for the blob's chunk count. *)
+(** Per blob: live and retired versions are disjoint and together tile a
+    dense range (retention punches holes, it never loses versions),
+    [latest] is the newest stored version, and every stored tree passes
+    {!audit_segment_tree} for the blob's chunk count. *)
 
 val audit_mirror : Mirror.t -> violation list
 (** COW audit: dirty ⊆ present. *)
@@ -56,6 +57,12 @@ val audit_replicator : Replicator.t -> violation list
     a promoted replicator has no half-tracked pending records; and (until
     a promotion diverges the sites on purpose) every version present on
     both sites carries identical logical content per leaf. *)
+
+val audit_compactor : Compactor.t -> violation list
+(** Maintenance-plane audit: the compaction journal is quiescent while
+    the compactor is alive (a dead compactor's pending intents await its
+    own recovery tick), and no chunk the sweep reclaimed is referenced by
+    any live tree (chunk ids are never reused, so this is exact). *)
 
 val audit_supervisor : Blobcr.Supervisor.t -> violation list
 (** Recovery accounting: every declared-dead instance was restarted or

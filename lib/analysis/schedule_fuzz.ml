@@ -213,6 +213,74 @@ let dr =
             { results = render_dr o; trace; violations })
   }
 
+(* The chains scenario: the snapshot-chain harness (epoch writes with a
+   background compactor) under a fault script of compaction crash points,
+   background-service crashes and transient disk errors drawn from the
+   fault seed. The result surface is the *settled* end state — the run
+   finishes with a no-fault settle, so live/retired version sets are the
+   retention policy's fixed point and the restored image digest is
+   byte-identical whatever the schedule or mid-run crashes did; retry
+   counts, crash recoveries and reclaim timing legitimately differ and
+   are deliberately absent. *)
+let chains_script (scale : Experiments.Scale.t) ~fault_seed cluster _compactor =
+  let rng = Rng.create fault_seed in
+  let horizon =
+    float_of_int (List.fold_left max 2 scale.Experiments.Scale.chains_depths) *. 30.0
+  in
+  let nodes = Blobcr.Cluster.node_count cluster in
+  let profile =
+    Faults.of_profile ~rng ~mtbf:(horizon /. 8.0) ~horizon ~hosts:nodes ~providers:nodes
+      ~weights:(0, 0, 2, 0) ~service_weight:3 ()
+  in
+  let extra =
+    [
+      {
+        Faults.at = Rng.float rng (horizon /. 2.0);
+        action = Faults.Crash_compaction { point = Rng.int rng 3 };
+      };
+    ]
+  in
+  List.stable_sort
+    (fun (a : Faults.event) b -> Float.compare a.Faults.at b.Faults.at)
+    (profile @ extra)
+
+let render_chains (c : Experiments.Chains.chaos) =
+  let o = c.Experiments.Chains.c_outcome in
+  let ints vs = String.concat "," (List.map string_of_int vs) in
+  Fmt.str "digest=%Lx live=[%s] retired=[%s]" o.Experiments.Chains.restart_digest
+    (ints o.Experiments.Chains.live_versions)
+    (ints o.Experiments.Chains.retired_versions)
+
+let chains =
+  {
+    sname = "chains";
+    srun =
+      (fun scale ~schedule ~fault_seed ->
+        let scale = { scale with Experiments.Scale.schedule } in
+        let depth = List.fold_left max 2 scale.Experiments.Scale.chains_depths in
+        let result = ref None in
+        let (), trace =
+          Trace.capture (fun () ->
+              match
+                Experiments.Chains.chaos_run scale
+                  ~script:(chains_script scale ~fault_seed)
+                  ~depth ()
+              with
+              | c -> result := Some (Ok c)
+              | exception e -> result := Some (Error e))
+        in
+        match Option.get !result with
+        | Error e -> outcome_of_exn trace e
+        | Ok c ->
+            let violations =
+              List.map
+                (fun v -> Fmt.str "%a" Invariants.pp_violation v)
+                (Invariants.audit_engine
+                   c.Experiments.Chains.c_outcome.Experiments.Chains.engine)
+            in
+            { results = render_chains c; trace; violations })
+  }
+
 (* Registry experiments as scenarios: no injected faults — the fault seed
    doubles as the engine seed, and the schedule-independent result surface
    is the experiment's rendered stats tables. *)
@@ -245,6 +313,7 @@ let experiment exp =
 let find_scenario name =
   if name = "chaos" then Some chaos
   else if name = "dr" then Some dr
+  else if name = "chains" then Some chains
   else
     match String.index_opt name ':' with
     | Some i when String.sub name 0 i = "exp" ->

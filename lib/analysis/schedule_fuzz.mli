@@ -49,7 +49,9 @@ type outcome = {
 }
 
 type scenario = {
-  sname : string;  (** ["chaos"], ["dr"] or ["exp:<id>"] — appears in repro commands *)
+  sname : string;
+      (** ["chaos"], ["dr"], ["chains"] or ["exp:<id>"] — appears in repro
+          commands *)
   srun : Experiments.Scale.t -> schedule:Event_queue.schedule -> fault_seed:int -> outcome;
 }
 
@@ -76,13 +78,26 @@ val dr : scenario
     commits beat the disaster into the standby legitimately shifts when
     simultaneous events reorder. *)
 
+val chains : scenario
+(** The snapshot-chain maintenance harness
+    ({!Experiments.Chains.chaos_run}): epoch writes with a background
+    compactor under a fault script of compaction crash points,
+    background-service crashes and transient disk errors drawn from the
+    fault seed. The result surface is the {e settled} end state — the
+    restored image digest and the live/retired version sets after a
+    no-fault settle, which are the retention policy's fixed point
+    whatever mid-run crashes did; retry counts and reclaim timing are
+    excluded. Violations come from the engine's full invariant battery,
+    including the compactor audit. *)
+
 val experiment : Experiments.Registry.t -> scenario
 (** A registry experiment as a scenario: no injected faults — the fault
     seed doubles as the engine seed and the result surface is the rendered
     stats tables. *)
 
 val find_scenario : string -> scenario option
-(** ["chaos"], ["dr"], or ["exp:<id>"] for any registry experiment id. *)
+(** ["chaos"], ["dr"], ["chains"], or ["exp:<id>"] for any registry
+    experiment id. *)
 
 (** {1 Findings} *)
 

@@ -546,3 +546,41 @@ let distinct_bytes b =
         tr ())
     (versions b);
   Hashtbl.fold (fun _ size acc -> acc + size) seen 0 (* lint: allow hashtbl-order — commutative sum *)
+
+(* ------------------------------------------------------------------ *)
+(* Live-reference views shared by the GC and the compactor *)
+
+let live_chunk_refs t =
+  let refs = Hashtbl.create 1024 in
+  Version_manager.iter_live_trees (version_manager t) (fun ~blob:_ ~version:_ tr ->
+      Segment_tree.fold_set
+        (fun _ (desc : Types.chunk_desc) () ->
+          List.iter
+            (fun (r : Types.replica) ->
+              let key = (r.provider, r.chunk) in
+              Hashtbl.replace refs key (1 + Option.value ~default:0 (Hashtbl.find_opt refs key)))
+            desc.replicas)
+        tr ());
+  refs
+
+(* Live logical state per content digest: number of distinct descriptor
+   serials carrying it across the surviving trees, plus the size and an
+   exemplar replica set (the first encountered in sorted (blob, version)
+   order, so the result is deterministic). This is the ground truth the
+   dedup index is reconciled to after retention drops versions. *)
+let live_digest_refs t =
+  let seen : (int64 * int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let acc : (int64, int * int * Types.replica list) Hashtbl.t = Hashtbl.create 1024 in
+  Version_manager.iter_live_trees (version_manager t) (fun ~blob:_ ~version:_ tr ->
+      Segment_tree.fold_set
+        (fun _ (desc : Types.chunk_desc) () ->
+          if not (Hashtbl.mem seen (desc.digest, desc.serial)) then begin
+            Hashtbl.replace seen (desc.digest, desc.serial) ();
+            match Hashtbl.find_opt acc desc.digest with
+            | Some (refs, size, replicas) ->
+                Hashtbl.replace acc desc.digest (refs + 1, size, replicas)
+            | None -> Hashtbl.replace acc desc.digest (1, desc.size, desc.replicas)
+          end)
+        tr ());
+  Hashtbl.fold (fun digest v l -> (digest, v) :: l) acc [] (* lint: allow hashtbl-order — sorted below *)
+  |> List.sort (fun (d1, _) (d2, _) -> Int64.compare d1 d2)

@@ -207,3 +207,15 @@ val distinct_bytes : blob -> int
 val tree : blob -> version:int -> Version_manager.tree
 (** The snapshot's metadata root (used by the garbage collector and by
     white-box tests). Free of simulated cost. *)
+
+val live_chunk_refs : t -> (int * int, int) Hashtbl.t
+(** Mark set over the whole repository: reference count per physical
+    [(provider, chunk_id)] pair across every live version tree. Cost-free
+    metadata walk in deterministic (blob, version) order — the GC's and
+    the compactor's sweep input. *)
+
+val live_digest_refs : t -> (int64 * (int * int * Types.replica list)) list
+(** Live logical references per content digest: distinct descriptor
+    serials carrying it across the live trees, with size and an exemplar
+    replica set, sorted by digest. The ground truth the dedup index is
+    reconciled against after retention drops versions. Cost-free. *)

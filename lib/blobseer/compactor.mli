@@ -1,0 +1,177 @@
+(** Background snapshot-chain compactor: crash-safe retention enforcement.
+
+    The compactor is the maintenance plane of the repository. On every
+    pass it evaluates the configured {!Retention.policy} against each
+    blob's live version chain (through
+    {!Version_manager.retention_plan}), {e flattens} across every chain
+    segment the plan retires — verify-reading the surviving boundary
+    versions' cold chunks so a restart from them never depends on data
+    that only the retired intermediates pinned — and then retires the
+    intermediates, releases their dedup references and reclaims the
+    physical chunks only they referenced.
+
+    Every compaction is a journaled transaction with three armable crash
+    points ({!crash_point}): the intent record names the blob and the
+    exact versions to retire, so {!restart} can roll an interrupted
+    transaction {e back} (nothing was retired yet — the intent aborts and
+    state is untouched) or {e forward} (some versions already left the
+    live set — the remainder is retired, the dedup index reconciled and
+    the repository mark-swept, so the committed outcome is reached).
+
+    Retirement is gated: any pin source registered with
+    {!add_pin_source} (GC/rollback pins, the scrubber's in-progress
+    marks, the replicator's in-flight window) vetoes the retire of a
+    pinned version with a {e typed refusal} — never a silent skip — and
+    retires only proceed when the dedup index's refcounts agree with the
+    live trees for every digest involved (parity gate).
+
+    Physical reclamation is {e deferred}: chunks that lost their last
+    live reference are queued and deleted one pass later, and their
+    dedup entries are dropped immediately, which closes the race with a
+    writer that resolved a dedup hit on soon-dead replicas but has not
+    yet published. *)
+
+open Simcore
+open Netsim
+
+type config = {
+  interval : float;  (** seconds between background passes *)
+  policy : Retention.policy;  (** evaluated per blob on every pass *)
+  read_retries : int;  (** flatten-read retry budget per chunk *)
+  read_backoff : float;  (** base backoff between flatten-read retries *)
+}
+
+val default_config : config
+(** 10 s interval, [Keep_last 4], 3 retries, 10 ms base backoff. *)
+
+(** Armable crash points of the compaction transaction (fault-injection
+    hooks; see {!arm_crash}). *)
+type crash_point =
+  | Before_flatten  (** intent journaled, nothing read or retired *)
+  | Mid_retire  (** after the first version left the live set *)
+  | After_retire  (** all retires applied; refs not yet released *)
+
+type refusal = { rblob : int; rversion : int; rsource : string }
+(** A retire the policy wanted that a pin vetoed: the blob, the pinned
+    version and the name of the pin source that held it. *)
+
+(** Observable compactor history (deterministic under a fixed seed). *)
+type event =
+  | Pass_started of { at : float; pass : int }
+  | Flattened of {
+      at : float;
+      blob : int;
+      boundary : int;  (** youngest surviving version verified *)
+      verified : int;  (** cold chunks actually read *)
+      shared : int;  (** chunks skipped via tip-sharing or dedup memo *)
+      bytes_read : int;
+    }
+  | Flatten_failed of { at : float; blob : int; reason : string }
+      (** the transaction aborted before any retire (intent rolled back) *)
+  | Refused of { at : float; refusal : refusal }
+  | Parity_failed of { at : float; blob : int; digest : int64 }
+      (** dedup refcount parity gate vetoed the blob's compaction *)
+  | Compacted of { at : float; blob : int; retired : int list }
+  | Reclaimed of { at : float; chunks : int; bytes : int }
+      (** deferred sweep deleted chunks queued on an earlier pass *)
+  | Crashed of { at : float; point : crash_point }
+  | Recovered of { at : float; rolled_forward : int; rolled_back : int }
+  | Pass_finished of { at : float; pass : int; retired : int }
+
+val pp_event : Format.formatter -> event -> unit
+(** One-line rendering for traces and test transcripts. *)
+
+type stats = {
+  passes : int;  (** compaction passes started *)
+  flattens : int;  (** boundary flattens completed *)
+  flatten_failures : int;  (** transactions aborted on the read path *)
+  chunks_verified : int;  (** cold chunks read during flattens *)
+  chunks_shared : int;  (** flatten reads skipped (sharing/dedup) *)
+  flatten_bytes_read : int;  (** bytes verify-read during flattens *)
+  read_retries : int;  (** transient-error retries on flatten reads *)
+  versions_retired : int;  (** versions moved out of the live set *)
+  chunks_reclaimed : int;  (** physical chunks deleted by the sweep *)
+  bytes_reclaimed : int;  (** physical bytes deleted by the sweep *)
+  refusals : int;  (** pin-vetoed retires (typed, counted) *)
+  parity_failures : int;  (** blobs vetoed by the parity gate *)
+  crashes : int;  (** armed crashes fired *)
+  rolled_forward : int;  (** recoveries that completed the intent *)
+  rolled_back : int;  (** recoveries that aborted the intent *)
+}
+
+type t
+
+val create : Client.t -> home:Net.host -> ?config:config -> unit -> t
+(** A compactor for the deployment, reading flatten traffic from [home].
+    Registers itself as an {!Audit_compactor} subject. *)
+
+val add_pin_source : t -> name:string -> (unit -> (int * int) list) -> unit
+(** Register a pin source: a cost-free closure returning the
+    [(blob, version)] pairs currently pinned. Consulted at planning time
+    and re-consulted immediately before every retire; [name] is carried
+    in the {!refusal} it causes. Sources are consulted in registration
+    order and the first pin of a version wins. *)
+
+val scan : t -> unit
+(** One synchronous compaction pass over every blob (the background
+    fiber calls this every [interval]). Raises {!Types.Service_crashed}
+    if the compactor is down or an armed crash fires mid-pass. *)
+
+val start : t -> unit
+(** Spawn the background fiber: sleep [interval], recover if crashed,
+    scan, repeat. Idempotent while running. *)
+
+val stop : t -> unit
+(** Cancel the background fiber (pending journal intents stay for
+    {!restart}). *)
+
+(** {1 Crash consistency} *)
+
+val is_alive : t -> bool
+(** [false] between a crash firing and {!restart}. *)
+
+val arm_crash : t -> crash_point -> unit
+(** Plant a one-shot crash at the given point of the next compaction
+    transaction. *)
+
+val crash : t -> unit
+(** Fail-stop the compactor immediately (fault-injection hook); the
+    background fiber recovers it on its next tick. *)
+
+val restart : t -> unit
+(** Journal recovery. For each pending intent: if no named version has
+    left the live set the intent rolls {e back} (abort, state
+    untouched); otherwise it rolls {e forward} — the remaining non-pinned
+    versions are retired, the dedup index is reconciled against the live
+    trees and every unreferenced chunk is queued for the deferred sweep,
+    then the intent commits. Idempotent; resumes serving. *)
+
+val journal_pending : t -> int
+(** Intents neither committed nor rolled back; 0 whenever the compactor
+    is quiescent (audited at teardown while alive). *)
+
+(** {1 Introspection} *)
+
+val service : t -> Client.t
+(** The deployment this compactor maintains. *)
+
+val stats : t -> stats
+(** Lifetime counters. *)
+
+val events : t -> event list
+(** Event history in occurrence order. *)
+
+val refusals : t -> refusal list
+(** Every pin-vetoed retire, in occurrence order. *)
+
+val reclaimed_chunks : t -> (int * int) list
+(** Physical [(provider, chunk_id)] pairs the sweep deleted, newest
+    first. Chunk ids are never reused, so the audit can assert no live
+    tree references any of them. *)
+
+val pending_reclaim : t -> int
+(** Chunks queued for the deferred sweep but not yet deleted. *)
+
+type Engine.audit_subject += Audit_compactor of t
+(** Registered at {!create}; lets [Analysis.Invariants] audit journal
+    quiescence and that no live version references a reclaimed chunk. *)

@@ -93,6 +93,18 @@ let add_ref t digest =
   | Some entry -> entry.refs <- entry.refs + 1
   | None -> ()
 
+let release_ref t digest =
+  match Hashtbl.find_opt t.entries digest with
+  | Some entry -> if entry.refs > 0 then entry.refs <- entry.refs - 1
+  | None -> ()
+
+let drop_unreferenced t digest =
+  match Hashtbl.find_opt t.entries digest with
+  | Some entry when entry.refs <= 0 ->
+      Hashtbl.remove t.entries digest;
+      true
+  | _ -> false
+
 let update_replicas t ~digest ~replicas =
   match Hashtbl.find_opt t.entries digest with
   | Some entry -> entry.replicas <- replicas

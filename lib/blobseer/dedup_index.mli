@@ -69,6 +69,19 @@ val add_ref : t -> int64 -> unit
 (** Count one live descriptor referencing the digest. No-op for unknown
     digests (e.g. descriptors written with dedup disabled). *)
 
+val release_ref : t -> int64 -> unit
+(** Uncount one live descriptor reference (compactor retire path: a
+    distinct serial carrying the digest left the live trees). Clamps at
+    zero; no-op for unknown digests. An entry released to zero references
+    stays registered — a later write of the same content revalidates its
+    replicas and either hits or re-registers. *)
+
+val drop_unreferenced : t -> int64 -> bool
+(** Remove the entry for [digest] if its refcount is zero (compactor
+    reclamation path: the physical chunks are queued for deletion, so the
+    entry must stop serving dedup hits). Returns whether an entry was
+    dropped; no-op on referenced or unknown digests. *)
+
 val update_replicas : t -> digest:int64 -> replicas:Types.replica list -> unit
 (** Scrub repair: point the index at the repaired replica set so future
     hits reference healthy copies. No-op for unknown digests. *)

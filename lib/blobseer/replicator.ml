@@ -81,7 +81,8 @@ type t = {
 
 type Engine.audit_subject += Audit_replicator of t
 
-let m_lag = Obs.Metrics.gauge ~component:"repl" ~name:"lag"
+let m_lag = Obs.Metrics.gauge ~component:"repl" ~name:"lag_records"
+let m_in_flight = Obs.Metrics.gauge ~component:"repl" ~name:"in_flight"
 let m_apply_lag = Obs.Metrics.histogram ~component:"repl" ~name:"apply_lag_s"
 let m_records = Obs.Metrics.counter ~component:"repl" ~name:"records_applied"
 let m_bytes = Obs.Metrics.counter ~component:"repl" ~name:"bytes_shipped"
@@ -113,6 +114,21 @@ let promoted t = t.promoted
 let primary t = t.primary
 let standby t = t.standby
 let inflight t = t.inflight
+
+(* The in-flight window as (blob, version) pins: every pending record
+   still reads primary-side snapshot state (fetch walks the published
+   tree; a clone's apply reads the source snapshot), so the compactor
+   must not retire these versions out from under the pipeline. *)
+let unsettled t =
+  Queue.fold
+    (fun acc (record : Version_manager.commit_record) ->
+      match record with
+      | Published { blob; version } -> (blob, version) :: acc
+      | Cloned { src_blob; version; _ } -> (src_blob, version) :: acc
+      | Repaired { blob; version; _ } -> (blob, version) :: acc
+      | Blob_created _ -> acc)
+    [] t.pending_q
+  |> List.rev
 
 (* ------------------------------------------------------------------ *)
 (* Intake: runs synchronously inside the primary's committing operation,
@@ -279,6 +295,7 @@ let rec apply_loop t =
   | `Skipped_repair -> t.skipped_repairs <- t.skipped_repairs + 1);
   ignore (Queue.pop t.pending_q);
   t.inflight <- t.inflight - 1;
+  Obs.Metrics.set m_in_flight t.inflight;
   Engine.Semaphore.release t.window_sem;
   Obs.Metrics.observe m_apply_lag (Engine.now t.engine -. enqueued_at);
   Obs.Metrics.set m_lag (lag t);
@@ -288,6 +305,7 @@ let rec tail_loop t =
   let record, enqueued_at = Engine.Mailbox.recv t.inbox in
   Engine.Semaphore.acquire t.window_sem;
   t.inflight <- t.inflight + 1;
+  Obs.Metrics.set m_in_flight t.inflight;
   if t.inflight > t.max_inflight then t.max_inflight <- t.inflight;
   let ivar = Engine.Ivar.create t.engine in
   Engine.Mailbox.send t.ready (record, enqueued_at, ivar);

@@ -111,6 +111,13 @@ val lag : t -> int
 val inflight : t -> int
 (** Records currently inside the bounded fetch/ship window. *)
 
+val unsettled : t -> (int * int) list
+(** The in-flight window as [(blob, version)] pairs on the {e primary}
+    that pending records still read from (published versions being
+    fetched, clone sources, repaired versions) — the compactor registers
+    this as a pin source so retention never retires a version out from
+    under the replication pipeline. Cost-free. *)
+
 val config : t -> config
 (** The configuration passed at creation. *)
 

@@ -8,6 +8,10 @@ type blob_state = {
   info : blob_info;
   versions : (int, tree) Hashtbl.t;
   mutable latest : int;
+  (* Version numbers retired by retention/compaction (or dropped by the
+     GC): no longer readable, but remembered so audits can check that
+     live ∪ retired still tiles the dense range the manager minted. *)
+  mutable retired : int list;
 }
 
 (* Intent records journaled before any state mutation: a crash between the
@@ -103,7 +107,7 @@ let register_blob t ~capacity ~stripe_size v0 =
   t.next_blob <- t.next_blob + 1;
   let versions = Hashtbl.create 16 in
   Hashtbl.replace versions 0 v0;
-  Hashtbl.replace t.blobs info.blob_id { info; versions; latest = 0 };
+  Hashtbl.replace t.blobs info.blob_id { info; versions; latest = 0; retired = [] };
   info
 
 let create_blob t ~from ~capacity ~stripe_size =
@@ -229,13 +233,49 @@ let restart t =
 let journal_pending t = Journal.pending_count t.journal
 let recovered_intents t = t.recovered
 
+let mark_retired st version =
+  if not (List.mem version st.retired) then
+    st.retired <- List.sort Int.compare (version :: st.retired)
+
 let drop_version t ~blob ~version =
   let st = state t blob in
-  Hashtbl.remove st.versions version
+  if Hashtbl.mem st.versions version then begin
+    Hashtbl.remove st.versions version;
+    mark_retired st version
+  end
+
+(* Retire one version for the compactor: a cost-free atomic map move (the
+   compactor journals the surrounding transaction itself). Returns the
+   retired tree so the caller can release dedup references and sweep the
+   chunks only it referenced. *)
+let retire_version t ~blob ~version =
+  check_alive t;
+  let st = state t blob in
+  if version = st.latest then invalid_arg "Version_manager.retire_version: latest";
+  match Hashtbl.find_opt st.versions version with
+  | None -> invalid_arg "Version_manager.retire_version: not a live version"
+  | Some tree ->
+      Hashtbl.remove st.versions version;
+      mark_retired st version;
+      tree
+
+let retired_versions t ~blob = (state t blob).retired
+
+let unsafe_forget_version t ~blob ~version =
+  Hashtbl.remove (state t blob).versions version
 
 let versions t ~blob =
   let st = state t blob in
   Hashtbl.fold (fun v _ acc -> v :: acc) st.versions [] |> List.sort compare
+
+(* Retention planning lives with the version manager (it owns the version
+   sets the policies partition); evaluation itself is {!Retention.plan}. *)
+let retention_plan t ~blob ~policy ~pins =
+  let st = state t blob in
+  let pins =
+    List.filter_map (fun ((b, v), source) -> if b = blob then Some (v, source) else None) pins
+  in
+  Retention.plan policy ~versions:(versions t ~blob) ~latest:st.latest ~pins
 
 let peek_latest t blob = (state t blob).latest
 let peek_tree t ~blob ~version = Hashtbl.find (state t blob).versions version

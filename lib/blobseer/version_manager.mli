@@ -89,10 +89,34 @@ val clone : t -> from:Net.host -> blob:int -> version:int -> blob_info
 val drop_version : t -> blob:int -> version:int -> unit
 (** Forget a version root (used by the garbage collector). Dropping the
     latest version or version 0 of a blob is allowed; reads of dropped
-    versions raise [Not_found]. *)
+    versions raise [Not_found]. Dropped versions are recorded as retired
+    ({!retired_versions}) so audits can account for the hole. *)
+
+val retire_version : t -> blob:int -> version:int -> tree
+(** Compactor retire path: atomically move one version from the live set
+    to the retired record and return its tree (the caller releases dedup
+    references and sweeps chunks only it referenced). Cost-free — the
+    compactor journals the surrounding transaction itself. Raises
+    [Invalid_argument] when [version] is the blob's latest (the tip is
+    never retirable) or is not live, and {!Types.Service_crashed} when
+    the service is down. *)
+
+val retired_versions : t -> blob:int -> int list
+(** Versions retired ({!retire_version}) or dropped ({!drop_version})
+    over the blob's lifetime, ascending. Cost-free audit view. *)
+
+val unsafe_forget_version : t -> blob:int -> version:int -> unit
+(** Test hook: remove a version root {e without} recording it as retired
+    — seeds the lost-version defect the invariant audit must catch. *)
 
 val versions : t -> blob:int -> int list
 (** Published (non-dropped) version numbers, ascending. *)
+
+val retention_plan :
+  t -> blob:int -> policy:Retention.policy -> pins:((int * int) * string) list -> Retention.plan
+(** Evaluate a retention policy against the blob's live versions.
+    [pins] maps pinned [(blob, version)] pairs to the pin source's name;
+    pairs for other blobs are ignored. Cost-free. *)
 
 val iter_live_trees : t -> (blob:int -> version:int -> tree -> unit) -> unit
 (** All live (blob, version) roots — the GC roots — in ascending

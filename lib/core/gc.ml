@@ -8,42 +8,10 @@ type report = {
   index_entries_dropped : int;
 }
 
-let live_chunk_refs service =
-  let refs = Hashtbl.create 1024 in
-  Version_manager.iter_live_trees (Client.version_manager service)
-    (fun ~blob:_ ~version:_ tree ->
-      Segment_tree.fold_set
-        (fun _ (desc : Types.chunk_desc) () ->
-          List.iter
-            (fun (r : Types.replica) ->
-              let key = (r.provider, r.chunk) in
-              Hashtbl.replace refs key (1 + Option.value ~default:0 (Hashtbl.find_opt refs key)))
-            desc.replicas)
-        tree ());
-  refs
-
-(* Live logical state per content digest: number of distinct descriptor
-   serials carrying it across the surviving trees, plus the size and an
-   exemplar replica set (the first encountered in sorted (blob, version)
-   order, so the result is deterministic). This is the ground truth the
-   dedup index is reconciled to after retention drops versions. *)
-let live_digest_refs service =
-  let seen : (int64 * int, unit) Hashtbl.t = Hashtbl.create 1024 in
-  let acc : (int64, int * int * Types.replica list) Hashtbl.t = Hashtbl.create 1024 in
-  Version_manager.iter_live_trees (Client.version_manager service)
-    (fun ~blob:_ ~version:_ tree ->
-      Segment_tree.fold_set
-        (fun _ (desc : Types.chunk_desc) () ->
-          if not (Hashtbl.mem seen (desc.digest, desc.serial)) then begin
-            Hashtbl.replace seen (desc.digest, desc.serial) ();
-            match Hashtbl.find_opt acc desc.digest with
-            | Some (refs, size, replicas) ->
-                Hashtbl.replace acc desc.digest (refs + 1, size, replicas)
-            | None -> Hashtbl.replace acc desc.digest (1, desc.size, desc.replicas)
-          end)
-        tree ());
-  Hashtbl.fold (fun digest v l -> (digest, v) :: l) acc [] (* lint: allow hashtbl-order — sorted below *)
-  |> List.sort (fun (d1, _) (d2, _) -> Int64.compare d1 d2)
+(* The mark-set computations live in {!Client} (shared with the
+   compactor's precise sweep); re-exported here for diagnostics/tests. *)
+let live_chunk_refs = Client.live_chunk_refs
+let live_digest_refs = Client.live_digest_refs
 
 let collect service ?(pins = []) ~keep_last () =
   if keep_last < 1 then invalid_arg "Gc.collect: keep_last must be >= 1";
@@ -52,19 +20,21 @@ let collect service ?(pins = []) ~keep_last () =
      except pinned (blob, version) pairs. Pins close the GC/rollback race:
      the supervisor pins its committed snapshot sets (it may still roll
      back to them after a fault) and the scrubber pins versions it is
-     mid-repair on, so neither can be pruned out from under them. *)
+     mid-repair on, so neither can be pruned out from under them.
+     Planning is the version manager's pin-aware retention evaluation,
+     shared with the background compactor. *)
+  let pins = List.map (fun site -> (site, "gc-pin")) pins in
   let dropped = ref 0 in
   List.iter
     (fun blob ->
-      let versions = Version_manager.versions vm ~blob in
-      let keep_from = List.length versions - keep_last in
-      List.iteri
-        (fun i version ->
-          if i < keep_from && not (List.mem (blob, version) pins) then begin
-            Version_manager.drop_version vm ~blob ~version;
-            incr dropped
-          end)
-        versions)
+      let plan =
+        Version_manager.retention_plan vm ~blob ~policy:(Retention.Keep_last keep_last) ~pins
+      in
+      List.iter
+        (fun version ->
+          Version_manager.drop_version vm ~blob ~version;
+          incr dropped)
+        plan.Retention.retire)
     (Version_manager.blob_ids vm);
   (* Reconcile the dedup index with the surviving trees: refcounts are
      reset to the live distinct-serial count per digest, and entries no
@@ -74,10 +44,10 @@ let collect service ?(pins = []) ~keep_last () =
   let index_dropped =
     Dedup_index.reconcile
       (Provider_manager.dedup_index (Client.provider_manager service))
-      (live_digest_refs service)
+      (Client.live_digest_refs service)
   in
   (* Mark... *)
-  let live = live_chunk_refs service in
+  let live = Client.live_chunk_refs service in
   (* ...and sweep every data provider. *)
   let deleted = ref 0 and reclaimed = ref 0 in
   Array.iteri

@@ -99,6 +99,19 @@ let trace t msg = Trace.emit (engine t) ~component:"supervisor" "%s" msg
 let fault_handlers t =
   let cluster = t.cluster in
   let nodes = Cluster.node_count cluster in
+  (* Rotates through the compactor's three crash points across successive
+     [Crash_service 2] draws, so one chaos run exercises all of them. *)
+  let compaction_point = ref 0 in
+  let arm_compactor point =
+    match Cluster.compactor cluster with
+    | None -> ()
+    | Some c ->
+        Compactor.arm_crash c
+          (match point mod 3 with
+          | 0 -> Compactor.Before_flatten
+          | 1 -> Compactor.Mid_retire
+          | _ -> Compactor.After_retire)
+  in
   {
     (* Crash targets index into the nodes currently hosting the gang: a
        host MTBF spread over idle spares would never take the application
@@ -153,6 +166,27 @@ let fault_handlers t =
         Version_manager.arm_crash
           (Client.version_manager cluster.Cluster.service)
           (if point = 0 then Version_manager.Before_apply else Version_manager.Mid_apply));
+    crash_compaction = (fun ~point -> arm_compactor point);
+    (* Background-service hosts: the scrubber restarts from scratch (its
+       fiber is killed mid-pass and respawned), the compactor either
+       fail-stops (its own loop recovers it next tick) or gets an armed
+       crash point rotated across draws. *)
+    crash_service =
+      (fun i ->
+        match i mod 3 with
+        | 0 -> (
+            match t.scrubber with
+            | Some s ->
+                Scrubber.stop s;
+                Scrubber.start s
+            | None -> ())
+        | 1 -> (
+            match Cluster.compactor cluster with
+            | Some c -> Compactor.crash c
+            | None -> ())
+        | _ ->
+            arm_compactor !compaction_point;
+            incr compaction_point);
     crash_site = (fun () -> Cluster.crash_site cluster);
   }
 
@@ -626,21 +660,23 @@ let instances t = t.instances
 let cluster t = t.cluster
 let scrubber t = t.scrubber
 
-(* (blob, version) pairs the GC must not prune: both committed snapshot
-   sets (current and the demotion fallback) plus whatever the scrubber is
-   mid-repair on. *)
-let rollback_pins t =
+(* Snapshot versions recovery may still roll back to: both committed
+   snapshot sets (current and the demotion fallback). *)
+let snapshot_pins t =
   let of_snap = function
     | Approach.Blobcr_snapshot { image; version } -> Some (Client.blob_id image, version)
     | Approach.Qcow2_snapshot _ | Approach.Full_snapshot _ -> None
   in
+  List.filter_map of_snap t.snapshots @ List.filter_map of_snap t.snapshots_prev
+
+(* (blob, version) pairs the GC must not prune: the rollback snapshot sets
+   plus whatever the scrubber is mid-repair on. *)
+let rollback_pins t =
   let scrub_pins = match t.scrubber with Some s -> Scrubber.pins s | None -> [] in
   List.sort_uniq
     (fun (b1, v1) (b2, v2) ->
       match Int.compare b1 b2 with 0 -> Int.compare v1 v2 | c -> c)
-    (List.filter_map of_snap t.snapshots
-    @ List.filter_map of_snap t.snapshots_prev
-    @ scrub_pins)
+    (snapshot_pins t @ scrub_pins)
 
 let audit t =
   let unaccounted =
@@ -654,8 +690,8 @@ let audit t =
        [ "run ended without finishing and without abandoning instances" ]
      else [])
 
-let run cluster ~kind ?(policy = default_policy) ?scrub ?on_ready ~id ~gang ~units ~workload
-    () =
+let run cluster ~kind ?(policy = default_policy) ?scrub ?compaction ?on_ready ~id ~gang ~units
+    ~workload () =
   if gang < 1 then invalid_arg "Supervisor.run: gang must be >= 1";
   if units < 1 then invalid_arg "Supervisor.run: units must be >= 1";
   if policy.checkpoint_interval < 1 then
@@ -727,8 +763,38 @@ let run cluster ~kind ?(policy = default_policy) ?scrub ?on_ready ~id ~gang ~uni
       in
       Scrubber.start s;
       t.scrubber <- Some s);
+  (* Background retention/compaction: pin sources keep every version the
+     supervisor can still roll back to, the scrubber is mid-repair on, or
+     the replicator has in flight, so maintenance never races them. *)
+  let compactor =
+    match compaction with
+    | None -> None
+    | Some config ->
+        let c =
+          Compactor.create cluster.Cluster.service ~home:cluster.Cluster.supervisor_host
+            ~config ()
+        in
+        Compactor.add_pin_source c ~name:"rollback" (fun () -> snapshot_pins t);
+        Compactor.add_pin_source c ~name:"scrub" (fun () ->
+            match t.scrubber with Some s -> Scrubber.pins s | None -> []);
+        Compactor.add_pin_source c ~name:"repl" (fun () ->
+            match Cluster.replicator cluster with
+            | Some r -> Replicator.unsettled r
+            | None -> []);
+        Cluster.set_compactor cluster c;
+        Compactor.start c;
+        Some c
+  in
   (match on_ready with Some f -> f t | None -> ());
   supervise t;
   (match t.scrubber with Some s -> Scrubber.stop s | None -> ());
+  (match compactor with
+  | Some c ->
+      (* Settle the maintenance journal before teardown: a crash the
+         background loop has not yet recovered would otherwise leave
+         pending intents behind. *)
+      if not (Compactor.is_alive c) then Compactor.restart c;
+      Compactor.stop c
+  | None -> ());
   t.done_ <- true;
   report t

@@ -94,6 +94,7 @@ val run :
   kind:Approach.kind ->
   ?policy:policy ->
   ?scrub:Blobseer.Scrubber.config ->
+  ?compaction:Blobseer.Compactor.config ->
   ?on_ready:(t -> unit) ->
   id:string ->
   gang:int ->
@@ -112,7 +113,14 @@ val run :
     host for the duration of the run, and every recovery scrubs the
     repository before picking its rollback target: repairs run first, and
     a snapshot set that still contains an unrepairable chunk is demoted to
-    the previous committed set ({!event.Rollback_demoted}). *)
+    the previous committed set ({!event.Rollback_demoted}).
+
+    With [compaction], a background {!Blobseer.Compactor} enforces the
+    given retention policy for the duration of the run, registered with
+    the cluster (so fault handlers can crash it) and gated on pin
+    sources: the supervisor's rollback snapshot sets, the scrubber's
+    in-progress marks and the replicator's in-flight window. Its journal
+    is settled (recovered if necessary) before teardown. *)
 
 val fault_handlers : t -> Faults.handlers
 (** Handlers wiring injector actions onto this cluster: host crashes

@@ -143,6 +143,17 @@ let all =
             (Dedup_bench.tables scale ~progress ()));
     };
     {
+      id = "chains";
+      paper_ref = "Beyond the paper (Section 3.1.2 versioning, maintenance plane)";
+      description =
+        "Restart latency, read amplification, reclaimed bytes and foreground interference \
+         across snapshot-chain depths: BlobSeer retention/compaction vs qcow2 delta chains \
+         with and without collapse";
+      run =
+        (fun scale ~progress ->
+          List.map (fun (name, table) -> { name; table }) (Chains.tables scale ~progress ()));
+    };
+    {
       id = "abl-prefetch";
       paper_ref = "Ablation (Section 3.1.4)";
       description = "Restart time with adaptive prefetching enabled vs disabled";

@@ -27,6 +27,10 @@ type t = {
   dr_intervals : int list;
   dr_units : int;
   dr_gang : int;
+  chains_depths : int list;
+  chains_keep_last : int;
+  chains_thin_base : int;
+  chains_image_bytes : int;
 }
 
 let paper =
@@ -64,6 +68,10 @@ let paper =
     dr_intervals = [ 2; 5 ];
     dr_units = 24;
     dr_gang = 4;
+    chains_depths = [ 4; 8; 16; 32 ];
+    chains_keep_last = 4;
+    chains_thin_base = 2;
+    chains_image_bytes = Size.mib_n 50;
   }
 
 let quick =
@@ -100,6 +108,10 @@ let quick =
     dr_intervals = [ 2 ];
     dr_units = 8;
     dr_gang = 4;
+    chains_depths = [ 2; 4; 6 ];
+    chains_keep_last = 2;
+    chains_thin_base = 2;
+    chains_image_bytes = Size.mib_n 2;
   }
 
 let find = function

@@ -37,6 +37,10 @@ type t = {
   dr_intervals : int list;  (** checkpoint intervals swept, in work units *)
   dr_units : int;  (** work units per disaster-recovery run *)
   dr_gang : int;  (** instances per disaster-recovery gang *)
+  chains_depths : int list;  (** snapshot-chain depths (epochs) swept *)
+  chains_keep_last : int;  (** [Keep_last k] retention for chains runs *)
+  chains_thin_base : int;  (** [Thin_exponential] base for chains runs *)
+  chains_image_bytes : int;  (** image capacity for chains runs *)
 }
 
 val paper : t

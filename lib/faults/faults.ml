@@ -16,6 +16,8 @@ type action =
   | Partition of { group : int list; duration : float }
   | Silent_corruption of { provider : int; chunk : int }
   | Crash_commit of { point : int }
+  | Crash_compaction of { point : int }
+  | Crash_service of int
   | Crash_site
 
 type event = { at : float; action : action }
@@ -33,6 +35,8 @@ let pp_action ppf = function
   | Silent_corruption { provider; chunk } ->
       Fmt.pf ppf "silent-corruption provider %d chunk %d" provider chunk
   | Crash_commit { point } -> Fmt.pf ppf "crash-commit point %d" point
+  | Crash_compaction { point } -> Fmt.pf ppf "crash-compaction point %d" point
+  | Crash_service i -> Fmt.pf ppf "crash-service %d" i
   | Crash_site -> Fmt.pf ppf "crash-site"
 
 let pp_event ppf e = Fmt.pf ppf "t=%.3f %a" e.at pp_action e.action
@@ -41,12 +45,12 @@ let pp_event ppf e = Fmt.pf ppf "t=%.3f %a" e.at pp_action e.action
 (* Profile-driven script generation *)
 
 let of_profile ~rng ~mtbf ?(start = 0.0) ~horizon ~hosts ~providers
-    ?(weights = (5, 3, 2, 1)) ?(corrupt_weight = 0) ?(transient_ops = 3)
-    ?(degrade_factor = 4.0) ?(degrade_duration = 10.0) () =
+    ?(weights = (5, 3, 2, 1)) ?(corrupt_weight = 0) ?(service_weight = 0)
+    ?(transient_ops = 3) ?(degrade_factor = 4.0) ?(degrade_duration = 10.0) () =
   if mtbf <= 0.0 then invalid_arg "Faults.of_profile: mtbf must be positive";
   if hosts < 1 then invalid_arg "Faults.of_profile: hosts must be positive";
   let wc, wp, wt, wd = weights in
-  let total = wc + wp + wt + wd + corrupt_weight in
+  let total = wc + wp + wt + wd + corrupt_weight + service_weight in
   if total <= 0 then invalid_arg "Faults.of_profile: weights sum to zero";
   let pick_action () =
     let roll = Rng.int rng total in
@@ -57,6 +61,10 @@ let of_profile ~rng ~mtbf ?(start = 0.0) ~horizon ~hosts ~providers
       Transient_disk { target = Rng.int rng hosts; ops = 1 + Rng.int rng transient_ops }
     else if roll < wc + wp + wt + wd then
       Degrade_links { factor = degrade_factor; duration = degrade_duration }
+    else if roll < wc + wp + wt + wd + service_weight then
+      (* Background-service hosts: 0 = scrubber, 1 = compactor fail-stop,
+         2 = compactor armed crash point (the handler rotates the point). *)
+      Crash_service (Rng.int rng 3)
     else
       (* [chunk] is an abstract ordinal the handler resolves against the
          provider's stored-chunk list (mod its length), so the script stays
@@ -83,6 +91,8 @@ type handlers = {
   partition : group:int list -> duration:float -> unit;
   silent_corruption : provider:int -> chunk:int -> unit;
   crash_commit : point:int -> unit;
+  crash_compaction : point:int -> unit;
+  crash_service : int -> unit;
   crash_site : unit -> unit;
 }
 
@@ -96,6 +106,8 @@ let null_handlers =
     partition = (fun ~group:_ ~duration:_ -> ());
     silent_corruption = (fun ~provider:_ ~chunk:_ -> ());
     crash_commit = (fun ~point:_ -> ());
+    crash_compaction = (fun ~point:_ -> ());
+    crash_service = (fun _ -> ());
     crash_site = (fun () -> ());
   }
 
@@ -114,6 +126,8 @@ let apply handlers = function
   | Partition { group; duration } -> handlers.partition ~group ~duration
   | Silent_corruption { provider; chunk } -> handlers.silent_corruption ~provider ~chunk
   | Crash_commit { point } -> handlers.crash_commit ~point
+  | Crash_compaction { point } -> handlers.crash_compaction ~point
+  | Crash_service i -> handlers.crash_service i
   | Crash_site -> handlers.crash_site ()
 
 let start engine ~script ~handlers =

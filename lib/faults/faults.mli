@@ -37,6 +37,15 @@ type action =
   | Crash_commit of { point : int }
       (** crash the version manager at crash point [point] (0 = before any
           state mutation, 1 = mid-apply) of its next publication/clone *)
+  | Crash_compaction of { point : int }
+      (** crash the compactor at crash point [point] (0 = before-flatten,
+          1 = mid-retire, 2 = after-retire) of its next compaction
+          transaction *)
+  | Crash_service of int
+      (** fail-stop a background-service host: 0 = scrubber, 1 = compactor
+          (fail-stop, recovered by its own next tick), 2 = compactor armed
+          crash (the handler rotates the crash point) — a no-op for
+          embedders without the named service *)
   | Crash_site
       (** fail-stop an entire site — every compute node, the version
           manager and the metadata providers of the active repository go
@@ -63,6 +72,7 @@ val of_profile :
   providers:int ->
   ?weights:int * int * int * int ->
   ?corrupt_weight:int ->
+  ?service_weight:int ->
   ?transient_ops:int ->
   ?degrade_factor:float ->
   ?degrade_duration:float ->
@@ -72,8 +82,10 @@ val of_profile :
     mean [mtbf], starting at [start] (default 0) and stopping at [horizon].
     Each event picks its class by the [weights] quadruple
     [(crash, provider, transient, degrade)] (default [(5, 3, 2, 1)]),
-    extended by [corrupt_weight] (default 0) for {!Silent_corruption}, and
-    a uniform target below [hosts] / [providers]. All randomness is drawn
+    extended by [corrupt_weight] (default 0) for {!Silent_corruption} and
+    [service_weight] (default 0) for {!Crash_service} draws targeting the
+    background-service hosts (scrubber/compactor), and a uniform target
+    below [hosts] / [providers]. All randomness is drawn
     from [rng]: the same generator state yields the same script. *)
 
 (** Callbacks through which events reach the simulated platform. Handlers
@@ -88,6 +100,8 @@ type handlers = {
   partition : group:int list -> duration:float -> unit;
   silent_corruption : provider:int -> chunk:int -> unit;
   crash_commit : point:int -> unit;
+  crash_compaction : point:int -> unit;
+  crash_service : int -> unit;
   crash_site : unit -> unit;
 }
 

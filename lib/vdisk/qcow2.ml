@@ -12,6 +12,10 @@ type remote_image = {
   rsnapshots : (string * (int, int) Hashtbl.t * (int * int)) list;
       (* name, table, (vm_state offset, len) in file *)
   rbacking : backing;
+  rdelta : bool; (* incremental export: rtable covers only changed clusters *)
+  rdigests : (int, int64) Hashtbl.t;
+      (* guest cluster -> effective content digest through the chain, for
+         delta detection by the next export_incremental *)
 }
 
 and backing = No_backing | Raw_pvfs of Pvfs.file | Qcow2_remote of remote_image
@@ -119,6 +123,15 @@ let rec backing_cluster_content ~engine ~from ~backing ~cluster_size ~capacity i
       | Some phys ->
           Pvfs.read r.rfile ~from ~offset:(r.rmeta_bytes + (phys * r.rcluster_size)) ~len:extent
       | None ->
+          (* A delta level pays a table-probe request before falling
+             through: the per-level read amplification of an incremental
+             chain, which [collapse_chain] removes. Full exports resolve
+             misses from their in-memory L1 for free, as before. *)
+          if r.rdelta then
+            ignore
+              (Pvfs.read r.rfile ~from
+                 ~offset:(min (16 * index) (r.rmeta_bytes - 16))
+                 ~len:16);
           backing_cluster_content ~engine ~from ~backing:r.rbacking
             ~cluster_size:r.rcluster_size ~capacity:r.rcapacity index)
 
@@ -265,6 +278,27 @@ let unsafe_set_refcount t ~phys count = Hashtbl.replace t.refcounts phys count
 (* ------------------------------------------------------------------ *)
 (* Export to PVFS *)
 
+let pad_cluster t p =
+  if Payload.length p = t.qcluster_size then p
+  else Payload.concat [ p; Payload.zero (t.qcluster_size - Payload.length p) ]
+
+(* Effective guest-cluster digests of the image as exported: the backing
+   chain's digests overlaid with the digests of every locally allocated
+   cluster. Digests are always of the cluster-size-padded content, so a
+   short tail cluster compares equal across levels. *)
+let effective_digests t =
+  let digests =
+    match t.backing with
+    | Qcow2_remote r -> Hashtbl.copy r.rdigests
+    | No_backing | Raw_pvfs _ -> Hashtbl.create 256
+  in
+  (* lint: allow hashtbl-order — independent per-key replaces *)
+  Hashtbl.iter
+    (fun guest phys ->
+      Hashtbl.replace digests guest (Payload.digest (pad_cluster t (Hashtbl.find t.data phys))))
+    t.table;
+  digests
+
 let export t fs ~from ~path =
   let meta_bytes = header_bytes ~capacity:t.qcapacity ~cluster_size:t.qcluster_size in
   let size = file_size t in
@@ -314,6 +348,8 @@ let export t fs ~from ~path =
     rtable = Hashtbl.copy t.table;
     rsnapshots = snap_offsets;
     rbacking = t.backing;
+    rdelta = false;
+    rdigests = effective_digests t;
   }
 
 let remote_file_size r = Pvfs.size r.rfile
@@ -343,3 +379,148 @@ let remote_vm_state_streamed r ~from ~snapshot_name ~record =
 let remote_table_of_snapshot r ~snapshot_name =
   let _, table, _ = List.find (fun (n, _, _) -> n = snapshot_name) r.rsnapshots in
   { r with rtable = table }
+
+(* ------------------------------------------------------------------ *)
+(* Incremental export (delta chains) and chain collapse *)
+
+let m_delta_bytes = Obs.Metrics.counter ~component:"qcow2" ~name:"delta_bytes"
+let m_collapse_bytes = Obs.Metrics.counter ~component:"qcow2" ~name:"collapse_bytes"
+
+let remote_is_delta r = r.rdelta
+
+let remote_chain_depth r =
+  let rec depth acc r =
+    match r.rbacking with Qcow2_remote b -> depth (acc + 1) b | No_backing | Raw_pvfs _ -> acc
+  in
+  depth 1 r
+
+let export_incremental t fs ~from ~path ~base =
+  if base.rcapacity <> t.qcapacity || base.rcluster_size <> t.qcluster_size then
+    invalid_arg "Qcow2.export_incremental: base shape mismatch";
+  (* Delta detection by content digest against the base chain's effective
+     content: a locally allocated cluster ships only when its digest
+     differs from what a reader of [base] would already see there. *)
+  let changed =
+    (* lint: allow hashtbl-order — result sorted by guest index below *)
+    Hashtbl.fold
+      (fun guest phys acc ->
+        let content = pad_cluster t (Hashtbl.find t.data phys) in
+        if Hashtbl.find_opt base.rdigests guest = Some (Payload.digest content) then acc
+        else (guest, content) :: acc)
+      t.table []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let meta_bytes = header_bytes ~capacity:t.qcapacity ~cluster_size:t.qcluster_size in
+  let size = meta_bytes + (List.length changed * t.qcluster_size) + t.snapshot_meta_bytes in
+  Obs.Span.with_ t.engine ~component:"qcow2" ~name:"qcow2.export_incremental"
+    ~attrs:[ ("bytes", Obs.Record.Bytes size) ]
+  @@ fun () ->
+  Obs.Metrics.add m_delta_bytes (float_of_int size);
+  (* Read only what ships: tables plus the changed clusters. *)
+  Disk.read t.local_disk ~stream:(local_stream t) size;
+  if Pvfs.exists fs ~path then Pvfs.delete fs ~from ~path;
+  let file = Pvfs.create fs ~from ~path in
+  let vm_states = List.rev_map (fun (_, s) -> s.svm_state) t.snapshots in
+  let image =
+    Payload.concat ((Payload.zero meta_bytes :: List.map snd changed) @ vm_states)
+  in
+  Pvfs.write file ~from ~offset:0 image;
+  let written = Payload.length image in
+  if written < size then Pvfs.write file ~from ~offset:written (Payload.zero (size - written));
+  let rtable = Hashtbl.create (List.length changed) in
+  List.iteri (fun pos (guest, _) -> Hashtbl.replace rtable guest pos) changed;
+  let snap_offsets =
+    let pos = ref (meta_bytes + (List.length changed * t.qcluster_size)) in
+    List.rev_map
+      (fun (sname, s) ->
+        let off = !pos in
+        let len = Payload.length s.svm_state in
+        pos := !pos + len;
+        (sname, Hashtbl.copy s.stable, (off, len)))
+      t.snapshots
+  in
+  {
+    rfs = fs;
+    rfile = file;
+    rcapacity = t.qcapacity;
+    rcluster_size = t.qcluster_size;
+    rmeta_bytes = meta_bytes;
+    rtable;
+    rsnapshots = snap_offsets;
+    rbacking = Qcow2_remote base;
+    rdelta = true;
+    rdigests = effective_digests t;
+  }
+
+type collapse_stats = {
+  levels_collapsed : int;
+  clusters_unique : int;
+  bytes_shipped : int;
+  bytes_reclaimed : int;
+}
+
+let collapse_chain tip ~from ~path =
+  let rec walk acc r =
+    match r.rbacking with
+    | Qcow2_remote b -> walk (r :: acc) b
+    | No_backing | Raw_pvfs _ -> (List.rev (r :: acc), r.rbacking)
+  in
+  let levels, base_backing = walk [] tip in
+  List.iter
+    (fun r ->
+      if Pvfs.path r.rfile = path then
+        invalid_arg "Qcow2.collapse_chain: target path names a chain level")
+    levels;
+  (* Union of the per-level tables, top (newest) down, first level wins:
+     exactly what a reader of [tip] resolves, minus the chain walk. *)
+  let union = Hashtbl.create 256 in
+  List.iter
+    (fun r ->
+      (* lint: allow hashtbl-order — first-wins replace, one hit per key per level *)
+      Hashtbl.iter
+        (fun guest phys -> if not (Hashtbl.mem union guest) then Hashtbl.replace union guest (r, phys))
+        r.rtable)
+    levels;
+  let guests = Hashtbl.fold (fun g _ acc -> g :: acc) union [] |> List.sort compare in
+  let fs = tip.rfs in
+  let meta_bytes = tip.rmeta_bytes in
+  let size = meta_bytes + (List.length guests * tip.rcluster_size) in
+  Obs.Span.with_ (Pvfs.engine fs) ~component:"qcow2" ~name:"qcow2.collapse"
+    ~attrs:[ ("levels", Obs.Record.Int (List.length levels)); ("bytes", Obs.Record.Bytes size) ]
+  @@ fun () ->
+  Obs.Metrics.add m_collapse_bytes (float_of_int size);
+  (* Read each unique cluster once, from the level that owns it... *)
+  let clusters =
+    List.map
+      (fun guest ->
+        let r, phys = Hashtbl.find union guest in
+        Pvfs.read r.rfile ~from ~offset:(r.rmeta_bytes + (phys * r.rcluster_size))
+          ~len:r.rcluster_size)
+      guests
+  in
+  (* ...write the standalone result, then retire every chain level. *)
+  if Pvfs.exists fs ~path then Pvfs.delete fs ~from ~path;
+  let file = Pvfs.create fs ~from ~path in
+  Pvfs.write file ~from ~offset:0 (Payload.concat (Payload.zero meta_bytes :: clusters));
+  let rtable = Hashtbl.create (List.length guests) in
+  List.iteri (fun pos guest -> Hashtbl.replace rtable guest pos) guests;
+  let reclaimed = List.fold_left (fun acc r -> acc + Pvfs.size r.rfile) 0 levels in
+  List.iter (fun r -> Pvfs.delete fs ~from ~path:(Pvfs.path r.rfile)) levels;
+  ( {
+      rfs = fs;
+      rfile = file;
+      rcapacity = tip.rcapacity;
+      rcluster_size = tip.rcluster_size;
+      rmeta_bytes = meta_bytes;
+      rtable;
+      rsnapshots = [];
+      rbacking = base_backing;
+      rdelta = false;
+      rdigests = Hashtbl.copy tip.rdigests;
+    },
+    {
+      levels_collapsed = List.length levels;
+      clusters_unique = List.length guests;
+      bytes_shipped = size;
+      bytes_reclaimed = reclaimed;
+    } )

@@ -139,3 +139,48 @@ val remote_table_of_snapshot : remote_image -> snapshot_name:string -> remote_im
 (** View of the exported image as of an internal snapshot: reads resolve
     through that snapshot's cluster table (used to resume a VM from a full
     snapshot without rebooting). *)
+
+(** {1 Incremental exports and chain collapse}
+
+    The delta-chain workaround for qcow2's full-copy snapshots:
+    {!export_incremental} ships only clusters whose content changed since
+    a previous export and backs the result onto it, forming a {e chain}.
+    Restart reads that miss a delta level pay a per-level table probe
+    before falling through, so restart latency grows with chain depth —
+    the read amplification {!collapse_chain} removes by merging the chain
+    back into one standalone file and retiring the deltas. This is the
+    baseline counterpart of BlobSeer-side chain compaction. *)
+
+val export_incremental :
+  t -> Pvfs.t -> from:Net.host -> path:string -> base:remote_image -> remote_image
+(** Delta disk snapshot against [base] (typically the previous export of
+    the same image): detects changed clusters by content digest against
+    the {e effective} content of [base]'s whole chain, ships only those
+    (plus tables and any stored VM states), and returns an image backed
+    by [base]. Raises [Invalid_argument] when [base]'s capacity or
+    cluster size differ. *)
+
+val remote_is_delta : remote_image -> bool
+(** Whether the image is an incremental export (its table covers only the
+    clusters changed relative to its backing). *)
+
+val remote_chain_depth : remote_image -> int
+(** Number of qcow2 levels a miss-everything read walks: 1 for a
+    standalone export, one more per delta in the backing chain. *)
+
+type collapse_stats = {
+  levels_collapsed : int;  (** qcow2 levels merged into the result *)
+  clusters_unique : int;  (** distinct guest clusters materialized *)
+  bytes_shipped : int;  (** bytes written to the standalone file *)
+  bytes_reclaimed : int;  (** bytes of retired level files deleted *)
+}
+
+val collapse_chain :
+  remote_image -> from:Net.host -> path:string -> remote_image * collapse_stats
+(** Merge the image's whole qcow2 chain (top level down, newest cluster
+    wins) into one standalone file at [path], delete every chain level
+    and return the collapsed image. The caller must ensure no other
+    image still backs onto the retired levels; internal-snapshot VM
+    states are not carried over (collapse is a disk-data operation).
+    Raises [Invalid_argument] when [path] names one of the chain's own
+    files. *)

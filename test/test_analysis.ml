@@ -196,11 +196,16 @@ let test_version_manager_audit_catches_version_hole () =
         write 'c';
         let vm = Client.version_manager rig.service in
         let clean = Invariants.audit_version_manager vm in
-        (* The GC drops prefixes, never middles: a hole is a seeded defect. *)
+        (* Retention punches accounted holes: a dropped middle version is
+           recorded as retired and the union check stays clean. *)
         Version_manager.drop_version vm ~blob:(Client.blob_id blob) ~version:2;
-        (clean, Invariants.audit_version_manager vm))
+        let retained = Invariants.audit_version_manager vm in
+        (* A version in neither the live nor the retired set was lost, not
+           retired — the seeded defect the audit must catch. *)
+        Version_manager.unsafe_forget_version vm ~blob:(Client.blob_id blob) ~version:1;
+        (clean @ retained, Invariants.audit_version_manager vm))
   in
-  Alcotest.(check int) "live manager audits clean" 0 (List.length clean);
+  Alcotest.(check int) "live and retention-holed manager audit clean" 0 (List.length clean);
   Alcotest.(check bool) "version hole caught" true
     (List.exists (fun v -> v.Invariants.invariant = "versions-dense") holed)
 
