@@ -80,6 +80,33 @@ let run_dedup scale scale_name csv_dir =
   (* lint: allow wall-clock — bench measures real elapsed time *)
   Printf.printf "(experiment wall time: %.1fs)\n\n%!" (Unix.gettimeofday () -. t0)
 
+(* The digest experiment likewise persists its raw points as
+   BENCH_digest.json at the repo root: the commit-path digest tax (bytes
+   digested during COMMIT vs over the whole epoch) across dirty
+   fractions, with and without the dirty-region digest cache. *)
+let run_digest scale scale_name csv_dir =
+  let e = Option.get (Experiments.Registry.find "digest") in
+  Printf.printf "### %s — %s\n    %s\n\n%!" e.Experiments.Registry.id
+    e.Experiments.Registry.paper_ref e.Experiments.Registry.description;
+  let t0 = Unix.gettimeofday () in (* lint: allow wall-clock — bench measures real elapsed time *)
+  let points = Experiments.Digest_bench.run scale ~progress () in
+  List.iter
+    (fun (name, table) ->
+      print_string (Stats.render table);
+      print_newline ();
+      match csv_dir with
+      | Some dir ->
+          let path = Stats.write_csv ~dir ~name table in
+          Printf.printf "(csv written to %s)\n\n%!" path
+      | None -> ())
+    (Experiments.Digest_bench.tables_of points);
+  let oc = open_out "BENCH_digest.json" in
+  output_string oc (Experiments.Digest_bench.json_of ~scale_name points);
+  close_out oc;
+  Printf.printf "(points written to BENCH_digest.json)\n";
+  (* lint: allow wall-clock — bench measures real elapsed time *)
+  Printf.printf "(experiment wall time: %.1fs)\n\n%!" (Unix.gettimeofday () -. t0)
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core data structures *)
 
@@ -201,6 +228,7 @@ let () =
   let ids = List.concat_map expand ids in
   let run_one = function
     | "dedup" -> run_dedup scale scale_name csv_dir
+    | "digest" -> run_digest scale scale_name csv_dir
     | "micro" -> micro ()
     | id -> run_experiment scale csv_dir obs id
   in

@@ -87,6 +87,16 @@ let run_invariants () =
       Workloads.Synthetic.refill bench;
       Workloads.Synthetic.dump_app bench;
       ignore (Blobcr.Approach.request_checkpoint cluster inst);
+      (* Partial-chunk COW write + commit: the mirror's dirty-region digest
+         cache must invalidate the overwritten chunk, which the teardown
+         audit cross-checks by recomputing sampled digests from bytes. *)
+      (match inst.Blobcr.Approach.stack with
+      | Blobcr.Approach.Mirror_stack mirror ->
+          let csize = Vdisk.Mirror.chunk_size mirror in
+          Vdisk.Mirror.write mirror ~offset:(csize / 2)
+            (Simcore.Payload.pattern ~seed:0xC0FFEEL (csize / 4));
+          ignore (Vdisk.Mirror.commit mirror)
+      | Blobcr.Approach.Qcow2_stack _ -> ());
       (* qcow2 baseline path: COW writes around an internal snapshot —
          exercises the refcount machinery. *)
       let qnode = Blobcr.Cluster.node cluster 1 in
@@ -150,7 +160,10 @@ let run_invariants () =
 let invariants_cmd =
   Cmd.v
     (Cmd.info "invariants"
-       ~doc:"Run a representative scenario and audit qcow2/BlobSeer/mirror state.")
+       ~doc:
+         "Run a representative scenario and audit qcow2/BlobSeer/mirror state, \
+          including the sampled digest-cache coherence check (cached chunk digests \
+          must match digests recomputed from current bytes).")
     Term.(const run_invariants $ const ())
 
 (* ------------------------------------------------------------------ *)

@@ -167,16 +167,49 @@ let audit_version_manager vm =
 (* ------------------------------------------------------------------ *)
 (* Mirror COW audit: a chunk can only be dirty if it is locally present —
    commit reads dirty chunks back from the local cache, so a dirty absent
-   chunk would push garbage into the checkpoint image (paper §3.2). *)
+   chunk would push garbage into the checkpoint image (paper §3.2). The
+   carried digest cache owes the same subset discipline, and its entries
+   must agree with a fresh digest of the chunk's current local bytes — a
+   stale entry would let the next commit suppress or dedup a chunk on the
+   wrong digest. Recomputation is sampled deterministically (every
+   stride-th entry, ≤ ~64 recomputes) to bound teardown cost. *)
 
 let audit_mirror m =
   let subject = "mirror:" ^ Mirror.name m in
   let present = Mirror.present_view m in
-  List.filter_map
-    (fun chunk ->
-      if List.mem chunk present then None
-      else Some (v subject "dirty-subset-present" "chunk %d dirty but not locally present" chunk))
-    (Mirror.dirty_view m)
+  let dirty =
+    List.filter_map
+      (fun chunk ->
+        if List.mem chunk present then None
+        else
+          Some (v subject "dirty-subset-present" "chunk %d dirty but not locally present" chunk))
+      (Mirror.dirty_view m)
+  in
+  let cache = Mirror.digest_view m in
+  let subset =
+    List.filter_map
+      (fun (chunk, _) ->
+        if List.mem chunk present then None
+        else
+          Some
+            (v subject "digest-subset-present" "chunk %d digest-cached but not locally present"
+               chunk))
+      cache
+  in
+  let stride = max 1 (List.length cache / 64) in
+  let coherent =
+    List.filteri (fun i _ -> i mod stride = 0) cache
+    |> List.filter_map (fun (chunk, cached) ->
+           if not (List.mem chunk present) then None
+           else
+             let fresh = Payload.digest (Mirror.peek_chunk_payload m ~chunk) in
+             if fresh = cached then None
+             else
+               Some
+                 (v subject "digest-cache-coherent"
+                    "chunk %d cached digest %Lx, current bytes digest %Lx" chunk cached fresh))
+  in
+  dirty @ subset @ coherent
 
 (* ------------------------------------------------------------------ *)
 (* Deployment durability audit: replicas of a chunk must sit on pairwise
@@ -323,7 +356,18 @@ let audit_replicator r =
                 | exception Not_found -> None (* pruned on the primary; nothing to compare *)
                 | ptree ->
                     let stree = Version_manager.peek_tree svm ~blob ~version in
-                    if leaves ptree <> leaves stree then
+                    (* Merkle-root fast path: agreeing roots prove the
+                       logical content equal without materializing leaf
+                       lists (memoized across the shadow-shared subtrees
+                       of successive versions). Leaves are materialized
+                       only on a root mismatch, for the precise verdict. *)
+                    let roots_agree =
+                      Client.with_merkle_metrics (fun () ->
+                          Segment_tree.merkle_digest ~digest:Types.desc_content_digest ptree
+                          = Segment_tree.merkle_digest ~digest:Types.desc_content_digest stree)
+                    in
+                    if roots_agree then None
+                    else if leaves ptree <> leaves stree then
                       Some
                         (v subject "no-divergent-standby"
                            "blob %d v%d differs between primary and standby" blob version)

@@ -39,7 +39,10 @@ val audit_version_manager : Version_manager.t -> violation list
     {!audit_segment_tree} for the blob's chunk count. *)
 
 val audit_mirror : Mirror.t -> violation list
-(** COW audit: dirty ⊆ present. *)
+(** COW and digest-cache audit: dirty ⊆ present, digest-cache keys ⊆
+    present, and — on a deterministic sample of at most ~64 entries — every
+    cached digest equals the digest recomputed from the chunk's current
+    local bytes (the digest-cache coherence check). *)
 
 val audit_client : Client.t -> violation list
 (** Durability audit over a BlobSeer deployment: replicas of every live

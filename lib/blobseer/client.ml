@@ -1,6 +1,29 @@
 open Simcore
 open Netsim
 
+(* Digest-work accounting for one deployment: chunks whose commit-path
+   digest was computed from content bytes (digested), reused from a carried
+   hint (cached), or never needed at all (skipped — clean rewrites caught by
+   a hint or at the mirror). *)
+type digest_stats = {
+  chunks_digested : int;
+  chunks_cached : int;
+  chunks_skipped : int;
+  bytes_digested : int;
+  bytes_cached : int;
+  bytes_skipped : int;
+}
+
+let empty_digest_stats =
+  {
+    chunks_digested = 0;
+    chunks_cached = 0;
+    chunks_skipped = 0;
+    bytes_digested = 0;
+    bytes_cached = 0;
+    bytes_skipped = 0;
+  }
+
 type t = {
   engine : Engine.t;
   net : Net.t;
@@ -10,6 +33,7 @@ type t = {
   md : Metadata_service.t;
   mutable integrity_failures : int;
   mutable next_serial : int;
+  mutable dstats : digest_stats;
 }
 
 type blob = { service : t; info : Version_manager.blob_info }
@@ -28,6 +52,25 @@ let m_bytes_suppressed = Obs.Metrics.counter ~component:"blob" ~name:"bytes_supp
 let m_read_failovers = Obs.Metrics.counter ~component:"blob" ~name:"read_failovers"
 let m_read_retry_rounds = Obs.Metrics.counter ~component:"blob" ~name:"read_retry_rounds"
 let m_read_backoff = Obs.Metrics.counter ~component:"blob" ~name:"read_backoff_s"
+
+(* Digest-tax observability (DESIGN.md §16): how much commit-path digest
+   work ran against content bytes vs. was served by carried digests. *)
+let m_digest_chunks_digested = Obs.Metrics.counter ~component:"blob" ~name:"digest_chunks_digested"
+let m_digest_chunks_cached = Obs.Metrics.counter ~component:"blob" ~name:"digest_chunks_cached"
+let m_digest_chunks_skipped = Obs.Metrics.counter ~component:"blob" ~name:"digest_chunks_skipped"
+let m_digest_bytes_digested = Obs.Metrics.counter ~component:"blob" ~name:"digest_bytes_digested"
+let m_digest_bytes_cached = Obs.Metrics.counter ~component:"blob" ~name:"digest_bytes_cached"
+let m_digest_bytes_skipped = Obs.Metrics.counter ~component:"blob" ~name:"digest_bytes_skipped"
+let m_merkle_hashes = Obs.Metrics.counter ~component:"blob" ~name:"merkle_node_hashes"
+let m_merkle_reuses = Obs.Metrics.counter ~component:"blob" ~name:"merkle_node_reuses"
+
+let with_merkle_metrics f =
+  let h0, r0 = Segment_tree.merkle_counters () in
+  let r = f () in
+  let h1, r1 = Segment_tree.merkle_counters () in
+  Obs.Metrics.add m_merkle_hashes (float_of_int (h1 - h0));
+  Obs.Metrics.add m_merkle_reuses (float_of_int (r1 - r0));
+  r
 
 let deploy engine net ?(params = Types.default_params) ~version_manager_host
     ~provider_manager_host ~metadata_hosts ~data_providers () =
@@ -53,7 +96,19 @@ let deploy engine net ?(params = Types.default_params) ~version_manager_host
            ~request_overhead:params.request_overhead
            ~name:(Fmt.str "provider.%d" i) ()))
     data_providers;
-  let t = { engine; net; params; vm; pm; md; integrity_failures = 0; next_serial = 0 } in
+  let t =
+    {
+      engine;
+      net;
+      params;
+      vm;
+      pm;
+      md;
+      integrity_failures = 0;
+      next_serial = 0;
+      dstats = empty_digest_stats;
+    }
+  in
   Version_manager.set_dedup_index vm (Provider_manager.dedup_index pm);
   Engine.register_audit_subject engine (Audit_client t);
   t
@@ -77,6 +132,37 @@ let metadata_service t = t.md
 let provider_manager t = t.pm
 let integrity_failures t = t.integrity_failures
 let dedup_stats t = Dedup_index.stats (Provider_manager.dedup_index t.pm)
+let digest_stats t = t.dstats
+
+let note_digested t size =
+  t.dstats <-
+    {
+      t.dstats with
+      chunks_digested = t.dstats.chunks_digested + 1;
+      bytes_digested = t.dstats.bytes_digested + size;
+    };
+  Obs.Metrics.incr m_digest_chunks_digested;
+  Obs.Metrics.add m_digest_bytes_digested (float_of_int size)
+
+let note_cached t size =
+  t.dstats <-
+    {
+      t.dstats with
+      chunks_cached = t.dstats.chunks_cached + 1;
+      bytes_cached = t.dstats.bytes_cached + size;
+    };
+  Obs.Metrics.incr m_digest_chunks_cached;
+  Obs.Metrics.add m_digest_bytes_cached (float_of_int size)
+
+let note_digest_skipped t ~chunks ~bytes =
+  t.dstats <-
+    {
+      t.dstats with
+      chunks_skipped = t.dstats.chunks_skipped + chunks;
+      bytes_skipped = t.dstats.bytes_skipped + bytes;
+    };
+  Obs.Metrics.add m_digest_chunks_skipped (float_of_int chunks);
+  Obs.Metrics.add m_digest_bytes_skipped (float_of_int bytes)
 
 let repository_bytes t =
   Array.fold_left
@@ -275,9 +361,18 @@ let ship_replicas t ~from content placement =
      writes the placement and registers the fresh replicas, releasing the
      in-flight claim on failure so concurrent identical writers retry.
 
+   With [hints] (chunk index → digest of the content the thunk will
+   produce, carried across epochs by the mirror's digest cache), hinted
+   chunks resolve suppression and dedup from the cached digest without
+   producing content: clean rewrites are skipped outright, dedup lookups
+   batch into a single provider-manager round trip, and only chunks that
+   must physically ship run their thunk — with the produced content
+   verified against the hint before it is stored. Contended digests
+   ([Batch_busy]) and unhinted chunks take the blocking per-chunk path.
+
    Returns the minted descriptors (absent for suppressed chunks) and the
    shipped/deduped/suppressed accounting. *)
-let write_chunk_core b ~from ~base_tree ~suppress_clean jobs =
+let write_chunk_core b ~from ~base_tree ~suppress_clean ~hints jobs =
   let t = b.service in
   let descs : (int, Types.chunk_desc) Hashtbl.t = Hashtbl.create (List.length jobs) in
   let shipped = ref 0 and deduped = ref 0 and suppressed = ref 0 in
@@ -286,26 +381,58 @@ let write_chunk_core b ~from ~base_tree ~suppress_clean jobs =
     Hashtbl.replace descs i { Types.serial = fresh_serial t; size; digest; replicas }
   in
   let outcome o = Obs.Span.add_attr t.engine "outcome" (Obs.Record.Str o) in
-  let one (i, produce) () =
+  let note_suppressed size =
+    incr suppressed;
+    suppressed_b := !suppressed_b + size;
+    Obs.Metrics.incr m_chunks_suppressed;
+    Obs.Metrics.add m_bytes_suppressed (float_of_int size)
+  in
+  let note_deduped size =
+    incr deduped;
+    deduped_b := !deduped_b + size;
+    Obs.Metrics.incr m_chunks_deduped;
+    Obs.Metrics.add m_bytes_deduped (float_of_int size)
+  in
+  let note_shipped size =
+    incr shipped;
+    shipped_b := !shipped_b + size;
+    Obs.Metrics.incr m_chunks_shipped;
+    Obs.Metrics.add m_bytes_shipped (float_of_int size)
+  in
+  let clean_by_digest i ~size digest =
+    suppress_clean
+    &&
+    match Segment_tree.get base_tree i with
+    | Some (d : Types.chunk_desc) -> d.digest = digest && d.size = size
+    | None -> digest = Payload.digest (Payload.zero size)
+  in
+  let chunk_span i body =
     Obs.Span.with_detail t.engine ~component:"blob" ~name:"blob.chunk"
       ~attrs:[ ("chunk", Obs.Record.Int i) ]
-    @@ fun () ->
+      body
+  in
+  (* Blocking per-chunk path. [digest], when given, is a carried hint: the
+     produced content is verified against it (an O(1) memo check when the
+     mirror's stored payload flows through unchanged) instead of being
+     digested fresh. *)
+  let one ?digest (i, produce) () =
+    chunk_span i @@ fun () ->
     let content = produce () in
     let size = Payload.length content in
     if size <> chunk_extent b i then invalid_arg "Client: chunk content size mismatch";
-    let digest = Payload.digest content in
-    let clean =
-      suppress_clean
-      &&
-      match Segment_tree.get base_tree i with
-      | Some (d : Types.chunk_desc) -> d.digest = digest && d.size = size
-      | None -> digest = Payload.digest (Payload.zero size)
+    let digest =
+      match digest with
+      | Some d ->
+          if Payload.digest content <> d then
+            invalid_arg "Client: digest hint does not match produced content";
+          note_cached t size;
+          d
+      | None ->
+          note_digested t size;
+          Payload.digest content
     in
-    if clean then begin
-      incr suppressed;
-      suppressed_b := !suppressed_b + size;
-      Obs.Metrics.incr m_chunks_suppressed;
-      Obs.Metrics.add m_bytes_suppressed (float_of_int size);
+    if clean_by_digest i ~size digest then begin
+      note_suppressed size;
       outcome "clean"
     end
     else if t.params.dedup then begin
@@ -315,10 +442,7 @@ let write_chunk_core b ~from ~base_tree ~suppress_clean jobs =
           ~allow_degraded:t.params.allow_degraded_writes ()
       with
       | Provider_manager.Dedup replicas ->
-          incr deduped;
-          deduped_b := !deduped_b + size;
-          Obs.Metrics.incr m_chunks_deduped;
-          Obs.Metrics.add m_bytes_deduped (float_of_int size);
+          note_deduped size;
           outcome "dedup";
           finish_desc i ~size ~digest replicas
       | Provider_manager.Fresh placement ->
@@ -331,10 +455,7 @@ let write_chunk_core b ~from ~base_tree ~suppress_clean jobs =
               raise e
           in
           Provider_manager.commit_dedup t.pm ~digest ~size ~replicas;
-          incr shipped;
-          shipped_b := !shipped_b + size;
-          Obs.Metrics.incr m_chunks_shipped;
-          Obs.Metrics.add m_bytes_shipped (float_of_int size);
+          note_shipped size;
           outcome "shipped";
           finish_desc i ~size ~digest replicas
     end
@@ -345,15 +466,95 @@ let write_chunk_core b ~from ~base_tree ~suppress_clean jobs =
              ~allow_degraded:t.params.allow_degraded_writes ())
       in
       let replicas = ship_replicas t ~from content placement in
-      incr shipped;
-      shipped_b := !shipped_b + size;
-      Obs.Metrics.incr m_chunks_shipped;
-      Obs.Metrics.add m_bytes_shipped (float_of_int size);
+      note_shipped size;
       outcome "shipped";
       finish_desc i ~size ~digest replicas
     end
   in
-  Parallel.windowed t.engine ~window:t.params.write_window (List.map one jobs);
+  (* Hinted chunk holding a batch-claimed placement: produce, verify against
+     the hint, ship. The claim is already held, so every failure path must
+     release it or concurrent writers of the digest deadlock. *)
+  let ship_claimed ~digest ~placement (i, produce) () =
+    chunk_span i @@ fun () ->
+    let content = produce () in
+    let size = Payload.length content in
+    if size <> chunk_extent b i || Payload.digest content <> digest then begin
+      Provider_manager.abandon_dedup t.pm ~digest;
+      invalid_arg "Client: digest hint does not match produced content"
+    end;
+    note_cached t size;
+    let replicas =
+      try ship_replicas t ~from content placement
+      with e ->
+        Provider_manager.abandon_dedup t.pm ~digest;
+        raise e
+    in
+    Provider_manager.commit_dedup t.pm ~digest ~size ~replicas;
+    note_shipped size;
+    outcome "shipped";
+    finish_desc i ~size ~digest replicas
+  in
+  let hint_tbl : (int, int64) Hashtbl.t = Hashtbl.create (List.length hints) in
+  if t.params.digest_cache then List.iter (fun (i, d) -> Hashtbl.replace hint_tbl i d) hints;
+  (* Phase 1 — hinted chunks: suppress clean rewrites from the hint alone
+     (no produce, no digest) and collect the rest for one batched dedup
+     resolution. Unhinted chunks go straight to the windowed pipeline. *)
+  let pending = ref [] and lookups = ref [] in
+  List.iter
+    (fun ((i, _) as job) ->
+      match Hashtbl.find_opt hint_tbl i with
+      | None -> pending := `Plain job :: !pending
+      | Some digest ->
+          let size = chunk_extent b i in
+          if clean_by_digest i ~size digest then
+            chunk_span i (fun () ->
+                note_digest_skipped t ~chunks:1 ~bytes:size;
+                note_suppressed size;
+                outcome "clean")
+          else if t.params.dedup then lookups := (job, digest) :: !lookups
+          else pending := `Hinted (job, digest) :: !pending)
+    jobs;
+  let lookups = List.rev !lookups in
+  (* Phase 2 — one control round trip resolves every hinted digest. *)
+  let outcomes =
+    match lookups with
+    | [] -> []
+    | _ ->
+        Provider_manager.resolve_many t.pm ~from
+          ~chunks:(List.map (fun ((i, _), digest) -> (digest, chunk_extent b i)) lookups)
+          ~replication:t.params.replication
+          ~allow_degraded:t.params.allow_degraded_writes ()
+  in
+  List.iter2
+    (fun ((i, _) as job, digest) oc ->
+      match oc with
+      | Provider_manager.Batch_dedup replicas ->
+          (* Dedup hit on the carried digest: no produce, no payload read. *)
+          let size = chunk_extent b i in
+          chunk_span i (fun () ->
+              note_cached t size;
+              note_deduped size;
+              outcome "dedup";
+              finish_desc i ~size ~digest replicas)
+      | Provider_manager.Batch_fresh placement ->
+          pending := `Ship (job, digest, placement) :: !pending
+      | Provider_manager.Batch_busy ->
+          (* Contended digest: retry through the blocking per-chunk path,
+             which never holds one claim while waiting on another. *)
+          pending := `Hinted (job, digest) :: !pending)
+    lookups outcomes;
+  (* Phase 3 — everything that needs content runs through the write window:
+     content production, digest verification and replica shipping of
+     different chunks overlap. *)
+  let work =
+    List.map
+      (function
+        | `Plain job -> one job
+        | `Hinted (job, digest) -> one ~digest job
+        | `Ship (job, digest, placement) -> ship_claimed ~digest ~placement job)
+      (List.rev !pending)
+  in
+  Parallel.windowed t.engine ~window:t.params.write_window work;
   ( descs,
     {
       chunks_total = List.length jobs;
@@ -444,11 +645,11 @@ let write_multi b ~from ?base runs =
           List.fold_left (fun acc (at, patch) -> overlay acc ~at patch) old segs
     in
     let jobs = List.map (fun i -> (i, fun () -> content_for i)) chunk_ids in
-    let descs, _stats = write_chunk_core b ~from ~base_tree ~suppress_clean:false jobs in
+    let descs, _stats = write_chunk_core b ~from ~base_tree ~suppress_clean:false ~hints:[] jobs in
     publish_descs b ~from ~base ~base_tree descs
   end
 
-let write_chunks b ~from ?base ?(suppress_clean = false) jobs =
+let write_chunks b ~from ?base ?(suppress_clean = false) ?(hints = []) jobs =
   List.iter
     (fun (i, _) ->
       if i < 0 || i >= total_chunks b then invalid_arg "Client.write_chunks: chunk out of range")
@@ -470,10 +671,18 @@ let write_chunks b ~from ?base ?(suppress_clean = false) jobs =
     Obs.Span.with_ engine ~component:"blob" ~name:"blob.write"
       ~attrs:[ ("chunks", Obs.Record.Int (List.length jobs)) ]
       (fun () ->
-        let ((_, stats) as r) = write_chunk_core b ~from ~base_tree ~suppress_clean jobs in
+        let d0 = b.service.dstats in
+        let ((_, stats) as r) = write_chunk_core b ~from ~base_tree ~suppress_clean ~hints jobs in
+        let d1 = b.service.dstats in
         Obs.Span.add_attr engine "bytes_shipped" (Obs.Record.Bytes stats.bytes_shipped);
         Obs.Span.add_attr engine "bytes_deduped" (Obs.Record.Bytes stats.bytes_deduped);
         Obs.Span.add_attr engine "bytes_suppressed" (Obs.Record.Bytes stats.bytes_suppressed);
+        Obs.Span.add_attr engine "bytes_digested"
+          (Obs.Record.Bytes (d1.bytes_digested - d0.bytes_digested));
+        Obs.Span.add_attr engine "bytes_digest_cached"
+          (Obs.Record.Bytes (d1.bytes_cached - d0.bytes_cached));
+        Obs.Span.add_attr engine "bytes_digest_skipped"
+          (Obs.Record.Bytes (d1.bytes_skipped - d0.bytes_skipped));
         r)
   in
   let version =
@@ -494,6 +703,10 @@ let clone b ~from ~version =
    delta_bytes / distinct_bytes hot loops). Raises [Not_found] for
    dropped or never-published versions. *)
 let tree b ~version = Version_manager.peek_tree b.service.vm ~blob:(blob_id b) ~version
+
+let merkle_root b ~version =
+  with_merkle_metrics (fun () ->
+      Segment_tree.merkle_digest ~digest:Types.desc_content_digest (tree b ~version))
 
 let version_bytes b ~version =
   let tr = tree b ~version in

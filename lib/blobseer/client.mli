@@ -152,6 +152,7 @@ val write_chunks :
   from:Net.host ->
   ?base:int ->
   ?suppress_clean:bool ->
+  ?hints:(int * int64) list ->
   (int * (unit -> Payload.t)) list ->
   int * write_stats
 (** [write_chunks blob ~from jobs] publishes one new version from
@@ -164,11 +165,61 @@ val write_chunks :
     digest equals the base version's descriptor (or all-zero content on
     an unwritten leaf) is dropped from the update entirely — a clean
     rewrite publishes no new descriptor and ships nothing. Chunk indices
-    must be distinct. *)
+    must be distinct.
+
+    [hints] maps chunk indices to the digest of the content their thunk
+    will produce (the mirror's digest cache, carried across epochs).
+    Hinted chunks resolve clean-rewrite suppression and dedup from the
+    digest alone: suppressed and dedup-hit chunks never run their thunk
+    (no payload read, no digest), and all hinted dedup lookups share one
+    batched provider-manager round trip. Only chunks that must physically
+    ship produce content, which is verified against the hint
+    ([Invalid_argument] on mismatch — a cache-coherence bug at the
+    caller). Ignored when [params.digest_cache] is off. *)
 
 val dedup_stats : t -> Dedup_index.stats
 (** Deployment-wide dedup counters (hits, misses, bytes saved, live index
     entries). *)
+
+(** Commit-path digest-work accounting: chunks whose digest was computed
+    from content bytes (digested), reused from a carried hint (cached), or
+    never needed at all (skipped — clean rewrites caught by a hint or at
+    the mirror before reaching the client). *)
+type digest_stats = {
+  chunks_digested : int;
+  chunks_cached : int;
+  chunks_skipped : int;
+  bytes_digested : int;
+  bytes_cached : int;
+  bytes_skipped : int;
+}
+
+val empty_digest_stats : digest_stats
+(** All counters zero. *)
+
+val digest_stats : t -> digest_stats
+(** Deployment-lifetime digest-work counters (also mirrored into the
+    [blob.digest_*] metrics). *)
+
+val note_digest_skipped : t -> chunks:int -> bytes:int -> unit
+(** Account digest work avoided {e before} the commit path — the mirror's
+    write-time clean-rewrite skips, which keep chunks out of the dirty set
+    entirely — so [digest_stats] and the [blob.digest_*] metrics cover the
+    whole pipeline. *)
+
+val merkle_root : blob -> version:int -> int64
+(** Incremental Merkle root of the snapshot's logical content (leaf
+    function {!Types.desc_content_digest}): equal across versions, sites
+    and repairs iff the content agrees. Memoized on shadow-shared subtree
+    nodes, so successive versions cost O(changed · log n). Free of
+    simulated cost; host-side work is counted in the [blob.merkle_*]
+    metrics. *)
+
+val with_merkle_metrics : (unit -> 'a) -> 'a
+(** Run [f] and fold the {!Segment_tree.merkle_counters} delta it caused
+    into the [blob.merkle_node_hashes] / [blob.merkle_node_reuses]
+    metrics — for Merkle users outside this module (scrubber, compactor,
+    audits). *)
 
 val read_chunk : blob -> from:Net.host -> version:int -> chunk:int -> Payload.t
 (** Fetch exactly one chunk (zeros if unwritten); chunk-granular metadata

@@ -7,10 +7,17 @@ type config = {
   policy : Retention.policy;
   read_retries : int;
   read_backoff : float;
+  deep_verify : bool;
 }
 
 let default_config =
-  { interval = 10.0; policy = Retention.Keep_last 4; read_retries = 3; read_backoff = 0.01 }
+  {
+    interval = 10.0;
+    policy = Retention.Keep_last 4;
+    read_retries = 3;
+    read_backoff = 0.01;
+    deep_verify = false;
+  }
 
 type crash_point = Before_flatten | Mid_retire | After_retire
 
@@ -38,6 +45,7 @@ type event =
       verified : int;
       shared : int;
       bytes_read : int;
+      bytes_local : int;
     }
   | Flatten_failed of { at : float; blob : int; reason : string }
   | Refused of { at : float; refusal : refusal }
@@ -50,9 +58,9 @@ type event =
 
 let pp_event ppf = function
   | Pass_started { at; pass } -> Fmt.pf ppf "t=%.3f pass %d started" at pass
-  | Flattened { at; blob; boundary; verified; shared; bytes_read } ->
-      Fmt.pf ppf "t=%.3f flattened blob %d to v%d (%d verified, %d shared, %d B)" at blob
-        boundary verified shared bytes_read
+  | Flattened { at; blob; boundary; verified; shared; bytes_read; bytes_local } ->
+      Fmt.pf ppf "t=%.3f flattened blob %d to v%d (%d verified, %d shared, %d B read, %d B local)"
+        at blob boundary verified shared bytes_read bytes_local
   | Flatten_failed { at; blob; reason } ->
       Fmt.pf ppf "t=%.3f flatten failed blob %d (%s)" at blob reason
   | Refused { at; refusal = { rblob; rversion; rsource } } ->
@@ -77,6 +85,8 @@ type stats = {
   chunks_verified : int;
   chunks_shared : int;
   flatten_bytes_read : int;
+  flatten_bytes_local : int;
+  merkle_clean_bounds : int;
   read_retries : int;
   versions_retired : int;
   chunks_reclaimed : int;
@@ -91,6 +101,7 @@ type stats = {
 let m_retired = Obs.Metrics.counter ~component:"cmpct" ~name:"versions_retired"
 let m_reclaimed = Obs.Metrics.counter ~component:"cmpct" ~name:"bytes_reclaimed"
 let m_flatten_read = Obs.Metrics.counter ~component:"cmpct" ~name:"flatten_bytes_read"
+let m_flatten_local = Obs.Metrics.counter ~component:"cmpct" ~name:"flatten_bytes_local"
 
 type t = {
   service : Client.t;
@@ -113,6 +124,9 @@ type t = {
   mutable chunks_verified : int;
   mutable chunks_shared : int;
   mutable flatten_bytes_read : int;
+  mutable flatten_bytes_local : int;
+  mutable merkle_clean_bounds : int;
+  mutable boundary_roots_rev : (int * int * int64) list;
   mutable read_retries : int;
   mutable versions_retired : int;
   mutable chunks_reclaimed : int;
@@ -148,6 +162,9 @@ let create service ~home ?(config = default_config) () =
       chunks_verified = 0;
       chunks_shared = 0;
       flatten_bytes_read = 0;
+      flatten_bytes_local = 0;
+      merkle_clean_bounds = 0;
+      boundary_roots_rev = [];
       read_retries = 0;
       versions_retired = 0;
       chunks_reclaimed = 0;
@@ -245,22 +262,56 @@ let boundaries ~live ~retire =
   in
   go false live
 
-(* Flatten verification: read every chunk of each boundary version that is
+(* A replica that can serve a restart: provider live, chunk present, and
+   the stored bytes verify against the digest the writer published.
+   Provider-local — no network, no simulated cost. *)
+let replica_ok t (desc : Types.chunk_desc) (r : Types.replica) =
+  let p = Client.data_provider t.service r.provider in
+  Data_provider.is_alive p
+  && Content_store.mem (Data_provider.store p) r.chunk
+  && Content_store.recorded_digest (Data_provider.store p) r.chunk = desc.digest
+  && Data_provider.verify_chunk p r.chunk
+
+(* Flatten verification: every chunk of each boundary version that is
    {e cold} — i.e. differs from the live tip (leaves shared with the tip
-   stay hot through ordinary reads and later snapshots). Reads are
-   memoized by physical identity, so descriptors dedup'd onto the same
-   replicas cost one read. Returns (verified, shared, bytes). *)
+   stay hot through ordinary reads and later snapshots) — must be
+   restartable after the intermediates go away. By default a boundary
+   version is verified wholesale by one subtree-digest compare: its
+   descriptor-side Merkle root against a storage-side root whose leaf is
+   the descriptor's content digest when at least one replica verifies
+   provider-locally and a poisoned marker otherwise. Agreeing roots prove
+   every chunk readable without a single payload read, and the
+   per-flatten memo verifies shadow-shared subtrees once. On a root
+   mismatch the per-chunk path runs (memoized by physical identity):
+   provider-local verification first, a full remote verify-read only as
+   fallback. [deep_verify] forces the remote-read path for every cold
+   chunk — the pre-Merkle behavior. Returns
+   (verified, shared, bytes_read, bytes_local). *)
 let flatten t ~blob ~bounds =
   let vm = Client.version_manager t.service in
   let h = handle t blob in
   let latest = Version_manager.peek_latest vm blob in
   let latest_tree = Version_manager.peek_tree vm ~blob ~version:latest in
   let seen : (int64 * Types.replica list, unit) Hashtbl.t = Hashtbl.create 64 in
-  let verified = ref 0 and shared = ref 0 and bytes = ref 0 in
+  let storage_memo = Hashtbl.create 64 in
+  let storage_leaf (desc : Types.chunk_desc) =
+    if List.exists (replica_ok t desc) desc.replicas then Types.desc_content_digest desc
+    else Int64.lognot (Types.desc_content_digest desc)
+  in
+  let verified = ref 0 and shared = ref 0 in
+  let bytes = ref 0 and local_bytes = ref 0 in
   List.iter
     (fun version ->
       let tree = Version_manager.peek_tree vm ~blob ~version in
       let occupied = Segment_tree.fold_set (fun _ _ n -> n + 1) tree 0 in
+      let root = Client.merkle_root h ~version in
+      let clean =
+        (not t.config.deep_verify)
+        && Client.with_merkle_metrics (fun () ->
+               Segment_tree.merkle_digest_with ~memo:storage_memo ~digest:storage_leaf tree)
+           = root
+      in
+      if clean then t.merkle_clean_bounds <- t.merkle_clean_bounds + 1;
       let cold = ref 0 in
       List.iter
         (fun (_, _, leaf) ->
@@ -272,14 +323,22 @@ let flatten t ~blob ~bounds =
               if Hashtbl.mem seen key then incr shared
               else begin
                 Hashtbl.replace seen key ();
-                ignore (read_desc_retrying t h desc);
                 incr verified;
-                bytes := !bytes + desc.size
+                if
+                  clean
+                  || ((not t.config.deep_verify)
+                     && List.exists (replica_ok t desc) desc.replicas)
+                then local_bytes := !local_bytes + desc.size
+                else begin
+                  ignore (read_desc_retrying t h desc);
+                  bytes := !bytes + desc.size
+                end
               end)
         (Segment_tree.diff_leaves latest_tree tree);
-      shared := !shared + (occupied - !cold))
+      shared := !shared + (occupied - !cold);
+      t.boundary_roots_rev <- (blob, version, root) :: t.boundary_roots_rev)
     bounds;
-  (!verified, !shared, !bytes)
+  (!verified, !shared, !bytes, !local_bytes)
 
 (* Dedup refcount parity gate: for every digest the candidate trees
    reference, the index refcount must equal the live distinct-serial
@@ -418,13 +477,16 @@ let compact_blob t ~blob ~(plan : Retention.plan) =
       t.flatten_failures <- t.flatten_failures + 1;
       record t (Flatten_failed { at = now t; blob; reason = Printexc.to_string e });
       raise e
-  | verified, shared, bytes_read -> (
+  | verified, shared, bytes_read, bytes_local -> (
       t.flattens <- t.flattens + 1;
       t.chunks_verified <- t.chunks_verified + verified;
       t.chunks_shared <- t.chunks_shared + shared;
       t.flatten_bytes_read <- t.flatten_bytes_read + bytes_read;
+      t.flatten_bytes_local <- t.flatten_bytes_local + bytes_local;
       Obs.Metrics.add m_flatten_read (float_of_int bytes_read);
-      record t (Flattened { at = now t; blob; boundary; verified; shared; bytes_read });
+      Obs.Metrics.add m_flatten_local (float_of_int bytes_local);
+      record t
+        (Flattened { at = now t; blob; boundary; verified; shared; bytes_read; bytes_local });
       match parity_mismatch t ~trees:(List.filter_map
                                         (fun v ->
                                           match Version_manager.peek_tree vm ~blob ~version:v with
@@ -590,6 +652,8 @@ let stats t =
     chunks_verified = t.chunks_verified;
     chunks_shared = t.chunks_shared;
     flatten_bytes_read = t.flatten_bytes_read;
+    flatten_bytes_local = t.flatten_bytes_local;
+    merkle_clean_bounds = t.merkle_clean_bounds;
     read_retries = t.read_retries;
     versions_retired = t.versions_retired;
     chunks_reclaimed = t.chunks_reclaimed;
@@ -603,5 +667,6 @@ let stats t =
 
 let events t = List.rev t.events_rev
 let refusals t = List.rev t.refusals_rev
+let boundary_roots t = List.rev t.boundary_roots_rev
 let reclaimed_chunks t = t.deleted_log
 let pending_reclaim t = Hashtbl.length t.pending_sweep

@@ -4,8 +4,10 @@
     pass it evaluates the configured {!Retention.policy} against each
     blob's live version chain (through
     {!Version_manager.retention_plan}), {e flattens} across every chain
-    segment the plan retires — verify-reading the surviving boundary
-    versions' cold chunks so a restart from them never depends on data
+    segment the plan retires — verifying the surviving boundary versions'
+    cold chunks (by default with one Merkle subtree-digest compare per
+    boundary, falling back to provider-local and then remote verify-reads)
+    so a restart from them never depends on data
     that only the retired intermediates pinned — and then retires the
     intermediates, releases their dedup references and reclaims the
     physical chunks only they referenced.
@@ -39,10 +41,17 @@ type config = {
   policy : Retention.policy;  (** evaluated per blob on every pass *)
   read_retries : int;  (** flatten-read retry budget per chunk *)
   read_backoff : float;  (** base backoff between flatten-read retries *)
+  deep_verify : bool;
+      (** force a full remote verify-read of every cold chunk during
+          flattens, bypassing the Merkle subtree-digest compare and
+          provider-local verification — the pre-Merkle behavior, kept for
+          ablation and for drills that need flatten reads to exercise the
+          data path *)
 }
 
 val default_config : config
-(** 10 s interval, [Keep_last 4], 3 retries, 10 ms base backoff. *)
+(** 10 s interval, [Keep_last 4], 3 retries, 10 ms base backoff, Merkle
+    verification (no deep reads). *)
 
 (** Armable crash points of the compaction transaction (fault-injection
     hooks; see {!arm_crash}). *)
@@ -62,9 +71,10 @@ type event =
       at : float;
       blob : int;
       boundary : int;  (** youngest surviving version verified *)
-      verified : int;  (** cold chunks actually read *)
+      verified : int;  (** cold chunks verified (locally or by read) *)
       shared : int;  (** chunks skipped via tip-sharing or dedup memo *)
-      bytes_read : int;
+      bytes_read : int;  (** bytes remotely verify-read (fallback path) *)
+      bytes_local : int;  (** bytes verified provider-locally, no read *)
     }
   | Flatten_failed of { at : float; blob : int; reason : string }
       (** the transaction aborted before any retire (intent rolled back) *)
@@ -85,9 +95,13 @@ type stats = {
   passes : int;  (** compaction passes started *)
   flattens : int;  (** boundary flattens completed *)
   flatten_failures : int;  (** transactions aborted on the read path *)
-  chunks_verified : int;  (** cold chunks read during flattens *)
-  chunks_shared : int;  (** flatten reads skipped (sharing/dedup) *)
-  flatten_bytes_read : int;  (** bytes verify-read during flattens *)
+  chunks_verified : int;  (** cold chunks verified during flattens *)
+  chunks_shared : int;  (** flatten verifies skipped (sharing/dedup) *)
+  flatten_bytes_read : int;  (** bytes remotely verify-read (fallback) *)
+  flatten_bytes_local : int;  (** bytes verified provider-locally *)
+  merkle_clean_bounds : int;
+      (** boundary versions verified wholesale by the subtree-digest
+          compare (no per-chunk work at all) *)
   read_retries : int;  (** transient-error retries on flatten reads *)
   versions_retired : int;  (** versions moved out of the live set *)
   chunks_reclaimed : int;  (** physical chunks deleted by the sweep *)
@@ -163,6 +177,12 @@ val events : t -> event list
 
 val refusals : t -> refusal list
 (** Every pin-vetoed retire, in occurrence order. *)
+
+val boundary_roots : t -> (int * int * int64) list
+(** [(blob, version, merkle_root)] recorded for every boundary version a
+    flatten verified, in occurrence order — the content fingerprint a
+    restart from that boundary must still agree with ({!Client.merkle_root}
+    over the same leaf function). *)
 
 val reclaimed_chunks : t -> (int * int) list
 (** Physical [(provider, chunk_id)] pairs the sweep deleted, newest

@@ -72,6 +72,39 @@ let rec resolve t ~digest ~size ~validate =
           t.misses <- t.misses + 1;
           Claimed)
 
+type nowait_resolution =
+  | Now_hit of Types.replica list
+  | Now_claimed
+  | Now_busy
+
+let rec resolve_nowait t ~digest ~size ~validate =
+  match Hashtbl.find_opt t.entries digest with
+  | Some entry when entry.size = size && validate entry.replicas ->
+      t.hits <- t.hits + 1;
+      t.bytes_saved <- t.bytes_saved + size;
+      Now_hit entry.replicas
+  | Some entry ->
+      (* Stale mapping: same drop-and-retry discipline as [resolve]. *)
+      if entry.refs > 0 then
+        Hashtbl.replace t.orphaned digest
+          (entry.refs + Option.value ~default:0 (Hashtbl.find_opt t.orphaned digest));
+      Hashtbl.remove t.entries digest;
+      resolve_nowait t ~digest ~size ~validate
+  | None ->
+      if Hashtbl.mem t.inflight digest then
+        (* Another writer's claim is in flight. Never block here: a batch
+           caller may already hold claims on other digests, and blocking
+           while holding claims can deadlock against a peer doing the same
+           in the opposite order. The caller falls back to the blocking
+           per-chunk path, which never holds one claim while waiting on
+           another. *)
+        Now_busy
+      else begin
+        Hashtbl.replace t.inflight digest (Engine.Ivar.create t.engine);
+        t.misses <- t.misses + 1;
+        Now_claimed
+      end
+
 let settle t ~digest outcome =
   match Hashtbl.find_opt t.inflight digest with
   | Some ivar ->

@@ -52,6 +52,26 @@ val resolve :
     an {!Engine.Ivar}) while another writer holds an in-flight claim on
     the same digest. Must be called from inside a fiber. *)
 
+(** Outcome of {!resolve_nowait}. *)
+type nowait_resolution =
+  | Now_hit of Types.replica list  (** as {!resolution.Hit} *)
+  | Now_claimed  (** as {!resolution.Claimed} *)
+  | Now_busy
+      (** another writer holds an in-flight claim on this digest; the
+          caller must retry through the blocking {!resolve} path *)
+
+val resolve_nowait :
+  t ->
+  digest:int64 ->
+  size:int ->
+  validate:(Types.replica list -> bool) ->
+  nowait_resolution
+(** Like {!resolve} but never blocks: an in-flight claim by another writer
+    yields [Now_busy] instead of waiting. Batch resolvers use this so they
+    never hold one claim while blocked on another — the deadlock a pair of
+    clients claiming overlapping digest sets in opposite orders would
+    otherwise reach. Safe to call outside a fiber. *)
+
 val publish : t -> digest:int64 -> size:int -> replicas:Types.replica list -> unit
 (** Register freshly written replicas under their digest and release the
     in-flight claim (waiters re-resolve and hit). The new entry starts at

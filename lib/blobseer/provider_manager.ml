@@ -134,6 +134,42 @@ let resolve_or_allocate t ~from ~digest ~size ~replication ?(allow_degraded = fa
   Net.message t.net ~src:t.host ~dst:from;
   outcome
 
+type batch_alloc =
+  | Batch_dedup of Types.replica list
+  | Batch_fresh of int list
+  | Batch_busy
+
+let resolve_many t ~from ~chunks ~replication ?(allow_degraded = false) () =
+  if replication < 1 then invalid_arg "Provider_manager.resolve_many";
+  match chunks with
+  | [] -> []
+  | _ ->
+      Net.message t.net ~src:from ~dst:t.host;
+      Rate_server.process_many t.server ~ops:(List.length chunks) 0;
+      let claimed = ref [] in
+      let outcomes =
+        try
+          List.map
+            (fun (digest, size) ->
+              let validate replicas =
+                replicas <> [] && List.for_all (replica_valid t ~digest) replicas
+              in
+              match Dedup_index.resolve_nowait t.dedup ~digest ~size ~validate with
+              | Dedup_index.Now_hit replicas -> Batch_dedup replicas
+              | Dedup_index.Now_busy -> Batch_busy
+              | Dedup_index.Now_claimed ->
+                  claimed := digest :: !claimed;
+                  Batch_fresh (placement_for_chunk t ~replication ~allow_degraded))
+            chunks
+        with e ->
+          (* A failed placement mid-batch must release every claim the batch
+             already took, or concurrent writers of those digests deadlock. *)
+          List.iter (fun digest -> Dedup_index.abandon t.dedup ~digest) !claimed;
+          raise e
+      in
+      Net.message t.net ~src:t.host ~dst:from;
+      outcomes
+
 (* Registration and abandonment piggyback on the write path's data-plane
    acknowledgements, so they carry no separate simulated cost. *)
 let commit_dedup t ~digest ~size ~replicas = Dedup_index.publish t.dedup ~digest ~size ~replicas

@@ -88,6 +88,31 @@ val resolve_or_allocate :
     digest, then resolves against that writer's outcome. Placement and
     degraded-write semantics are those of {!allocate}. *)
 
+(** Per-chunk outcome of {!resolve_many}. *)
+type batch_alloc =
+  | Batch_dedup of Types.replica list  (** as {!chunk_alloc.Dedup} *)
+  | Batch_fresh of int list  (** as {!chunk_alloc.Fresh} *)
+  | Batch_busy
+      (** another writer holds an in-flight claim on this digest; retry
+          it through {!resolve_or_allocate} *)
+
+val resolve_many :
+  t ->
+  from:Net.host ->
+  chunks:(int64 * int) list ->
+  replication:int ->
+  ?allow_degraded:bool ->
+  unit ->
+  batch_alloc list
+(** Batched {!resolve_or_allocate}: one control round trip resolving every
+    [(digest, size)] in [chunks] (per-chunk service cost still applies at
+    the manager). Never blocks on other writers' in-flight claims —
+    contended digests come back [Batch_busy] and must be retried through
+    the blocking single-chunk path; this is what makes the batch
+    deadlock-free while holding multiple claims. Outcomes are returned in
+    input order; [Batch_fresh] claims must be settled with {!commit_dedup}
+    or {!abandon_dedup} exactly like {!chunk_alloc.Fresh} ones. *)
+
 val commit_dedup : t -> digest:int64 -> size:int -> replicas:Types.replica list -> unit
 (** Register freshly written replicas under their digest and release the
     in-flight claim. Piggybacks on the write acknowledgement: no separate

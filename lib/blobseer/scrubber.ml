@@ -5,9 +5,10 @@ open Storage
 type config = {
   interval : float;
   quorum : int option;
+  merkle_precheck : bool;
 }
 
-let default_config = { interval = 5.0; quorum = None }
+let default_config = { interval = 5.0; quorum = None; merkle_precheck = true }
 
 type event =
   | Scan_started of { at : float; pass : int }
@@ -51,10 +52,12 @@ type stats = {
   repair_bytes : int;
   quorum_failures : int;
   unrepairable : int;
+  merkle_clean_versions : int;
 }
 
 let m_repairs = Obs.Metrics.counter ~component:"scrub" ~name:"repairs"
 let m_repair_bytes = Obs.Metrics.counter ~component:"scrub" ~name:"repair_bytes"
+let m_merkle_clean = Obs.Metrics.counter ~component:"scrub" ~name:"merkle_clean_versions"
 
 type t = {
   service : Client.t;
@@ -66,6 +69,7 @@ type t = {
   mutable repair_bytes : int;
   mutable quorum_failures : int;
   mutable unrepairable : int;
+  mutable merkle_clean_versions : int;
   mutable events_rev : event list;
   mutable bad_sites : (int * int) list; (* (blob, version) with unrepairable chunks *)
   mutable pins : (int * int) list; (* versions under repair: GC must not prune *)
@@ -83,6 +87,7 @@ let create service ~home ?(config = default_config) () =
     repair_bytes = 0;
     quorum_failures = 0;
     unrepairable = 0;
+    merkle_clean_versions = 0;
     events_rev = [];
     bad_sites = [];
     pins = [];
@@ -191,17 +196,48 @@ let scan t =
   t.passes <- t.passes + 1;
   let pass = t.passes in
   record t (Scan_started { at = now t; pass });
+  let replication = (Client.params service).Types.replication in
+  (* Merkle precheck: a version whose storage-side Merkle root (leaf =
+     descriptor content digest when the replica set is fully healthy, a
+     poisoned marker otherwise) equals the descriptor-side root has every
+     chunk verified healthy — skip its site enumeration entirely. The
+     per-pass memo dedupes verification across shadow-shared subtrees, so
+     a subtree referenced by many versions is walked once per pass, not
+     once per referencing version. *)
+  let clean_leaves = ref 0 in
+  let version_clean =
+    if not t.config.merkle_precheck then fun _ -> false
+    else begin
+      let storage_memo = Hashtbl.create 512 in
+      let storage_leaf (desc : Types.chunk_desc) =
+        let good = List.filter (replica_good service desc) desc.replicas in
+        if List.length good = List.length desc.replicas && List.length good = replication
+        then Types.desc_content_digest desc
+        else Int64.lognot (Types.desc_content_digest desc)
+      in
+      fun tree ->
+        Client.with_merkle_metrics (fun () ->
+            Segment_tree.merkle_digest ~digest:Types.desc_content_digest tree
+            = Segment_tree.merkle_digest_with ~memo:storage_memo ~digest:storage_leaf tree)
+    end
+  in
   let sites = ref [] in
   Version_manager.iter_live_trees vm (fun ~blob ~version tree ->
-      Segment_tree.fold_set
-        (fun index desc () -> sites := (blob, version, index, desc) :: !sites)
-        tree ());
+      if version_clean tree then begin
+        clean_leaves := Segment_tree.fold_set (fun _ _ acc -> acc + 1) tree !clean_leaves;
+        t.merkle_clean_versions <- t.merkle_clean_versions + 1;
+        Obs.Metrics.incr m_merkle_clean
+      end
+      else
+        Segment_tree.fold_set
+          (fun index desc () -> sites := (blob, version, index, desc) :: !sites)
+          tree ());
   let sites = List.rev !sites in
+  t.chunks_checked <- t.chunks_checked + !clean_leaves;
   (* Pin every version with a damaged chunk for the duration of the pass. *)
   let damaged (desc : Types.chunk_desc) =
     let good = List.filter (replica_good service desc) desc.replicas in
-    List.length good < List.length desc.replicas
-    || List.length good < (Client.params service).Types.replication
+    List.length good < List.length desc.replicas || List.length good < replication
   in
   t.pins <-
     List.sort_uniq compare_site
@@ -218,7 +254,6 @@ let scan t =
   let dedup = Provider_manager.dedup_index (Client.provider_manager service) in
   let repaired_count = ref 0 and unrepairable_count = ref 0 in
   let bad_sites = ref [] in
-  let replication = (Client.params service).Types.replication in
   let repair_desc (desc : Types.chunk_desc) =
     (* Returns [`Repaired] with the healthy replica set when the site must
        be rewritten; otherwise the descriptor stays (healthy, quorum
@@ -302,13 +337,14 @@ let scan t =
        {
          at = now t;
          pass;
-         checked = List.length sites;
+         checked = List.length sites + !clean_leaves;
          repaired = !repaired_count;
          unrepairable = !unrepairable_count;
        });
   Trace.emit (engine t) ~component:"scrubber"
-    "pass %d: %d sites, %d repaired, %d unrepairable" pass (List.length sites)
-    !repaired_count !unrepairable_count
+    "pass %d: %d sites (%d merkle-clean), %d repaired, %d unrepairable" pass
+    (List.length sites + !clean_leaves)
+    !clean_leaves !repaired_count !unrepairable_count
 
 let version_ok t ~blob ~version = not (List.mem (blob, version) t.bad_sites)
 let pins t = t.pins
@@ -321,6 +357,7 @@ let stats t =
     repair_bytes = t.repair_bytes;
     quorum_failures = t.quorum_failures;
     unrepairable = t.unrepairable;
+    merkle_clean_versions = t.merkle_clean_versions;
   }
 
 let events t = List.rev t.events_rev

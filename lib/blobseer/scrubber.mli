@@ -32,10 +32,18 @@ type t
 type config = {
   interval : float;  (** seconds between background passes *)
   quorum : int option;  (** copies required to publish a repair; default majority *)
+  merkle_precheck : bool;
+      (** compare per-version Merkle roots (descriptor side vs. a
+          storage-health leaf function) before enumerating sites; a version
+          whose roots agree is verified healthy wholesale and skipped. A
+          per-pass memo verifies shadow-shared subtrees once per pass
+          rather than once per referencing version. Detection power is
+          unchanged — any unhealthy replica set poisons the storage root —
+          only the per-site walk on clean data is elided. *)
 }
 
 val default_config : config
-(** 5 s interval, majority quorum. *)
+(** 5 s interval, majority quorum, Merkle precheck on. *)
 
 type event =
   | Scan_started of { at : float; pass : int }
@@ -68,6 +76,9 @@ type stats = {
   repair_bytes : int;  (** bytes re-replicated (repair traffic) *)
   quorum_failures : int;
   unrepairable : int;
+  merkle_clean_versions : int;
+      (** versions skipped wholesale by the Merkle precheck (their occupied
+          leaves still count into [chunks_checked]) *)
 }
 
 val create : Client.t -> home:Net.host -> ?config:config -> unit -> t

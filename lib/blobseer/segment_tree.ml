@@ -1,7 +1,13 @@
 type 'a node =
-  | Empty of { espan : int }
-  | Leaf of { id : int; value : 'a }
-  | Branch of { id : int; span : int; left : 'a node; right : 'a node }
+  | Empty of { espan : int; mutable edig : int64 option }
+  | Leaf of { id : int; value : 'a; mutable mdig : int64 option }
+  | Branch of {
+      id : int;
+      span : int;
+      left : 'a node;
+      right : 'a node;
+      mutable mdig : int64 option;
+    }
 
 type 'a t = { chunks : int; root : 'a node }
 
@@ -12,7 +18,7 @@ let fresh_id () =
   !next_id
 
 let span = function
-  | Empty { espan } -> espan
+  | Empty { espan; _ } -> espan
   | Leaf _ -> 1
   | Branch { span; _ } -> span
 
@@ -24,7 +30,7 @@ let empty_node espan : 'a node =
   match Hashtbl.find_opt empty_table espan with
   | Some node -> (Obj.obj node : 'a node) (* lint: allow obj-magic — see above *)
   | None ->
-      let node = Empty { espan } in
+      let node = Empty { espan; edig = None } in
       (* lint: allow obj-magic — Empty carries no 'a, sharing is sound *)
       Hashtbl.add empty_table espan (Obj.repr node);
       node
@@ -62,11 +68,11 @@ let set_range t ~start leaves =
     let created = ref 0 in
     let alloc_leaf value =
       incr created;
-      Leaf { id = fresh_id (); value }
+      Leaf { id = fresh_id (); value; mdig = None }
     in
     let alloc_branch span left right =
       incr created;
-      Branch { id = fresh_id (); span; left; right }
+      Branch { id = fresh_id (); span; left; right; mdig = None }
     in
     (* [update node lo] rewrites the subtree covering [lo, lo + span node). *)
     let rec update node lo =
@@ -133,11 +139,114 @@ let shared_nodes a b =
 let terminal_spans t =
   let rec go node lo acc =
     match node with
-    | Empty { espan } -> (lo, espan, false) :: acc
+    | Empty { espan; _ } -> (lo, espan, false) :: acc
     | Leaf _ -> (lo, 1, true) :: acc
     | Branch { left; right; _ } -> go right (lo + span left) (go left lo acc)
   in
   List.rev (go t.root 0 [])
+
+(* ---- Incremental Merkle digests -------------------------------------- *)
+
+(* Finalizer in the murmur3/splitmix family: bijective on int64, spreads
+   low-entropy inputs (small leaf digests, spans) across the word. *)
+let mix h =
+  let h = Int64.mul (Int64.logxor h (Int64.shift_right_logical h 33)) 0xff51afd7ed558ccdL in
+  let h = Int64.mul (Int64.logxor h (Int64.shift_right_logical h 33)) 0xc4ceb9fe1a85ec53L in
+  Int64.logxor h (Int64.shift_right_logical h 33)
+
+(* Left/right asymmetric so sibling swaps change the root; the span is folded
+   in so trees of different extents never alias. *)
+let combine ~span l r =
+  mix
+    (Int64.add
+       (Int64.mul l 0x9e3779b97f4a7c15L)
+       (Int64.add (Int64.mul r 0xbf58476d1ce4e5b9L) (Int64.of_int span)))
+
+let leaf_mark = 0x1eafL
+let absent_leaf = mix 0x61626e74L
+
+let merkle_hashes = ref 0
+let merkle_reuses = ref 0
+let merkle_counters () = (!merkle_hashes, !merkle_reuses)
+
+(* Empty-subtree digests depend only on the extent (never on the leaf digest
+   function), so memoizing them on the canonical shared nodes is sound. *)
+let rec empty_digest espan =
+  match empty_node espan with
+  | Empty ({ edig = Some d; _ }) ->
+      incr merkle_reuses;
+      d
+  | Empty ({ edig = None; _ } as e) ->
+      let d =
+        if espan = 1 then absent_leaf
+        else
+          let sub = empty_digest (espan / 2) in
+          combine ~span:espan sub sub
+      in
+      incr merkle_hashes;
+      e.edig <- Some d;
+      d
+  | _ -> assert false
+
+let leaf_digest ~digest value = mix (Int64.add (digest value) leaf_mark)
+
+let merkle_digest ~digest t =
+  let rec go node =
+    match node with
+    | Empty { espan; _ } -> empty_digest espan
+    | Leaf ({ value; mdig; _ } as l) -> (
+        match mdig with
+        | Some d ->
+            incr merkle_reuses;
+            d
+        | None ->
+            incr merkle_hashes;
+            let d = leaf_digest ~digest value in
+            l.mdig <- Some d;
+            d)
+    | Branch ({ span; left; right; mdig; _ } as b) -> (
+        match mdig with
+        | Some d ->
+            incr merkle_reuses;
+            d
+        | None ->
+            let dl = go left in
+            let dr = go right in
+            incr merkle_hashes;
+            let d = combine ~span dl dr in
+            b.mdig <- Some d;
+            d)
+  in
+  go t.root
+
+let merkle_digest_with ~memo ~digest t =
+  let rec go node =
+    match node with
+    | Empty { espan; _ } -> empty_digest espan
+    | Leaf { id; value; _ } -> (
+        match Hashtbl.find_opt memo id with
+        | Some d ->
+            incr merkle_reuses;
+            d
+        | None ->
+            incr merkle_hashes;
+            let d = leaf_digest ~digest value in
+            Hashtbl.replace memo id d;
+            d)
+    | Branch { id; span; left; right; _ } -> (
+        match Hashtbl.find_opt memo id with
+        | Some d ->
+            incr merkle_reuses;
+            d
+        | None ->
+            let dl = go left in
+            let dr = go right in
+            incr merkle_hashes;
+            let d = combine ~span dl dr in
+            Hashtbl.replace memo id d;
+            d)
+  in
+  go t.root
 
 let diff_leaves a b =
   if a.chunks <> b.chunks then invalid_arg "Segment_tree.diff_leaves: shape mismatch";

@@ -55,3 +55,27 @@ val terminal_spans : 'a t -> (int * int * bool) list
 val diff_leaves : 'a t -> 'a t -> (int * 'a option * 'a option) list
 (** [(i, in_old, in_new)] for every leaf whose descriptor differs, cheap on
     shared subtrees (O(changed · log n)). *)
+
+val merkle_digest : digest:('a -> int64) -> 'a t -> int64
+(** Merkle root of the tree: leaves hash to [mix (digest value)], interior
+    nodes combine their children's digests with the node span. The digest is
+    memoized {e in the node} by physical identity, so shadow-shared subtrees
+    are hashed at most once across all versions that share them — successive
+    versions pay O(changed · log n), not O(n). Contract: a given tree family
+    (trees that may share nodes) must always be digested with the same
+    [digest] function; use {!merkle_digest_with} for state-dependent
+    functions. Versions agree on content iff their roots agree (64-bit
+    collisions aside). *)
+
+val merkle_digest_with :
+  memo:(int, int64) Hashtbl.t -> digest:('a -> int64) -> 'a t -> int64
+(** Same digest values as {!merkle_digest}, but memoized in the caller-held
+    [memo] (keyed by node id) instead of in the node — for digest functions
+    that depend on external state (e.g. storage health), where in-node
+    memoization would go stale. Reuse one [memo] per consistent snapshot of
+    that state and discard it afterwards. *)
+
+val merkle_counters : unit -> int * int
+(** [(hashes, reuses)]: monotonic counts of Merkle node digests computed
+    fresh vs served from a memo, across all trees since process start —
+    deltas measure the incremental-digest win. *)

@@ -34,6 +34,11 @@ type params = {
       (** consult the provider manager's content-addressed index before
           allocating placements: a digest hit reuses the existing replicas
           (zero data movement), a miss writes and registers the chunk *)
+  digest_cache : bool;
+      (** carry per-chunk content digests across commit epochs (mirror-side
+          clean-rewrite skips, descriptor-digest reuse for dirty-set hints);
+          off = every commit re-digests every chunk it ships, the pre-PR-9
+          behavior, kept as an ablation/bench knob *)
 }
 
 let default_params =
@@ -52,7 +57,16 @@ let default_params =
     retry_backoff_cap = 1.0;
     allow_degraded_writes = true;
     dedup = true;
+    digest_cache = true;
   }
+
+(* Merkle leaf input of a descriptor: the logical content (digest, size)
+   only. Serial and replica placement are deliberately excluded so that
+   descriptors minted independently for identical content — dedup
+   references, scrub-repaired replicas, geo-replicated copies on another
+   site's providers — agree, making Merkle roots compare logical content
+   across versions, sites and repairs. *)
+let desc_content_digest d = Int64.add (Int64.mul d.digest 0x100000001B3L) (Int64.of_int d.size)
 
 exception Provider_down of string
 (** Raised when an operation needs a data provider whose machine failed and

@@ -34,11 +34,25 @@ type params = {
       (** consult the provider manager's content-addressed index before
           allocating placements: a digest hit reuses the existing replicas
           (zero data movement), a miss writes and registers the chunk *)
+  digest_cache : bool;
+      (** carry per-chunk content digests across commit epochs (mirror-side
+          clean-rewrite skips, descriptor-digest reuse for dirty-set hints);
+          off = every commit re-digests every chunk it ships, the pre-PR-9
+          behavior, kept as an ablation/bench knob *)
 }
 
 val default_params : params
 (** 256 KiB stripes, replication 1, window 8, strict placement, dedup
     on — overridden per experiment by the calibration layer. *)
+
+val desc_content_digest : chunk_desc -> int64
+(** Merkle leaf input of a descriptor: a hash of its logical content
+    (digest, size) only — serial and replica placement excluded, so
+    descriptors minted independently for identical content (dedup
+    references, scrub repairs, geo-replicated copies) agree. The one leaf
+    function every descriptor-tree Merkle user must share (see
+    {!Segment_tree.merkle_digest}'s one-function-per-tree-family
+    contract). *)
 
 exception Provider_down of string
 (** Raised when an operation needs a data provider whose machine failed and

@@ -46,7 +46,7 @@ let final_subdomain_digests sup =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let chaos_run (scale : Scale.t) ?script ?(replication = 2)
-    ?(scrub = { Blobseer.Scrubber.interval = 4.0; quorum = None }) ?(gang = 2) ?(units = 12)
+    ?(scrub = { Blobseer.Scrubber.default_config with interval = 4.0 }) ?(gang = 2) ?(units = 12)
     () =
   let cal =
     {
@@ -131,7 +131,7 @@ let run_point (scale : Scale.t) ?(progress = fun _ -> ()) ~corrupt_weight ~repli
   in
   let chaos =
     chaos_run scale ~script:profile ~replication
-      ~scrub:{ Blobseer.Scrubber.interval = scrub_interval; quorum = None }
+      ~scrub:{ Blobseer.Scrubber.default_config with interval = scrub_interval }
       ~gang:scale.Scale.durability_gang ~units:scale.Scale.durability_units ()
   in
   let corruptions =

@@ -143,6 +143,19 @@ let all =
             (Dedup_bench.tables scale ~progress ()));
     };
     {
+      id = "digest";
+      paper_ref = "Beyond the paper (Section 3.1.3 commit path, digest tax)";
+      description =
+        "Bytes digested during COMMIT and over the whole epoch, commit latency and bytes \
+         shipped for full-region rewrites at varying dirty fractions, dedup on/off plus a \
+         digest-cache-off baseline";
+      run =
+        (fun scale ~progress ->
+          List.map
+            (fun (name, table) -> { name; table })
+            (Digest_bench.tables scale ~progress ()));
+    };
+    {
       id = "chains";
       paper_ref = "Beyond the paper (Section 3.1.2 versioning, maintenance plane)";
       description =

@@ -35,7 +35,9 @@ val sub : t -> pos:int -> len:int -> t
     underlying data. *)
 
 val concat : t list -> t
-(** Concatenation; flattens nested concatenations. *)
+(** Concatenation; flattens nested concatenations. When exactly one
+    non-empty payload is given, it is returned unchanged, so its memoized
+    digest survives reassembly. *)
 
 val equal : t -> t -> bool
 (** Structural fast path (identical descriptors), falling back to
@@ -52,6 +54,15 @@ val digest : t -> int64
     payload's digest is additionally memoized per value, so repeated
     digests of the same payload (verified reads, commit-path dedup
     lookups) are O(1) after the first. *)
+
+val hashed_bytes : unit -> int
+(** Monotonic count of bytes a real implementation would have fed through
+    the hash since process start. Per-payload memo hits cost nothing (a
+    value carrying its digest models reuse an implementation can actually
+    perform); internal cross-payload segment caches are simulator
+    shortcuts and still count; [Zero] runs (O(log n) math) stay free. The
+    delta across an operation measures real digest work regardless of
+    payload representation. *)
 
 val pp : Format.formatter -> t -> unit
 (** Structural summary, e.g. ["pattern(seed=3,len=1024)"]. *)

@@ -16,6 +16,16 @@ type t = {
   local : Sparse_bytes.t; (* chunk cache + COW diffs, chunk-addressed *)
   present : (int, unit) Hashtbl.t; (* chunk locally available *)
   dirty : (int, unit) Hashtbl.t; (* modified since last commit *)
+  (* Digest of each present chunk's current local content, carried across
+     commit epochs (DESIGN.md §16). Invariants: keys ⊆ present, and every
+     entry equals the digest of the chunk's bytes in [local] — audited at
+     teardown. Entries are dropped on partial-chunk COW writes (the new
+     digest would cost a read-modify-digest) and re-seeded from fetches,
+     full-chunk writes and published descriptors. *)
+  digests : (int, int64) Hashtbl.t;
+  use_cache : bool; (* params.digest_cache: carry digests across epochs *)
+  mutable skip_chunks : int; (* clean rewrites absorbed at the device ... *)
+  mutable skip_bytes : int; (* ... since the last commit *)
   mutable ckpt : Client.blob option;
   mutable reserved : int; (* local-disk bytes held *)
   mutable last_stats : Client.write_stats; (* most recent commit *)
@@ -44,6 +54,10 @@ let create engine ~host ~local_disk ~base ~base_version ?prefetch ~name () =
     local = Sparse_bytes.create ~block_size:chunk_size ();
     present = Hashtbl.create 256;
     dirty = Hashtbl.create 64;
+    digests = Hashtbl.create 256;
+    use_cache = (Client.params (Client.service base)).Types.digest_cache;
+    skip_chunks = 0;
+    skip_bytes = 0;
     ckpt = None;
     reserved = 0;
     last_stats = Client.empty_write_stats;
@@ -71,6 +85,16 @@ let present_view t = sorted_keys t.present
 let dirty_view t = sorted_keys t.dirty
 let unsafe_mark_dirty t ~chunk = Hashtbl.replace t.dirty chunk ()
 
+let digest_view t =
+  (* lint: allow hashtbl-order — sorted below *)
+  Hashtbl.fold (fun i d acc -> (i, d) :: acc) t.digests []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let peek_chunk_payload t ~chunk =
+  Sparse_bytes.read t.local ~offset:(chunk * t.chunk_size) ~len:(chunk_extent t chunk)
+
+let unsafe_poke_digest t ~chunk digest = Hashtbl.replace t.digests chunk digest
+
 let local_stream t = Net.host_id t.host
 
 let reserve_local t bytes =
@@ -84,6 +108,7 @@ let drop_local_state t =
   Obs.Metrics.set m_local_bytes 0;
   Hashtbl.reset t.present;
   Hashtbl.reset t.dirty;
+  Hashtbl.reset t.digests;
   Sparse_bytes.clear t.local
 
 (* Bring chunk [index] into the local cache, lazily. The fetch is coalesced
@@ -111,7 +136,10 @@ let ensure_present t index =
     Disk.write t.local_disk ~stream:(local_stream t) extent;
     Disk.free t.local_disk extent;
     Sparse_bytes.write t.local ~offset:(index * t.chunk_size) payload;
-    Hashtbl.replace t.present index ()
+    Hashtbl.replace t.present index ();
+    (* Seed the digest cache: the read already verified this digest against
+       the descriptor, so it is memoized on the payload — no extra work. *)
+    if t.use_cache then Hashtbl.replace t.digests index (Payload.digest payload)
   end
 
 let check_range t offset len =
@@ -137,23 +165,51 @@ let write t ~offset payload =
   if len > 0 then begin
     let cs = t.chunk_size in
     let first = offset / cs and last = (offset + len - 1) / cs in
-    for index = first to last do
-      let cstart = index * cs in
-      let covers_whole =
-        offset <= cstart && offset + len >= cstart + chunk_extent t index
-      in
-      (* A partial write to a chunk we do not hold needs its old content
-         (copy-on-write); a full overwrite does not. *)
-      if not covers_whole then ensure_present t index
-      else if not (Hashtbl.mem t.present index) then begin
-        reserve_local t (chunk_extent t index);
-        Hashtbl.replace t.present index ()
-      end;
-      Hashtbl.replace t.dirty index ()
-    done;
+    (* The device write is charged for the full request regardless of what
+       the digest cache absorbs below: the guest cannot know the content was
+       unchanged, so the local-disk cost is real either way. *)
     Disk.write t.local_disk ~stream:(local_stream t) len;
     Disk.free t.local_disk len;
-    Sparse_bytes.write t.local ~offset payload
+    for index = first to last do
+      let cstart = index * cs in
+      let extent = chunk_extent t index in
+      let wstart = max cstart offset and wend = min (cstart + extent) (offset + len) in
+      let slice = Payload.sub payload ~pos:(wstart - offset) ~len:(wend - wstart) in
+      let covers_whole = wstart = cstart && wend = cstart + extent in
+      if covers_whole && t.use_cache then begin
+        let d = Payload.digest slice in
+        match Hashtbl.find_opt t.digests index with
+        | Some cached when cached = d && Hashtbl.mem t.present index ->
+            (* Clean rewrite absorbed at the device: the chunk already holds
+               exactly these bytes, so it stays out of the dirty set and the
+               next commit never reads, digests or ships it. *)
+            t.skip_chunks <- t.skip_chunks + 1;
+            t.skip_bytes <- t.skip_bytes + extent;
+            Client.note_digest_skipped (Client.service t.base) ~chunks:1 ~bytes:extent
+        | _ ->
+            if not (Hashtbl.mem t.present index) then begin
+              reserve_local t extent;
+              Hashtbl.replace t.present index ()
+            end;
+            Hashtbl.replace t.dirty index ();
+            Hashtbl.replace t.digests index d;
+            Sparse_bytes.write t.local ~offset:wstart slice
+      end
+      else begin
+        (* A partial write to a chunk we do not hold needs its old content
+           (copy-on-write); a full overwrite does not. *)
+        if not covers_whole then ensure_present t index
+        else if not (Hashtbl.mem t.present index) then begin
+          reserve_local t extent;
+          Hashtbl.replace t.present index ()
+        end;
+        Hashtbl.replace t.dirty index ();
+        (* The chunk's new digest would cost a read-modify-digest here;
+           invalidate instead — the commit path re-digests it once. *)
+        if not covers_whole then Hashtbl.remove t.digests index;
+        Sparse_bytes.write t.local ~offset:wstart slice
+      end
+    done
   end
 
 let device t =
@@ -166,7 +222,11 @@ let device t =
 
 let taint_all t =
   (* lint: allow hashtbl-order — independent per-key marking *)
-  Hashtbl.iter (fun index () -> Hashtbl.replace t.dirty index ()) t.present
+  Hashtbl.iter (fun index () -> Hashtbl.replace t.dirty index ()) t.present;
+  (* The ablation baseline must pay the full re-digest + re-ship cost:
+     carried digests would let the commit path suppress everything from
+     cache hits, quietly turning the baseline incremental again. *)
+  Hashtbl.reset t.digests
 
 let clone t =
   match t.ckpt with
@@ -199,7 +259,46 @@ let commit t =
             Sparse_bytes.read t.local ~offset:(index * t.chunk_size) ~len:extent ))
       indices
   in
-  let version, stats = Client.write_chunks ckpt ~from:t.host ~suppress_clean:true jobs in
+  (* Carried digests become hints: the client suppresses clean rewrites and
+     resolves dedup from them without running the thunk — a hinted chunk
+     that doesn't ship never touches the local disk either. *)
+  let hints =
+    if not t.use_cache then []
+    else
+      List.filter_map
+        (fun index ->
+          Option.map (fun d -> (index, d)) (Hashtbl.find_opt t.digests index))
+        indices
+  in
+  let version, stats = Client.write_chunks ckpt ~from:t.host ~suppress_clean:true ~hints jobs in
+  (* Fold the write-time clean skips into the commit accounting: a rewrite
+     absorbed at the device is the same event the digest path would have
+     suppressed, observed earlier. *)
+  let stats =
+    if t.skip_chunks = 0 then stats
+    else
+      {
+        stats with
+        Client.chunks_total = stats.Client.chunks_total + t.skip_chunks;
+        chunks_suppressed = stats.Client.chunks_suppressed + t.skip_chunks;
+        bytes_suppressed = stats.Client.bytes_suppressed + t.skip_bytes;
+      }
+  in
+  t.skip_chunks <- 0;
+  t.skip_bytes <- 0;
+  (* Re-seed invalidated entries (partial-chunk COW writes) from the
+     descriptors this commit just minted — a free metadata peek, so the
+     next epoch's hints cover them again. *)
+  if t.use_cache then begin
+    let tree = Client.tree ckpt ~version in
+    List.iter
+      (fun index ->
+        if not (Hashtbl.mem t.digests index) then
+          match Segment_tree.get tree index with
+          | Some (d : Types.chunk_desc) -> Hashtbl.replace t.digests index d.digest
+          | None -> ())
+      indices
+  end;
   t.last_stats <- stats;
   t.total_stats <- Client.add_write_stats t.total_stats stats;
   Trace.emit t.engine ~component:t.mname

@@ -120,3 +120,18 @@ val dirty_view : t -> int list
 val unsafe_mark_dirty : t -> chunk:int -> unit
 (** Mark a chunk dirty without caching it — breaks the COW invariant.
     Test-only: used to verify the auditor catches corruption. *)
+
+val digest_view : t -> (int * int64) list
+(** The carried digest cache [(chunk, digest)], ascending by chunk. The
+    invariants are keys ⊆ {!present_view} and every entry equal to the
+    digest of the chunk's current local bytes — [Analysis.Invariants]
+    samples exactly that at teardown (the digest-cache coherence audit).
+    Empty when [params.digest_cache] is off. *)
+
+val peek_chunk_payload : t -> chunk:int -> Payload.t
+(** A chunk's current local bytes, free of simulated cost — the coherence
+    audit's ground truth for recomputing cached digests. *)
+
+val unsafe_poke_digest : t -> chunk:int -> int64 -> unit
+(** Corrupt a digest-cache entry — breaks the coherence invariant.
+    Test-only: used to verify the auditor catches it. *)

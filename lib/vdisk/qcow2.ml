@@ -36,6 +36,11 @@ type t = {
   data : (int, Payload.t) Hashtbl.t; (* physical cluster -> content *)
   mutable table : (int, int) Hashtbl.t; (* guest cluster -> physical *)
   refcounts : (int, int) Hashtbl.t; (* physical -> table references *)
+  (* Padded-content digest of each locally allocated guest cluster,
+     invalidated on writes and refilled lazily by exports — so per-export
+     digest work is proportional to clusters written since the last
+     export, not to allocated image size. *)
+  gdigests : (int, int64) Hashtbl.t;
   mutable snapshots : (string * snapshot) list; (* newest first *)
   mutable next_phys : int;
   mutable snapshot_meta_bytes : int; (* stored tables + vm states *)
@@ -73,6 +78,7 @@ let create engine ~host ~local_disk ?(cluster_size = default_cluster_size) ~capa
       data = Hashtbl.create 256;
       table = Hashtbl.create 256;
       refcounts = Hashtbl.create 256;
+      gdigests = Hashtbl.create 256;
       snapshots = [];
       next_phys = 0;
       snapshot_meta_bytes = 0;
@@ -98,6 +104,7 @@ let drop_local t =
   Hashtbl.reset t.data;
   Hashtbl.reset t.table;
   Hashtbl.reset t.refcounts;
+  Hashtbl.reset t.gdigests;
   t.snapshots <- []
 
 let local_stream t = Net.host_id t.host
@@ -174,6 +181,7 @@ let refs t phys = Option.value ~default:0 (Hashtbl.find_opt t.refcounts phys)
 let write_cluster t index content =
   let extent = cluster_extent t index in
   assert (Payload.length content = extent);
+  Hashtbl.remove t.gdigests index;
   match local_cluster t index with
   | Some phys when refs t phys <= 1 ->
       (* Sole reference: overwrite in place. *)
@@ -282,6 +290,23 @@ let pad_cluster t p =
   if Payload.length p = t.qcluster_size then p
   else Payload.concat [ p; Payload.zero (t.qcluster_size - Payload.length p) ]
 
+let m_digest_fresh = Obs.Metrics.counter ~component:"qcow2" ~name:"digest_clusters_digested"
+let m_digest_cached = Obs.Metrics.counter ~component:"qcow2" ~name:"digest_clusters_cached"
+
+(* Padded-content digest of guest cluster [guest] (mapped to [phys]),
+   served from the carried cache when the cluster hasn't been written since
+   it was last digested. *)
+let guest_digest t guest phys =
+  match Hashtbl.find_opt t.gdigests guest with
+  | Some d ->
+      Obs.Metrics.incr m_digest_cached;
+      d
+  | None ->
+      let d = Payload.digest (pad_cluster t (Hashtbl.find t.data phys)) in
+      Obs.Metrics.incr m_digest_fresh;
+      Hashtbl.replace t.gdigests guest d;
+      d
+
 (* Effective guest-cluster digests of the image as exported: the backing
    chain's digests overlaid with the digests of every locally allocated
    cluster. Digests are always of the cluster-size-padded content, so a
@@ -294,8 +319,7 @@ let effective_digests t =
   in
   (* lint: allow hashtbl-order — independent per-key replaces *)
   Hashtbl.iter
-    (fun guest phys ->
-      Hashtbl.replace digests guest (Payload.digest (pad_cluster t (Hashtbl.find t.data phys))))
+    (fun guest phys -> Hashtbl.replace digests guest (guest_digest t guest phys))
     t.table;
   digests
 
@@ -404,9 +428,8 @@ let export_incremental t fs ~from ~path ~base =
     (* lint: allow hashtbl-order — result sorted by guest index below *)
     Hashtbl.fold
       (fun guest phys acc ->
-        let content = pad_cluster t (Hashtbl.find t.data phys) in
-        if Hashtbl.find_opt base.rdigests guest = Some (Payload.digest content) then acc
-        else (guest, content) :: acc)
+        if Hashtbl.find_opt base.rdigests guest = Some (guest_digest t guest phys) then acc
+        else (guest, pad_cluster t (Hashtbl.find t.data phys)) :: acc)
       t.table []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in

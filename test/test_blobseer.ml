@@ -931,7 +931,7 @@ let test_scrubber_quorum_failure_defers_repair () =
       Data_provider.fail (Client.data_provider rig.service 0);
       let scrub =
         Scrubber.create rig.service ~home:rig.client_host
-          ~config:{ Scrubber.interval = 5.0; quorum = Some 3 } ()
+          ~config:{ Scrubber.default_config with Scrubber.quorum = Some 3 } ()
       in
       Scrubber.scan scrub;
       let stats = Scrubber.stats scrub in

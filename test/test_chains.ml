@@ -98,9 +98,10 @@ let run_rig rig f =
 (* 300-byte payload of three distinct 100-byte chunks, unique per tag. *)
 let content tag = String.concat "" (List.init 3 (fun i -> String.make 100 (Char.chr (tag + i))))
 
-let make_compactor rig ~keep =
+let make_compactor ?(deep = false) rig ~keep =
   Compactor.create rig.service ~home:rig.client_host
-    ~config:{ Compactor.default_config with policy = Retention.Keep_last keep }
+    ~config:
+      { Compactor.default_config with policy = Retention.Keep_last keep; deep_verify = deep }
     ()
 
 (* A blob with [writes] full-image rewrites of pairwise distinct content:
@@ -170,6 +171,38 @@ let test_retire_while_pinned_refuses () =
       (* Unpin: the next pass retires it. *)
       ())
 
+let test_merkle_flatten_skips_reads () =
+  (* The default flatten verifies the boundary version with one
+     subtree-digest compare plus provider-local replica checks — no remote
+     verify-reads of cold data; [deep_verify] restores the full-read
+     behavior for drills that need the data path exercised. *)
+  let flatten_stats deep =
+    let rig = make_rig () in
+    run_rig rig (fun () ->
+        let blob = seeded_blob rig ~writes:4 in
+        let c = make_compactor ~deep rig ~keep:2 in
+        Compactor.scan c;
+        let s = Compactor.stats c in
+        (blob, c, s))
+  in
+  let _, c, s = flatten_stats false in
+  Alcotest.(check bool) "cold chunks verified" true (s.Compactor.chunks_verified > 0);
+  Alcotest.(check int) "no remote verify-reads" 0 s.Compactor.flatten_bytes_read;
+  Alcotest.(check bool) "verified provider-locally" true
+    (s.Compactor.flatten_bytes_local > 0);
+  Alcotest.(check bool) "boundary root compare clean" true
+    (s.Compactor.merkle_clean_bounds > 0);
+  (match Compactor.boundary_roots c with
+  | [] -> Alcotest.fail "no boundary root recorded"
+  | (blob_id, version, root) :: _ ->
+      Alcotest.(check bool) "root recorded for boundary" true
+        (blob_id >= 0 && version > 0 && root <> 0L));
+  let _, _, deep = flatten_stats true in
+  Alcotest.(check bool) "deep_verify reads cold data" true
+    (deep.Compactor.flatten_bytes_read > 0);
+  Alcotest.(check int) "deep_verify skips the merkle compare" 0
+    deep.Compactor.merkle_clean_bounds
+
 let expect_crash name f =
   match f () with
   | () -> Alcotest.failf "%s: expected Service_crashed" name
@@ -228,7 +261,7 @@ let test_transient_reads_absorbed () =
   let rig = make_rig () in
   run_rig rig (fun () ->
       let blob = seeded_blob rig ~writes:4 in
-      let c = make_compactor rig ~keep:2 in
+      let c = make_compactor ~deep:true rig ~keep:2 in
       (* One transient per provider disk: the provider-side disk retries
          absorb it and the pass completes without aborting anything. *)
       List.iter (fun disk -> Disk.inject_transient disk ~ops:1) rig.disks;
@@ -241,7 +274,7 @@ let test_transient_exhaustion_aborts_then_retries () =
   let rig = make_rig () in
   run_rig rig (fun () ->
       let blob = seeded_blob rig ~writes:4 in
-      let c = make_compactor rig ~keep:2 in
+      let c = make_compactor ~deep:true rig ~keep:2 in
       (* 16 armed transients exhaust one chunk read's full retry budget:
          4 client failover rounds x 4 provider disk attempts. The flatten
          verify-read fails, the transaction aborts (intent rolled back,
@@ -281,7 +314,7 @@ let test_retention_races_clone () =
   let from = rig.client_host in
   run_rig rig (fun () ->
       let blob = seeded_blob rig ~writes:4 in
-      let c = make_compactor rig ~keep:2 in
+      let c = make_compactor ~deep:true rig ~keep:2 in
       let cloned = ref None in
       (* A concurrent CLONE of a version the policy retires, landing while
          the pass is mid-flight (the flatten reads pass simulated time). *)
@@ -473,6 +506,8 @@ let () =
             test_compaction_end_to_end;
           Alcotest.test_case "retire while pinned refuses" `Quick
             test_retire_while_pinned_refuses;
+          Alcotest.test_case "merkle flatten skips remote reads" `Quick
+            test_merkle_flatten_skips_reads;
           Alcotest.test_case "crash before flatten rolls back" `Quick
             test_crash_before_flatten_rolls_back;
           Alcotest.test_case "crash mid retire rolls forward" `Quick
