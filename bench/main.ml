@@ -107,6 +107,33 @@ let run_digest scale scale_name csv_dir =
   (* lint: allow wall-clock — bench measures real elapsed time *)
   Printf.printf "(experiment wall time: %.1fs)\n\n%!" (Unix.gettimeofday () -. t0)
 
+(* The precopy experiment persists its raw points as BENCH_precopy.json
+   at the repo root: guest-observed suspend window, checkpoint latency,
+   shipped/COW bytes and achieved writer throughput for stop-the-world vs
+   live (pre-copy + background commit) checkpoints. *)
+let run_precopy scale scale_name csv_dir =
+  let e = Option.get (Experiments.Registry.find "precopy") in
+  Printf.printf "### %s — %s\n    %s\n\n%!" e.Experiments.Registry.id
+    e.Experiments.Registry.paper_ref e.Experiments.Registry.description;
+  let t0 = Unix.gettimeofday () in (* lint: allow wall-clock — bench measures real elapsed time *)
+  let points = Experiments.Precopy.run scale ~progress () in
+  List.iter
+    (fun (name, table) ->
+      print_string (Stats.render table);
+      print_newline ();
+      match csv_dir with
+      | Some dir ->
+          let path = Stats.write_csv ~dir ~name table in
+          Printf.printf "(csv written to %s)\n\n%!" path
+      | None -> ())
+    (Experiments.Precopy.tables_of points);
+  let oc = open_out "BENCH_precopy.json" in
+  output_string oc (Experiments.Precopy.json_of ~scale_name points);
+  close_out oc;
+  Printf.printf "(points written to BENCH_precopy.json)\n";
+  (* lint: allow wall-clock — bench measures real elapsed time *)
+  Printf.printf "(experiment wall time: %.1fs)\n\n%!" (Unix.gettimeofday () -. t0)
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the core data structures *)
 
@@ -229,6 +256,7 @@ let () =
   let run_one = function
     | "dedup" -> run_dedup scale scale_name csv_dir
     | "digest" -> run_digest scale scale_name csv_dir
+    | "precopy" -> run_precopy scale scale_name csv_dir
     | "micro" -> micro ()
     | id -> run_experiment scale csv_dir obs id
   in

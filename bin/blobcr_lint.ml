@@ -326,6 +326,8 @@ let scenario_term =
     & info [ "scenario" ] ~docv:"NAME"
         ~doc:
           "$(b,chaos) (the durability chaos harness under MTBF fault scripts), \
+           $(b,precopy) (the chaos harness with the live pre-copy + \
+           background-commit checkpoint policy and crashes armed mid-COMMIT), \
            $(b,dr) (a site disaster with standby promotion at a fuzzed crash time \
            and window), $(b,chains) (the snapshot-chain compactor under compaction \
            crash points, service crashes and transient disk errors, checked against \
@@ -360,7 +362,8 @@ let write_fuzz_artifact scenario_name report =
 let run_fuzz (_, scale) scenario_name rounds master_seed replay_seed verbose =
   match Schedule_fuzz.find_scenario scenario_name with
   | None ->
-      Fmt.epr "unknown scenario %S (expected chaos, dr, chains or exp:<id>)@." scenario_name;
+      Fmt.epr "unknown scenario %S (expected chaos, precopy, dr, chains or exp:<id>)@."
+        scenario_name;
       2
   | Some scenario -> (
       match replay_seed with
@@ -436,8 +439,12 @@ let run_all root seed =
     stage "fuzz-chains" (fun () ->
         run_fuzz ("quick", Experiments.Scale.quick) "chains" 5 seed None false)
   in
+  let precopy_fuzz =
+    stage "fuzz-precopy" (fun () ->
+        run_fuzz ("quick", Experiments.Scale.quick) "precopy" 5 seed None false)
+  in
   if lint = 0 && docs = 0 && inv = 0 && det = 0 && dur = 0 && fuzz = 0 && dr_fuzz = 0
-     && chains_fuzz = 0
+     && chains_fuzz = 0 && precopy_fuzz = 0
   then begin
     Fmt.pr "--- all clean ---@.";
     0
@@ -450,7 +457,8 @@ let all_cmd =
        ~doc:
          "Run lint, docs, invariants, determinism (including the DR sweep's replay \
           check), durability and the bounded schedule-fuzz smoke passes (chaos, \
-          site-disaster and snapshot-chain scenarios); exit 0 when all clean.")
+          site-disaster, snapshot-chain and live-checkpoint scenarios); exit 0 when \
+          all clean.")
     Term.(const run_all $ root_term $ seed_term)
 
 let () =

@@ -209,7 +209,63 @@ let audit_mirror m =
                  (v subject "digest-cache-coherent"
                     "chunk %d cached digest %Lx, current bytes digest %Lx" chunk cached fresh))
   in
-  dirty @ subset @ coherent
+  (* Frozen-epoch liveness (live checkpointing, DESIGN.md §17): every
+     frozen-pending chunk must still be locally present, the diff log may
+     only hold chunks of the pending set, and digests captured at freeze
+     time must describe the frozen bytes — on both forks of the clone
+     boundary (diff log and live store). A teardown with a frozen epoch
+     still active means a background commit was neither finished nor
+     rolled back. *)
+  let frozen =
+    if not (Mirror.frozen_active m) then []
+    else begin
+      let pending = Mirror.frozen_pending_view m in
+      let leaked =
+        [ v subject "frozen-resolved" "frozen epoch with %d chunk(s) never committed or aborted"
+            (List.length pending) ]
+      in
+      let pend_present =
+        List.filter_map
+          (fun chunk ->
+            if List.mem chunk present then None
+            else
+              Some
+                (v subject "frozen-subset-present"
+                   "chunk %d frozen-pending but not locally present" chunk))
+          pending
+      in
+      let copied_pending =
+        List.filter_map
+          (fun chunk ->
+            if List.mem chunk pending then None
+            else
+              Some
+                (v subject "copied-subset-frozen"
+                   "chunk %d in the frozen diff log but not frozen-pending" chunk))
+          (Mirror.frozen_copied_view m)
+      in
+      let fcache = Mirror.frozen_digest_view m in
+      let fstride = max 1 (List.length fcache / 64) in
+      let fcoherent =
+        List.filteri (fun i _ -> i mod fstride = 0) fcache
+        |> List.filter_map (fun (chunk, cached) ->
+               if not (List.mem chunk pending) then
+                 Some
+                   (v subject "frozen-digest-subset"
+                      "chunk %d frozen-digest-cached but not frozen-pending" chunk)
+               else
+                 let fresh = Payload.digest (Mirror.peek_frozen_payload m ~chunk) in
+                 if fresh = cached then None
+                 else
+                   Some
+                     (v subject "frozen-digest-coherent"
+                        "chunk %d frozen digest %Lx, frozen bytes digest %Lx" chunk cached
+                        fresh))
+      in
+      leaked @ pend_present @ copied_pending @ fcoherent
+    end
+  in
+  dirty @ subset @ coherent @ frozen
 
 (* ------------------------------------------------------------------ *)
 (* Deployment durability audit: replicas of a chunk must sit on pairwise

@@ -155,6 +155,82 @@ let chaos =
             { results = render_chaos c; trace; violations })
   }
 
+(* The precopy scenario: the chaos harness again, but with the live
+   (pre-copy + background commit) checkpoint policy — and a fault script
+   that always arms at least one mid-COMMIT version-manager crash, so
+   crashes land while frozen deltas ship in the background. The abort path
+   must fold the frozen epoch back into the dirty set and the supervisor
+   must roll back to the last *fully committed* snapshot set; the frozen
+   clone/diff-log liveness invariants audit the mirrors at teardown. The
+   result surface is the same outcome-only one as [chaos]. *)
+let precopy_script (scale : Experiments.Scale.t) ~fault_seed cluster =
+  let rng = Rng.create fault_seed in
+  let horizon =
+    (float_of_int scale.Experiments.Scale.durability_units
+    *. scale.Experiments.Scale.cm1_config.Workloads.Cm1.compute_per_iteration *. 3.0)
+    +. 60.0
+  in
+  let nodes = Blobcr.Cluster.node_count cluster in
+  (* Gentler background pressure than [chaos_script]: the point here is
+     crashes landing mid-commit, not host-crash attrition — a profile harsh
+     enough to abandon the gang leaves it mid-recovery at the horizon,
+     where scrub counters legitimately depend on which replicas happen to
+     be offline at scan time. *)
+  let profile =
+    Faults.of_profile ~rng
+      ~mtbf:(scale.Experiments.Scale.durability_mtbf *. 4.0)
+      ~horizon ~hosts:nodes ~providers:nodes ~weights:(1, 1, 2, 0) ()
+  in
+  let commit_crashes =
+    List.init
+      (1 + Rng.int rng 2)
+      (fun _ ->
+        {
+          Faults.at = Rng.float rng horizon;
+          action = Faults.Crash_commit { point = (if Rng.bool rng then 1 else 0) };
+        })
+  in
+  List.stable_sort
+    (fun (a : Faults.event) b -> Float.compare a.Faults.at b.Faults.at)
+    (profile @ commit_crashes)
+
+let precopy =
+  {
+    sname = "precopy";
+    srun =
+      (fun scale ~schedule ~fault_seed ->
+        let scale = { scale with Experiments.Scale.schedule } in
+        let policy =
+          {
+            Blobcr.Supervisor.default_policy with
+            Blobcr.Supervisor.ckpt_mode =
+              Blobcr.Approach.Live { rounds = 2; background = true };
+          }
+        in
+        let result = ref None in
+        let (), trace =
+          Trace.capture (fun () ->
+              match
+                Experiments.Durability.chaos_run scale
+                  ~script:(precopy_script scale ~fault_seed)
+                  ~gang:scale.Experiments.Scale.durability_gang
+                  ~units:scale.Experiments.Scale.durability_units ~policy ()
+              with
+              | c -> result := Some (Ok c)
+              | exception e -> result := Some (Error e))
+        in
+        match Option.get !result with
+        | Error e -> outcome_of_exn trace e
+        | Ok c ->
+            let violations =
+              c.Experiments.Durability.audit
+              @ List.map
+                  (fun v -> Fmt.str "%a" Invariants.pp_violation v)
+                  (Invariants.audit_engine c.Experiments.Durability.engine)
+            in
+            { results = render_chaos c; trace; violations })
+  }
+
 (* The disaster-recovery scenario: a supervised gang on a two-site
    cluster, with the site crash time (and the replication window) drawn
    from the fault seed so different streams catch the pipeline in
@@ -312,6 +388,7 @@ let experiment exp =
 
 let find_scenario name =
   if name = "chaos" then Some chaos
+  else if name = "precopy" then Some precopy
   else if name = "dr" then Some dr
   else if name = "chains" then Some chains
   else

@@ -50,8 +50,8 @@ type outcome = {
 
 type scenario = {
   sname : string;
-      (** ["chaos"], ["dr"], ["chains"] or ["exp:<id>"] — appears in repro
-          commands *)
+      (** ["chaos"], ["precopy"], ["dr"], ["chains"] or ["exp:<id>"] —
+          appears in repro commands *)
   srun : Experiments.Scale.t -> schedule:Event_queue.schedule -> fault_seed:int -> outcome;
 }
 
@@ -66,6 +66,17 @@ val chaos : scenario
     shipped) are excluded because they legitimately vary with tie order.
     Violations come from the supervisor audit and the engine's full
     invariant battery. *)
+
+val precopy : scenario
+(** The chaos harness again, but supervised with the {e live} checkpoint
+    policy ([Approach.Live { rounds = 2; background = true }]) and a fault
+    script that always arms at least one version-manager crash mid-COMMIT
+    — so crashes land during pre-copy rounds and background ships. The
+    abort path must fold the frozen epoch back into the dirty set, the
+    supervisor must roll back to the last {e fully committed} snapshot
+    set, and the teardown audit checks frozen clone/diff-log liveness
+    (no leaked frozen epoch, pending/copied subset and digest coherence).
+    Result surface and violation sources are the same as {!chaos}. *)
 
 val dr : scenario
 (** The disaster-recovery harness ({!Experiments.Dr.dr_run}): a
@@ -96,8 +107,8 @@ val experiment : Experiments.Registry.t -> scenario
     stats tables. *)
 
 val find_scenario : string -> scenario option
-(** ["chaos"], ["dr"], ["chains"], or ["exp:<id>"] for any registry
-    experiment id. *)
+(** ["chaos"], ["precopy"], ["dr"], ["chains"], or ["exp:<id>"] for any
+    registry experiment id. *)
 
 (** {1 Findings} *)
 

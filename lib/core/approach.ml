@@ -10,6 +10,13 @@ let kind_name = function
   | Qcow2_disk -> "qcow2-disk"
   | Qcow2_full -> "qcow2-full"
 
+type mode = Stop_the_world | Live of { rounds : int; background : bool }
+
+let mode_name = function
+  | Stop_the_world -> "stop-the-world"
+  | Live { rounds; background } ->
+      Fmt.str "live(rounds=%d,%s)" rounds (if background then "bg" else "sync")
+
 type stack = Mirror_stack of Mirror.t | Qcow2_stack of Qcow2.t
 
 type instance = {
@@ -102,7 +109,83 @@ let deploy cluster kind ~node ~id =
 let snapshot_path inst = Fmt.str "/snapshots/%s/%d" inst.id inst.epoch
 let full_snapshot_path inst = Fmt.str "/snapshots/%s/full" inst.id
 
-let request_checkpoint (cluster : Cluster.t) inst =
+let m_precopy_rounds = Obs.Metrics.counter ~component:"ckpt" ~name:"precopy_rounds"
+let m_precopy_bytes = Obs.Metrics.counter ~component:"ckpt" ~name:"precopy_bytes"
+
+(* Pre-copy rounds run with the guest live, outside the proxy's retry
+   envelope, so transient disk errors are absorbed here. The frozen epoch
+   survives a failed [commit_frozen], so the retry ships the same instant.
+   The backoff sleep sits inside a span to keep phase tiling exact. *)
+let retry_transient engine ~label f =
+  let rec go n =
+    try f ()
+    with Faults.Injected_error what when n < 3 ->
+      Trace.emit engine ~component:label "transient fault (%s), retry %d/3" what (n + 1);
+      Obs.Span.with_ engine ~component:"approach" ~name:"ckpt.backoff" (fun () ->
+          Engine.sleep engine (0.02 *. float_of_int (1 lsl n)));
+      go (n + 1)
+  in
+  go 0
+
+(* The live (pre-copy + background commit) checkpoint cycle, DESIGN.md §17.
+   Any failure past a successful [freeze] rolls the frozen epoch back into
+   the live dirty set, so the last fully committed snapshot remains the
+   rollback target and no dirty data is lost. *)
+let live_checkpoint (cluster : Cluster.t) inst mirror ~rounds ~background =
+  let engine = cluster.engine in
+  let label = "approach." ^ inst.id in
+  let abort_unless_cancelled = function
+    | Engine.Cancelled -> ()
+    | _ -> Mirror.abort_frozen mirror
+  in
+  (* Pre-copy: ship the dirty set while the guest keeps running, up to
+     [rounds] rounds, stopping early once the set stops shrinking (the
+     guest is dirtying at least as fast as we ship). *)
+  let rec precopy r prev =
+    let dirty = Mirror.dirty_bytes mirror in
+    if r >= rounds || dirty = 0 || dirty >= prev then ()
+    else begin
+      Obs.Span.with_ engine ~component:"approach" ~name:"ckpt.precopy"
+        ~attrs:
+          [ ("round", Obs.Record.Int (r + 1)); ("dirty_bytes", Obs.Record.Bytes dirty) ]
+        (fun () ->
+          Mirror.freeze mirror;
+          retry_transient engine ~label (fun () ->
+              ignore (Mirror.commit_frozen ~label:"ckpt.precopy.commit" mirror)));
+      Obs.Metrics.incr m_precopy_rounds;
+      Obs.Metrics.add m_precopy_bytes (float_of_int dirty);
+      Trace.emit engine ~component:label "pre-copy round %d/%d shipped %d B live" (r + 1)
+        rounds dirty;
+      precopy (r + 1) dirty
+    end
+  in
+  (try precopy 0 max_int
+   with exn -> abort_unless_cancelled exn; raise exn);
+  (* Final delta: freeze under suspend, then ship it either before the
+     resume (suspend window proportional to last-round dirty bytes) or in
+     the background after it (suspend window is the freeze alone, which is
+     metadata-only). [suspended] may be retried by the proxy, hence the
+     [frozen_active] guard. *)
+  let version = ref None in
+  let suspended () =
+    if not (Mirror.frozen_active mirror) then Mirror.freeze mirror;
+    if not background then version := Some (Mirror.commit_frozen mirror)
+  in
+  let shipped () =
+    (match !version with
+    | Some _ -> ()
+    | None -> version := Some (Mirror.commit_frozen ~label:"ckpt.background" mirror));
+    let v = Option.get !version in
+    let s = Mirror.last_commit_stats mirror in
+    Trace.emit engine ~component:label
+      "live checkpoint %d (v%d): shipped %d B, dedup'd %d B, clean-suppressed %d B" inst.epoch
+      v s.Client.bytes_shipped s.Client.bytes_deduped s.Client.bytes_suppressed;
+    Blobcr_snapshot { image = Option.get (Mirror.checkpoint_image mirror); version = v }
+  in
+  try Ckpt_proxy.request_live_checkpoint inst.proxy ~vm:inst.vm ~suspended ~shipped
+  with exn -> abort_unless_cancelled exn; raise exn
+
+let request_checkpoint ?(mode = Stop_the_world) (cluster : Cluster.t) inst =
   let take () =
     match (inst.kind, inst.stack) with
     | Blobcr, Mirror_stack mirror ->
@@ -138,7 +221,15 @@ let request_checkpoint (cluster : Cluster.t) inst =
         Full_snapshot { remote; snapshot_name }
     | _ -> invalid_arg "Approach.request_checkpoint: stack mismatch"
   in
-  let snapshot = Ckpt_proxy.request_checkpoint inst.proxy ~vm:inst.vm ~snapshot:take in
+  let snapshot =
+    match (mode, inst.kind, inst.stack) with
+    | Live { rounds; background }, Blobcr, Mirror_stack mirror ->
+        live_checkpoint cluster inst mirror ~rounds ~background
+    | Live _, _, _ | Stop_the_world, _, _ ->
+        (* qcow2 stacks have no copy-on-write freeze primitive: a live
+           request falls back to the classic stop-the-world cycle. *)
+        Ckpt_proxy.request_checkpoint inst.proxy ~vm:inst.vm ~snapshot:take
+  in
   inst.epoch <- inst.epoch + 1;
   snapshot
 

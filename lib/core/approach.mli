@@ -23,6 +23,24 @@ type kind = Blobcr | Qcow2_disk | Qcow2_full
 val kind_name : kind -> string
 (** ["blobcr" | "qcow2-disk" | "qcow2-full"]. *)
 
+type mode =
+  | Stop_the_world
+      (** Classic BlobCR cycle: the VM stays suspended for the entire
+          CLONE+COMMIT (or image export). *)
+  | Live of { rounds : int; background : bool }
+      (** Live checkpointing (DESIGN.md §17): up to [rounds] pre-copy
+          rounds stream dirty chunks while the guest runs, then the final
+          delta is frozen copy-on-write under a (short) suspend. With
+          [background] the frozen delta ships after the resume, shrinking
+          the suspend window to the metadata-only freeze; without it the
+          final delta commits during the suspend (window proportional to
+          the last round's dirty bytes, not the image size). Only the
+          BlobCR stack supports this; qcow2 stacks fall back to
+          {!Stop_the_world}. *)
+
+val mode_name : mode -> string
+(** ["stop-the-world" | "live(rounds=k,bg|sync)"] (for traces and CSV). *)
+
 type stack = Mirror_stack of Mirror.t | Qcow2_stack of Qcow2.t
 
 type instance = {
@@ -44,9 +62,15 @@ val deploy : Cluster.t -> kind -> node:Cluster.node -> id:string -> instance
 (** Fresh instance from the base image: build the image stack, boot the
     guest, format its file system. Blocks through boot. *)
 
-val request_checkpoint : Cluster.t -> instance -> snapshot
+val request_checkpoint : ?mode:mode -> Cluster.t -> instance -> snapshot
 (** Ask the instance's local proxy for a disk (or full-VM) snapshot. The
-    guest must have dumped and synced its state beforehand. *)
+    guest must have dumped and synced its state beforehand. [mode]
+    (default {!Stop_the_world}) selects the live pre-copy + background
+    commit cycle for BlobCR instances; any failure after a freeze rolls
+    the frozen epoch back into the dirty set, so the last fully committed
+    snapshot remains the rollback target. Pre-copy activity is counted on
+    [ckpt.precopy_rounds] / [ckpt.precopy_bytes]; the stop-the-world
+    window lands on the [ckpt.suspend_seconds] histogram either way. *)
 
 val kill : instance -> unit
 (** Fail-stop the instance and release its node-local image state (the

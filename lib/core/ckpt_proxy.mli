@@ -23,7 +23,22 @@ val request_checkpoint : t -> vm:Vmsim.Vm.t -> snapshot:(unit -> 'a) -> 'a
 (** Full proxy cycle: authenticate, suspend, run [snapshot], resume.
     Charges the local request round-trip. Must be called from a fiber.
     Transient disk errors ({!Faults.Injected_error}) inside [snapshot]
-    are retried with exponential backoff while the VM stays suspended. *)
+    are retried with exponential backoff while the VM stays suspended.
+    The suspend-entry-to-resume-exit window is observed on the
+    [ckpt.suspend_seconds] histogram. *)
+
+val request_live_checkpoint :
+  t -> vm:Vmsim.Vm.t -> suspended:(unit -> unit) -> shipped:(unit -> 'a) -> 'a
+(** Live variant of {!request_checkpoint}: authenticate, suspend, run
+    [suspended] (freeze the dirty set — and, without background shipping,
+    commit the final delta), resume, then run [shipped] with the guest
+    already running (background commit of the frozen epoch). Only the
+    suspended part counts toward [ckpt.suspend_seconds]. Both closures get
+    the transient-retry treatment; a transient failure in [shipped]
+    retries against the intact frozen state, so the published snapshot
+    still describes the instant of the suspend. Failures in either closure
+    count as a failed request and propagate (the caller owns rolling the
+    frozen epoch back). *)
 
 val requests_served : t -> int
 (** Snapshot requests completed successfully. *)

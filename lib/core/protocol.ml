@@ -87,7 +87,8 @@ let staged stage f = try f () with exn -> raise (Staged (stage, exn))
 let finish partial =
   if partial.failed = [] then Ok (List.map snd partial.completed) else Error partial
 
-let global_checkpoint (cluster : Cluster.t) ~instances ~dump =
+let global_checkpoint ?(mode = Approach.Stop_the_world) (cluster : Cluster.t) ~instances
+    ~dump =
   let branch (inst : Approach.instance) () =
     Obs.Span.with_ cluster.engine ~component:"proto" ~name:"ckpt"
       ~attrs:[ ("instance", Obs.Record.Str inst.Approach.id) ]
@@ -97,7 +98,7 @@ let global_checkpoint (cluster : Cluster.t) ~instances ~dump =
             dump inst));
     staged "snapshot" (fun () ->
         Obs.Span.with_ cluster.engine ~component:"proto" ~name:"ckpt.snapshot" (fun () ->
-            Approach.request_checkpoint cluster inst))
+            Approach.request_checkpoint ~mode cluster inst))
   in
   finish
     (run_branches cluster.engine ~name:"global-checkpoint"
@@ -125,8 +126,8 @@ let global_restart (cluster : Cluster.t) ~plan ~restore =
 let errors_summary failed =
   String.concat "; " (List.map (fun e -> Fmt.str "%a" pp_branch_error e) failed)
 
-let global_checkpoint_exn cluster ~instances ~dump =
-  match global_checkpoint cluster ~instances ~dump with
+let global_checkpoint_exn ?mode cluster ~instances ~dump =
+  match global_checkpoint ?mode cluster ~instances ~dump with
   | Ok snapshots -> snapshots
   | Error { failed; _ } ->
       raise (Partial_failure ("global checkpoint: " ^ errors_summary failed))

@@ -57,6 +57,7 @@ val pp_error_class : Format.formatter -> error_class -> unit
 (** Lowercase tag, e.g. ["transient"]. *)
 
 val global_checkpoint :
+  ?mode:Approach.mode ->
   Cluster.t ->
   instances:Approach.instance list ->
   dump:(Approach.instance -> unit) ->
@@ -64,7 +65,12 @@ val global_checkpoint :
 (** [Ok snapshots] in instance order when every branch succeeded,
     [Error partial] otherwise. Blocks until every branch finished (or
     failed); a branch stranded on a collective blocks the call — run it
-    in a cancellable fiber when failures are expected. *)
+    in a cancellable fiber when failures are expected. [mode] (default
+    {!Approach.Stop_the_world}) selects the live checkpoint cycle per
+    instance; either way [Ok] is returned only once every snapshot —
+    including background-shipped frozen deltas — is fully committed, so a
+    failure mid-background-commit leaves the previous snapshot set
+    authoritative. *)
 
 val global_restart :
   Cluster.t ->
@@ -76,6 +82,7 @@ val global_restart :
     (empty for qcow2-full resumes, which carry state in RAM). *)
 
 val global_checkpoint_exn :
+  ?mode:Approach.mode ->
   Cluster.t ->
   instances:Approach.instance list ->
   dump:(Approach.instance -> unit) ->

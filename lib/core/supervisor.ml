@@ -8,11 +8,12 @@ type policy = {
   misses_allowed : int;
   max_recovery_attempts : int;
   checkpoint_interval : int;
+  ckpt_mode : Approach.mode;
 }
 
 let default_policy =
   { heartbeat_period = 1.0; misses_allowed = 2; max_recovery_attempts = 3;
-    checkpoint_interval = 4 }
+    checkpoint_interval = 4; ckpt_mode = Approach.Stop_the_world }
 
 type workload = {
   setup : Approach.instance list -> unit;
@@ -272,7 +273,10 @@ let take_checkpoint t =
     commit_checkpoint t ~started snaps;
     t.ckpt_time <- t.ckpt_time +. (now t -. started)
   in
-  match Protocol.global_checkpoint t.cluster ~instances:t.instances ~dump:t.workload.dump with
+  match
+    Protocol.global_checkpoint ~mode:t.policy.ckpt_mode t.cluster ~instances:t.instances
+      ~dump:t.workload.dump
+  with
   | Ok snaps -> commit snaps
   | Error partial ->
       let snapshot_only =
@@ -285,7 +289,7 @@ let take_checkpoint t =
           List.filter_map
             (fun (e : Protocol.branch_error) ->
               let inst = List.nth t.instances e.index in
-              match Approach.request_checkpoint t.cluster inst with
+              match Approach.request_checkpoint ~mode:t.policy.ckpt_mode t.cluster inst with
               | snap -> Some (e.index, snap)
               | exception Engine.Cancelled -> None
               | exception _ -> None)

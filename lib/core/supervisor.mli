@@ -33,10 +33,16 @@ type policy = {
   misses_allowed : int;  (** consecutive missed beats before declaring death *)
   max_recovery_attempts : int;  (** restart rounds per recovery *)
   checkpoint_interval : int;  (** work units between global checkpoints *)
+  ckpt_mode : Approach.mode;
+      (** stop-the-world or live (pre-copy + background commit); with the
+          live mode, a checkpoint still only commits once its background
+          ships finish — a crash mid-background-commit rolls back to the
+          last fully committed snapshot set *)
 }
 
 val default_policy : policy
-(** 1 s heartbeats, 2 misses, 3 restart attempts, checkpoint every 4 units. *)
+(** 1 s heartbeats, 2 misses, 3 restart attempts, checkpoint every 4 units,
+    stop-the-world checkpoints. *)
 
 type workload = {
   setup : Approach.instance list -> unit;

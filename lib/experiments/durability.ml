@@ -47,7 +47,7 @@ let final_subdomain_digests sup =
 
 let chaos_run (scale : Scale.t) ?script ?(replication = 2)
     ?(scrub = { Blobseer.Scrubber.default_config with interval = 4.0 }) ?(gang = 2) ?(units = 12)
-    () =
+    ?(policy = Supervisor.default_policy) () =
   let cal =
     {
       scale.Scale.cal with
@@ -60,7 +60,7 @@ let chaos_run (scale : Scale.t) ?script ?(replication = 2)
       let workload = Cm1.supervised_workload cluster scale.Scale.cm1_config ~iters_per_unit:1 in
       let injector = ref None and sup = ref None in
       let report =
-        Supervisor.run cluster ~kind:Approach.Blobcr ~scrub
+        Supervisor.run cluster ~kind:Approach.Blobcr ~policy ~scrub
           ~on_ready:(fun s ->
             sup := Some s;
             let script =

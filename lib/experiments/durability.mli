@@ -47,14 +47,16 @@ val chaos_run :
   ?scrub:Blobseer.Scrubber.config ->
   ?gang:int ->
   ?units:int ->
+  ?policy:Supervisor.policy ->
   unit ->
   chaos
 (** One supervised chaos run on a fresh cluster seeded from the scale.
     [script] builds the fault script once the cluster exists (default:
     {!acceptance_script}); [replication] overrides the calibration's chunk
     replication (default 2); [scrub] is the background scrubber config
-    (default: 4 s passes, majority quorum). Same scale and script ⇒ same
-    outcome, byte for byte. *)
+    (default: 4 s passes, majority quorum); [policy] overrides the
+    supervisor policy (e.g. live checkpoint mode for the precopy fuzz
+    scenario). Same scale and script ⇒ same outcome, byte for byte. *)
 
 val render_scrub_log : chaos -> string
 (** The scrub event log as one line per event — the replay-determinism

@@ -167,6 +167,19 @@ let all =
           List.map (fun (name, table) -> { name; table }) (Chains.tables scale ~progress ()));
     };
     {
+      id = "precopy";
+      paper_ref = "Beyond the paper (Section 3.2 snapshotting, live checkpointing)";
+      description =
+        "Guest-observed suspend window, checkpoint latency, shipped bytes and \
+         copy-on-write interference for live (pre-copy + background commit) vs \
+         stop-the-world checkpoints, interval x dirty-rate x pre-copy-rounds sweep";
+      run =
+        (fun scale ~progress ->
+          List.map
+            (fun (name, table) -> { name; table })
+            (Precopy.tables scale ~progress ()));
+    };
+    {
       id = "abl-prefetch";
       paper_ref = "Ablation (Section 3.1.4)";
       description = "Restart time with adaptive prefetching enabled vs disabled";

@@ -31,6 +31,11 @@ type t = {
   chains_keep_last : int;
   chains_thin_base : int;
   chains_image_bytes : int;
+  precopy_rounds : int list;
+  precopy_intervals : float list;
+  precopy_dirty_mbps : float list;
+  precopy_epochs : int;
+  precopy_write_bytes : int;
 }
 
 let paper =
@@ -72,6 +77,11 @@ let paper =
     chains_keep_last = 4;
     chains_thin_base = 2;
     chains_image_bytes = Size.mib_n 50;
+    precopy_rounds = [ 0; 1; 2; 4 ];
+    precopy_intervals = [ 5.0; 15.0 ];
+    precopy_dirty_mbps = [ 2.0; 8.0 ];
+    precopy_epochs = 3;
+    precopy_write_bytes = 256 * Size.kib;
   }
 
 let quick =
@@ -112,6 +122,11 @@ let quick =
     chains_keep_last = 2;
     chains_thin_base = 2;
     chains_image_bytes = Size.mib_n 2;
+    precopy_rounds = [ 0; 1; 2 ];
+    precopy_intervals = [ 2.0 ];
+    precopy_dirty_mbps = [ 2.0 ];
+    precopy_epochs = 2;
+    precopy_write_bytes = 64 * Size.kib;
   }
 
 let find = function

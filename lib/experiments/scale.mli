@@ -41,6 +41,11 @@ type t = {
   chains_keep_last : int;  (** [Keep_last k] retention for chains runs *)
   chains_thin_base : int;  (** [Thin_exponential] base for chains runs *)
   chains_image_bytes : int;  (** image capacity for chains runs *)
+  precopy_rounds : int list;  (** pre-copy round budgets swept (0 = none) *)
+  precopy_intervals : float list;  (** seconds between checkpoint requests *)
+  precopy_dirty_mbps : float list;  (** guest dirtying rates swept, MiB/s *)
+  precopy_epochs : int;  (** checkpoints per precopy run *)
+  precopy_write_bytes : int;  (** writer block size per guest write+sync *)
 }
 
 val paper : t

@@ -3,6 +3,23 @@ open Netsim
 open Storage
 open Blobseer
 
+(* A frozen epoch: the dirty set captured copy-on-write at FREEZE time
+   (DESIGN.md §17). [f_pending] are the chunks the snapshot must ship;
+   their content at freeze time is either still in [local] (untouched
+   since) or preserved in [f_store] (the frozen diff log) the first time
+   the guest overwrites them. [f_digests] are the frozen chunks' digests
+   captured from the live cache, so the background commit can hint the
+   client without re-reading guest-mutated bytes. *)
+type frozen = {
+  f_pending : (int, unit) Hashtbl.t; (* frozen chunks not yet shipped *)
+  f_digests : (int, int64) Hashtbl.t; (* digest of frozen content *)
+  f_store : Sparse_bytes.t; (* frozen bytes of guest-overwritten chunks *)
+  f_copied : (int, unit) Hashtbl.t; (* chunks whose frozen bytes sit in f_store *)
+  mutable f_reserved : int; (* local-disk bytes held by f_store *)
+  f_skip_chunks : int; (* clean-rewrite absorption carried into the freeze *)
+  f_skip_bytes : int;
+}
+
 type t = {
   engine : Engine.t;
   host : Net.host;
@@ -30,6 +47,9 @@ type t = {
   mutable reserved : int; (* local-disk bytes held *)
   mutable last_stats : Client.write_stats; (* most recent commit *)
   mutable total_stats : Client.write_stats; (* cumulative over all commits *)
+  mutable frozen : frozen option; (* active frozen epoch, if any *)
+  mutable cow_chunks_total : int; (* frozen-chunk copies since creation ... *)
+  mutable cow_bytes_total : int; (* ... the live-checkpoint interference cost *)
 }
 
 type Engine.audit_subject += Audit_mirror of t
@@ -38,6 +58,9 @@ let m_chunks_fetched = Obs.Metrics.counter ~component:"mirror" ~name:"chunks_fet
 let m_bytes_fetched = Obs.Metrics.counter ~component:"mirror" ~name:"bytes_fetched"
 let m_local_bytes = Obs.Metrics.gauge ~component:"mirror" ~name:"local_bytes"
 let m_commit_seconds = Obs.Metrics.histogram ~component:"mirror" ~name:"commit_seconds"
+let m_frozen_chunks = Obs.Metrics.counter ~component:"mirror" ~name:"frozen_chunks"
+let m_cow_chunks = Obs.Metrics.counter ~component:"mirror" ~name:"cow_chunks"
+let m_cow_bytes = Obs.Metrics.counter ~component:"mirror" ~name:"cow_bytes"
 
 let create engine ~host ~local_disk ~base ~base_version ?prefetch ~name () =
   let chunk_size = Client.stripe_size base in
@@ -62,6 +85,9 @@ let create engine ~host ~local_disk ~base ~base_version ?prefetch ~name () =
     reserved = 0;
     last_stats = Client.empty_write_stats;
     total_stats = Client.empty_write_stats;
+    frozen = None;
+    cow_chunks_total = 0;
+    cow_bytes_total = 0;
   }
   in
   Engine.register_audit_subject engine (Audit_mirror t);
@@ -79,6 +105,16 @@ let chunk_extent t index =
 let dirty_bytes t = Hashtbl.fold (fun i () acc -> acc + chunk_extent t i) t.dirty 0 (* lint: allow hashtbl-order — commutative sum *)
 let cached_chunks t = Hashtbl.length t.present
 let local_bytes t = t.reserved
+let frozen_active t = t.frozen <> None
+let frozen_chunks t = match t.frozen with None -> 0 | Some f -> Hashtbl.length f.f_pending
+
+let frozen_bytes t =
+  match t.frozen with
+  | None -> 0
+  | Some f -> Hashtbl.fold (fun i () acc -> acc + chunk_extent t i) f.f_pending 0 (* lint: allow hashtbl-order — commutative sum *)
+
+let cow_chunks t = t.cow_chunks_total
+let cow_bytes t = t.cow_bytes_total
 
 let sorted_keys tbl = Hashtbl.fold (fun i () acc -> i :: acc) tbl [] |> List.sort compare
 let present_view t = sorted_keys t.present
@@ -95,6 +131,27 @@ let peek_chunk_payload t ~chunk =
 
 let unsafe_poke_digest t ~chunk digest = Hashtbl.replace t.digests chunk digest
 
+let frozen_pending_view t =
+  match t.frozen with None -> [] | Some f -> sorted_keys f.f_pending
+
+let frozen_copied_view t =
+  match t.frozen with None -> [] | Some f -> sorted_keys f.f_copied
+
+let frozen_digest_view t =
+  match t.frozen with
+  | None -> []
+  | Some f ->
+      (* lint: allow hashtbl-order — sorted below *)
+      Hashtbl.fold (fun i d acc -> (i, d) :: acc) f.f_digests []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let peek_frozen_payload t ~chunk =
+  match t.frozen with
+  | None -> invalid_arg "Mirror.peek_frozen_payload: no frozen epoch"
+  | Some f ->
+      let store = if Hashtbl.mem f.f_copied chunk then f.f_store else t.local in
+      Sparse_bytes.read store ~offset:(chunk * t.chunk_size) ~len:(chunk_extent t chunk)
+
 let local_stream t = Net.host_id t.host
 
 let reserve_local t bytes =
@@ -109,6 +166,7 @@ let drop_local_state t =
   Hashtbl.reset t.present;
   Hashtbl.reset t.dirty;
   Hashtbl.reset t.digests;
+  t.frozen <- None;
   Sparse_bytes.clear t.local
 
 (* Bring chunk [index] into the local cache, lazily. The fetch is coalesced
@@ -159,6 +217,31 @@ let read t ~offset ~len =
     Sparse_bytes.read t.local ~offset ~len
   end
 
+(* A guest write is about to land on chunk [index] while a frozen epoch is
+   active: if the chunk is frozen-pending and its frozen bytes have not
+   been preserved yet, copy them into the frozen diff log first. The extra
+   local-disk read + write is charged on the guest's stream — this is the
+   application-interference cost of checkpointing live. *)
+let preserve_frozen t index =
+  match t.frozen with
+  | Some f when Hashtbl.mem f.f_pending index && not (Hashtbl.mem f.f_copied index) ->
+      let extent = chunk_extent t index in
+      Disk.read t.local_disk ~stream:(local_stream t) extent;
+      let frozen_bytes =
+        Sparse_bytes.read t.local ~offset:(index * t.chunk_size) ~len:extent
+      in
+      reserve_local t extent;
+      Disk.write t.local_disk ~stream:(local_stream t) extent;
+      Disk.free t.local_disk extent;
+      Sparse_bytes.write f.f_store ~offset:(index * t.chunk_size) frozen_bytes;
+      Hashtbl.replace f.f_copied index ();
+      f.f_reserved <- f.f_reserved + extent;
+      t.cow_chunks_total <- t.cow_chunks_total + 1;
+      t.cow_bytes_total <- t.cow_bytes_total + extent;
+      Obs.Metrics.incr m_cow_chunks;
+      Obs.Metrics.add m_cow_bytes (float_of_int extent)
+  | _ -> ()
+
 let write t ~offset payload =
   let len = Payload.length payload in
   check_range t offset len;
@@ -191,6 +274,7 @@ let write t ~offset payload =
               reserve_local t extent;
               Hashtbl.replace t.present index ()
             end;
+            preserve_frozen t index;
             Hashtbl.replace t.dirty index ();
             Hashtbl.replace t.digests index d;
             Sparse_bytes.write t.local ~offset:wstart slice
@@ -203,6 +287,7 @@ let write t ~offset payload =
           reserve_local t extent;
           Hashtbl.replace t.present index ()
         end;
+        preserve_frozen t index;
         Hashtbl.replace t.dirty index ();
         (* The chunk's new digest would cost a read-modify-digest here;
            invalidate instead — the commit path re-digests it once. *)
@@ -236,19 +321,21 @@ let clone t =
         (Client.blob_id t.base) t.base_version;
       t.ckpt <- Some (Client.clone t.base ~from:t.host ~version:t.base_version)
 
-let commit t =
-  Obs.Span.with_ t.engine ~component:"mirror" ~name:"ckpt.commit"
-    ~attrs:[ ("dirty_chunks", Obs.Record.Int (Hashtbl.length t.dirty)) ]
-  @@ fun () ->
-  let started = Engine.now t.engine in
+(* Shared ship path of {!commit} and {!commit_frozen}: push [indices] into
+   the checkpoint image as one incremental snapshot. One job per chunk:
+   the local-disk read happens inside the client's write window, so
+   reading chunk N+1 off the local disk overlaps with digesting, dedup
+   resolution and repository writes of chunk N — no up-front
+   materialization of the whole diff. Chunks rewritten with their base
+   content are suppressed by digest; [hints] let the client suppress and
+   dedup without running the thunk at all. [payload_store] selects where a
+   chunk's bytes are read from (the live store, or the frozen diff log for
+   guest-overwritten frozen chunks); [reseed_ok] guards which chunks may
+   have their live digest-cache entry re-seeded from the descriptors this
+   commit minted (unsafe for chunks whose live bytes moved on since). *)
+let ship_indices t ~indices ~payload_store ~hints ~skip_chunks ~skip_bytes ~reseed_ok =
   Obs.Span.with_ t.engine ~component:"mirror" ~name:"ckpt.clone" (fun () -> clone t);
   let ckpt = Option.get t.ckpt in
-  let indices = Hashtbl.fold (fun i () acc -> i :: acc) t.dirty [] |> List.sort compare in
-  (* One job per dirty chunk: the local-disk read happens inside the
-     client's write window, so reading chunk N+1 off the local disk
-     overlaps with digesting, dedup resolution and repository writes of
-     chunk N — no up-front materialization of the whole diff. Chunks
-     rewritten with their base content are suppressed by digest. *)
   let jobs =
     List.map
       (fun index ->
@@ -256,9 +343,57 @@ let commit t =
         ( index,
           fun () ->
             Disk.read t.local_disk ~stream:(local_stream t) extent;
-            Sparse_bytes.read t.local ~offset:(index * t.chunk_size) ~len:extent ))
+            Sparse_bytes.read (payload_store index) ~offset:(index * t.chunk_size) ~len:extent
+        ))
       indices
   in
+  let version, stats = Client.write_chunks ckpt ~from:t.host ~suppress_clean:true ~hints jobs in
+  (* Fold the write-time clean skips into the commit accounting: a rewrite
+     absorbed at the device is the same event the digest path would have
+     suppressed, observed earlier. *)
+  let stats =
+    if skip_chunks = 0 then stats
+    else
+      {
+        stats with
+        Client.chunks_total = stats.Client.chunks_total + skip_chunks;
+        chunks_suppressed = stats.Client.chunks_suppressed + skip_chunks;
+        bytes_suppressed = stats.Client.bytes_suppressed + skip_bytes;
+      }
+  in
+  (* Re-seed invalidated entries (partial-chunk COW writes) from the
+     descriptors this commit just minted — a free metadata peek, so the
+     next epoch's hints cover them again. *)
+  if t.use_cache then begin
+    let tree = Client.tree ckpt ~version in
+    List.iter
+      (fun index ->
+        if reseed_ok index && not (Hashtbl.mem t.digests index) then
+          match Segment_tree.get tree index with
+          | Some (d : Types.chunk_desc) -> Hashtbl.replace t.digests index d.digest
+          | None -> ())
+      indices
+  end;
+  (version, stats)
+
+let finish_commit t ~started ~version ~stats =
+  t.last_stats <- stats;
+  t.total_stats <- Client.add_write_stats t.total_stats stats;
+  Trace.emit t.engine ~component:t.mname
+    "COMMIT %d chunks: %d shipped (%d B), %d dedup'd (%d B), %d clean (%d B) -> v%d"
+    stats.Client.chunks_total stats.Client.chunks_shipped stats.Client.bytes_shipped
+    stats.Client.chunks_deduped stats.Client.bytes_deduped stats.Client.chunks_suppressed
+    stats.Client.bytes_suppressed version;
+  Obs.Metrics.observe m_commit_seconds (Engine.now t.engine -. started)
+
+let commit t =
+  if t.frozen <> None then
+    invalid_arg "Mirror.commit: a frozen epoch is active (commit or abort it first)";
+  Obs.Span.with_ t.engine ~component:"mirror" ~name:"ckpt.commit"
+    ~attrs:[ ("dirty_chunks", Obs.Record.Int (Hashtbl.length t.dirty)) ]
+  @@ fun () ->
+  let started = Engine.now t.engine in
+  let indices = Hashtbl.fold (fun i () acc -> i :: acc) t.dirty [] |> List.sort compare in
   (* Carried digests become hints: the client suppresses clean rewrites and
      resolves dedup from them without running the thunk — a hinted chunk
      that doesn't ship never touches the local disk either. *)
@@ -270,45 +405,111 @@ let commit t =
           Option.map (fun d -> (index, d)) (Hashtbl.find_opt t.digests index))
         indices
   in
-  let version, stats = Client.write_chunks ckpt ~from:t.host ~suppress_clean:true ~hints jobs in
-  (* Fold the write-time clean skips into the commit accounting: a rewrite
-     absorbed at the device is the same event the digest path would have
-     suppressed, observed earlier. *)
-  let stats =
-    if t.skip_chunks = 0 then stats
-    else
-      {
-        stats with
-        Client.chunks_total = stats.Client.chunks_total + t.skip_chunks;
-        chunks_suppressed = stats.Client.chunks_suppressed + t.skip_chunks;
-        bytes_suppressed = stats.Client.bytes_suppressed + t.skip_bytes;
-      }
+  let version, stats =
+    ship_indices t ~indices
+      ~payload_store:(fun _ -> t.local)
+      ~hints ~skip_chunks:t.skip_chunks ~skip_bytes:t.skip_bytes
+      ~reseed_ok:(fun _ -> true)
   in
   t.skip_chunks <- 0;
   t.skip_bytes <- 0;
-  (* Re-seed invalidated entries (partial-chunk COW writes) from the
-     descriptors this commit just minted — a free metadata peek, so the
-     next epoch's hints cover them again. *)
-  if t.use_cache then begin
-    let tree = Client.tree ckpt ~version in
-    List.iter
-      (fun index ->
-        if not (Hashtbl.mem t.digests index) then
-          match Segment_tree.get tree index with
-          | Some (d : Types.chunk_desc) -> Hashtbl.replace t.digests index d.digest
-          | None -> ())
-      indices
-  end;
-  t.last_stats <- stats;
-  t.total_stats <- Client.add_write_stats t.total_stats stats;
-  Trace.emit t.engine ~component:t.mname
-    "COMMIT %d chunks: %d shipped (%d B), %d dedup'd (%d B), %d clean (%d B) -> v%d"
-    stats.Client.chunks_total stats.Client.chunks_shipped stats.Client.bytes_shipped
-    stats.Client.chunks_deduped stats.Client.bytes_deduped stats.Client.chunks_suppressed
-    stats.Client.bytes_suppressed version;
-  Obs.Metrics.observe m_commit_seconds (Engine.now t.engine -. started);
+  finish_commit t ~started ~version ~stats;
   Hashtbl.reset t.dirty;
   version
+
+(* ------------------------------------------------------------------ *)
+(* Live checkpointing: FREEZE / frozen COMMIT / abort (DESIGN.md §17) *)
+
+let freeze t =
+  if t.frozen <> None then invalid_arg "Mirror.freeze: a frozen epoch is already active";
+  let f_pending = Hashtbl.copy t.dirty in
+  let f_digests = Hashtbl.create (max 16 (Hashtbl.length f_pending)) in
+  if t.use_cache then
+    (* lint: allow hashtbl-order — independent per-key copy *)
+    Hashtbl.iter
+      (fun i () ->
+        match Hashtbl.find_opt t.digests i with
+        | Some d -> Hashtbl.replace f_digests i d
+        | None -> ())
+      f_pending;
+  t.frozen <-
+    Some
+      {
+        f_pending;
+        f_digests;
+        f_store = Sparse_bytes.create ~block_size:t.chunk_size ();
+        f_copied = Hashtbl.create 16;
+        f_reserved = 0;
+        f_skip_chunks = t.skip_chunks;
+        f_skip_bytes = t.skip_bytes;
+      };
+  Hashtbl.reset t.dirty;
+  t.skip_chunks <- 0;
+  t.skip_bytes <- 0;
+  Obs.Metrics.add m_frozen_chunks (float_of_int (Hashtbl.length f_pending));
+  Trace.emit t.engine ~component:t.mname "FREEZE %d dirty chunk(s) copy-on-write"
+    (Hashtbl.length f_pending)
+
+let commit_frozen ?(label = "ckpt.commit") t =
+  let f =
+    match t.frozen with
+    | Some f -> f
+    | None -> invalid_arg "Mirror.commit_frozen: no frozen epoch"
+  in
+  Obs.Span.with_ t.engine ~component:"mirror" ~name:label
+    ~attrs:[ ("frozen_chunks", Obs.Record.Int (Hashtbl.length f.f_pending)) ]
+  @@ fun () ->
+  let started = Engine.now t.engine in
+  let indices = sorted_keys f.f_pending in
+  (* Hints come from the digests captured at freeze time: they describe the
+     frozen content even after the guest moved the live bytes on, so the
+     client's suppression/dedup resolution stays exact during a background
+     commit. *)
+  let hints =
+    if not t.use_cache then []
+    else
+      List.filter_map
+        (fun index ->
+          Option.map (fun d -> (index, d)) (Hashtbl.find_opt f.f_digests index))
+        indices
+  in
+  let version, stats =
+    ship_indices t ~indices
+      ~payload_store:(fun index ->
+        if Hashtbl.mem f.f_copied index then f.f_store else t.local)
+      ~hints ~skip_chunks:f.f_skip_chunks ~skip_bytes:f.f_skip_bytes
+      ~reseed_ok:(fun index -> not (Hashtbl.mem f.f_copied index))
+  in
+  (* Success: the repository holds the frozen content, so the diff log's
+     preserved copies can go. A failure above leaves the frozen epoch
+     intact — the caller either retries (transient) or {!abort_frozen}s. *)
+  Disk.free t.local_disk f.f_reserved;
+  t.reserved <- t.reserved - f.f_reserved;
+  Obs.Metrics.set m_local_bytes t.reserved;
+  t.frozen <- None;
+  finish_commit t ~started ~version ~stats;
+  version
+
+let abort_frozen t =
+  match t.frozen with
+  | None -> ()
+  | Some f ->
+      (* Fold the unshipped frozen chunks back into the live dirty set: the
+         last fully committed snapshot stays authoritative, and the next
+         commit ships the chunks' current bytes. The preserved frozen
+         copies are dropped — they described a snapshot that will never be
+         completed. *)
+      (* lint: allow hashtbl-order — independent per-key marking *)
+      Hashtbl.iter (fun i () -> Hashtbl.replace t.dirty i ()) f.f_pending;
+      Disk.free t.local_disk f.f_reserved;
+      t.reserved <- t.reserved - f.f_reserved;
+      Obs.Metrics.set m_local_bytes t.reserved;
+      t.skip_chunks <- t.skip_chunks + f.f_skip_chunks;
+      t.skip_bytes <- t.skip_bytes + f.f_skip_bytes;
+      t.frozen <- None;
+      Trace.emit t.engine ~component:t.mname
+        "FREEZE aborted: %d chunk(s) folded back into the dirty set"
+        (Hashtbl.length f.f_pending)
 
 let last_commit_stats t = t.last_stats
 let total_commit_stats t = t.total_stats

@@ -71,6 +71,51 @@ val commit : t -> int
     and content already stored anywhere in the repository dedups against
     it. *)
 
+val freeze : t -> unit
+(** Capture the current dirty set as a {e frozen epoch}, copy-on-write —
+    the live-checkpointing half of the CLONE primitive (DESIGN.md §17).
+    Metadata-only and instantaneous: the dirty set moves into the frozen
+    pending set (with its cached digests), the live dirty set restarts
+    empty, and guest writes keep flowing. The first guest write to a
+    frozen-pending chunk copies the frozen bytes into a node-local diff
+    log before the overwrite lands (charging the extra local-disk I/O to
+    the guest — the interference cost of checkpointing live). Raises
+    [Invalid_argument] if a frozen epoch is already active. *)
+
+val commit_frozen : ?label:string -> t -> int
+(** Ship the frozen epoch into the checkpoint image as one incremental
+    snapshot and return the published version, like {!commit} but reading
+    each chunk's {e frozen} content: from the diff log when the guest
+    overwrote it, from the live store otherwise (where both are identical).
+    Digest hints captured at freeze time keep suppression and dedup exact
+    even while the guest mutates the live bytes mid-commit. On success the
+    frozen epoch is released (its diff log freed). On failure the frozen
+    epoch stays intact so the caller can retry (transient error) or
+    {!abort_frozen}. [label] names the emitted span (default
+    ["ckpt.commit"]). *)
+
+val abort_frozen : t -> unit
+(** Roll a frozen epoch back: fold every unshipped frozen chunk into the
+    live dirty set and drop the diff log, so the last fully committed
+    snapshot stays the rollback target and the next commit ships the
+    chunks' current bytes. No-op without an active frozen epoch. *)
+
+val frozen_active : t -> bool
+(** Whether a frozen epoch is currently pending. *)
+
+val frozen_chunks : t -> int
+(** Chunks in the active frozen epoch (0 when none). *)
+
+val frozen_bytes : t -> int
+(** Byte size of the active frozen epoch (chunk-granular; 0 when none). *)
+
+val cow_chunks : t -> int
+(** Cumulative frozen-chunk copies made to preserve overwritten frozen
+    content — the live-checkpointing interference, in chunks. *)
+
+val cow_bytes : t -> int
+(** Cumulative bytes copied into frozen diff logs (interference cost). *)
+
 val last_commit_stats : t -> Client.write_stats
 (** Shipped / dedup'd / suppressed accounting of the most recent
     {!commit} ({!Client.empty_write_stats} before the first). *)
@@ -135,3 +180,23 @@ val peek_chunk_payload : t -> chunk:int -> Payload.t
 val unsafe_poke_digest : t -> chunk:int -> int64 -> unit
 (** Corrupt a digest-cache entry — breaks the coherence invariant.
     Test-only: used to verify the auditor catches it. *)
+
+val frozen_pending_view : t -> int list
+(** Chunk indices of the active frozen epoch, ascending (empty when none).
+    Invariant: frozen pending ⊆ {!present_view}. *)
+
+val frozen_copied_view : t -> int list
+(** Frozen chunks whose bytes were preserved in the diff log, ascending.
+    Invariant: copied ⊆ {!frozen_pending_view}. *)
+
+val frozen_digest_view : t -> (int * int64) list
+(** Digests captured at freeze time [(chunk, digest)], ascending by chunk.
+    Invariants: keys ⊆ {!frozen_pending_view}, and every entry equals the
+    digest of the chunk's frozen bytes ({!peek_frozen_payload}) — audited
+    at teardown on both forks of the clone boundary. *)
+
+val peek_frozen_payload : t -> chunk:int -> Payload.t
+(** A frozen chunk's content as {!commit_frozen} would ship it (diff log
+    if preserved, live store otherwise), free of simulated cost — the
+    coherence audit's ground truth. Raises [Invalid_argument] without an
+    active frozen epoch. *)
